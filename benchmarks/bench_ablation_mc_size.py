@@ -1,0 +1,60 @@
+"""Ablation: Monte-Carlo population size (paper uses 400 iterations).
+
+Shows the estimator noise on sigma and the offset specification as the
+population shrinks, using the fast analytic predictor as the reference
+and re-running the *simulated* extraction at several sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.core.montecarlo import McSettings
+from repro.models import Environment, MismatchModel
+from repro.workloads import paper_workload
+
+from .conftest import FAST, write_artifact
+
+SIZES = (25, 50, 100, 200) if FAST else (25, 50, 100, 200, 400)
+SEEDS = (1, 2, 3)
+
+
+def build_ablation():
+    workload = paper_workload("80r0")
+    env = Environment.nominal()
+    timing = ReadTiming(dt=1e-12)
+    rows = []
+    for size in SIZES:
+        specs = []
+        for seed in SEEDS:
+            settings = McSettings(size=size, seed=seed,
+                                  mismatch=MismatchModel())
+            result = run_cell(ExperimentCell("nssa", workload, 1e8, env),
+                              settings=settings, timing=timing,
+                              offset_iterations=11, measure_delay=False)
+            specs.append(result.spec_mv)
+        rows.append((size, float(np.mean(specs)),
+                     float(np.max(specs) - np.min(specs))))
+    return rows
+
+
+def test_ablation_mc_size(benchmark):
+    rows = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+    table = [[str(size), f"{mean:.1f}", f"{spread:.1f}"]
+             for size, mean, spread in rows]
+    text = ("Ablation - Monte-Carlo size vs spec estimate "
+            "(NSSA 80r0, t=1e8s, 3 seeds)\n"
+            + format_table(["MC size", "mean spec [mV]",
+                            "seed spread [mV]"], table))
+    write_artifact("ablation_mc_size.txt", text)
+    print("\n" + text)
+
+    # Estimates at every size stay in the right ballpark...
+    for _, mean, _ in rows:
+        assert 90.0 < mean < 135.0
+    # ...and the largest population is at least as stable as the
+    # smallest (seed spread shrinks with N up to noise).
+    assert rows[-1][2] <= rows[0][2] * 1.5

@@ -1,0 +1,82 @@
+"""Design-space exploration for the ISSA control scheme.
+
+Three questions a designer adopting the paper's scheme would ask,
+answered with the repository's fast analytic/behavioural layers:
+
+1. which devices actually set the offset and delay (sensitivity map);
+2. how wide the switching counter must be (balancing vs read-stream
+   burstiness, including the adversarial period-locked case);
+3. what the scheme costs at different sharing granularities.
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro.circuits.control import IssaController
+from repro.circuits.sense_amp import ReadTiming, build_nssa
+from repro.core.sensitivity import measure_sensitivities
+from repro.memory.energy import (MemoryOrganisation, issa_area_overhead,
+                                 issa_energy_overhead_per_read)
+from repro.models import Environment
+from repro.workloads import (MarkovReadStream, Workload,
+                             periodic_adversarial_stream)
+
+
+def sensitivity_map() -> None:
+    print("== 1. What sets the figures of merit ==")
+    report = measure_sensitivities(build_nssa(), Environment.nominal(),
+                                   timing=ReadTiming(dt=1e-12))
+    print(f"{'device':14s} {'offset [mV/mV]':>15s} "
+          f"{'delay [ps/V]':>13s}")
+    for name in sorted(report.offset_per_volt,
+                       key=lambda n: -abs(report.offset_per_volt[n]))[:6]:
+        print(f"{name:14s} {report.offset_per_volt[name]:>+15.2f} "
+              f"{report.delay_per_volt[name] * 1e12:>13.1f}")
+    dominant = report.dominant_offset_devices(2)
+    print(f"-> the offset lives in {dominant[0]}/{dominant[1]}: "
+          "balancing their stress is the whole game\n")
+
+
+def counter_width_study() -> None:
+    print("== 2. Counter width vs read-stream burstiness ==")
+    workload = Workload(0.8, 0.85)  # read-0 heavy
+    print(f"{'bits':>4s} {'period':>7s} {'iid':>8s} {'bursty':>8s} "
+          f"{'adversarial':>12s}")
+    for bits in (2, 4, 6, 8, 10):
+        controller = IssaController(bits=bits)
+        period = controller.switch_period_reads
+        iid = IssaController(bits=bits).balance_metric(
+            MarkovReadStream(workload, 0.5, seed=1).reads(1 << 13))
+        bursty = IssaController(bits=bits).balance_metric(
+            MarkovReadStream(workload, 0.97, seed=1).reads(1 << 13))
+        adversarial = IssaController(bits=bits).balance_metric(
+            periodic_adversarial_stream(period, 1 << 13))
+        print(f"{bits:>4d} {period:>7d} {iid:>+8.3f} {bursty:>+8.3f} "
+              f"{adversarial:>+12.3f}")
+    print("-> random and bursty streams balance at any width; only a\n"
+          "   stream locked to the swap period defeats the scheme\n"
+          "   (the paper's 'random input pattern' assumption)\n")
+
+
+def overhead_study() -> None:
+    print("== 3. Cost vs sharing granularity ==")
+    print(f"{'columns/ctrl':>12s} {'area':>8s} {'energy/read':>12s}")
+    for columns in (8, 32, 128, 512):
+        org = MemoryOrganisation(columns=512,
+                                 columns_per_control=columns)
+        print(f"{columns:>12d} "
+              f"{issa_area_overhead(org) * 100:>7.2f}% "
+              f"{issa_energy_overhead_per_read(org) * 100:>11.3f}%")
+    print("-> one counter per 128+ columns keeps both costs ~1%: the\n"
+          "   paper's 'shared by multiple columns' argument, quantified")
+
+
+def main() -> None:
+    sensitivity_map()
+    counter_width_study()
+    overhead_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Reliability sign-off: from device aging to chip-level numbers.
+
+A compact end-to-end sign-off of an ISSA-based versus NSSA-based memory
+at the hot corner, combining the repository's system-level models:
+
+1. Monte-Carlo offset distributions (fresh and aged);
+2. chip yield at a provisioned swing / minimum swing for a yield
+   target (``repro.memory.yield_model``);
+3. regeneration time constants and the timing window a metastability
+   budget requires (``repro.core.metastability``).
+
+Run:  python examples/reliability_signoff.py
+"""
+
+import numpy as np
+
+from repro import Environment, McSettings, MismatchModel, paper_workload
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.core.metastability import (measure_regeneration_tau,
+                                      window_for_failure_target)
+from repro.core.montecarlo import sample_total_shifts
+from repro.core.testbench import SenseAmpTestbench
+from repro.core.calibration import default_aging_model
+from repro.core.experiment import build_design
+from repro.memory.yield_model import (YieldModel, swing_for_yield,
+                                      yield_loss_ppm,
+                                      sa_failure_probability)
+
+ENV = Environment.from_celsius(125.0)
+WORKLOAD = paper_workload("80r0")
+SETTINGS = McSettings(size=80, seed=13, mismatch=MismatchModel())
+TIMING = ReadTiming(dt=1e-12)
+LIFETIME = 1e8
+
+
+def characterise(scheme: str):
+    cell = ExperimentCell(scheme, WORKLOAD, LIFETIME, ENV)
+    return run_cell(cell, settings=SETTINGS, timing=TIMING,
+                    offset_iterations=12, measure_delay=False)
+
+
+def regeneration_tau(scheme: str, offset_mu_v: float) -> float:
+    """Mean regeneration tau measured at the design's own trip point.
+
+    The aged NSSA's trip point sits at -mu (the mean offset), so the
+    near-metastable stimulus must be applied there; probing at 0 V
+    would measure the fast snap of a strongly biased latch instead.
+    """
+    design = build_design(scheme)
+    bench = SenseAmpTestbench(design, ENV, batch_size=SETTINGS.size,
+                              timing=TIMING)
+    bench.set_vth_shifts(sample_total_shifts(
+        design, default_aging_model(), WORKLOAD, LIFETIME, ENV,
+        SETTINGS))
+    return measure_regeneration_tau(
+        bench, vin=-offset_mu_v + 1e-3).mean_tau_s
+
+
+def main() -> None:
+    org = YieldModel(columns_per_macro=128, macros_per_chip=64)
+    print(f"sign-off corner: {ENV.label()}, workload {WORKLOAD}, "
+          f"lifetime {LIFETIME:.0e}s, "
+          f"{org.sense_amps_per_chip} SAs/chip\n")
+
+    for scheme in ("nssa", "issa"):
+        result = characterise(scheme)
+        mu = result.offset.mu
+        sigma = result.offset.sigma
+        swing = swing_for_yield(mu, sigma, target_yield=0.9999,
+                                model=org)
+        loss_at_150mv = yield_loss_ppm(
+            sa_failure_probability(mu, sigma, 0.150), org)
+        tau = regeneration_tau(scheme, mu)
+        window = window_for_failure_target(tau, sigma, swing,
+                                           target=1e-9)
+        print(f"{scheme.upper()}:")
+        print(f"  aged offset: mu={mu * 1e3:+.1f} mV, "
+              f"sigma={sigma * 1e3:.1f} mV")
+        print(f"  swing for 99.99% chip yield: {swing * 1e3:.0f} mV")
+        print(f"  yield loss at a 150 mV budget: "
+              f"{loss_at_150mv:.1f} ppm")
+        print(f"  regeneration tau: {tau * 1e12:.2f} ps; timing window "
+              f"for 1e-9 metastability: {window * 1e12:.1f} ps\n")
+
+    print("-> the ISSA's recentred distribution needs a much smaller\n"
+          "   provisioned swing for the same yield; and because its\n"
+          "   trip point stays at 0 V, nominal reads never operate\n"
+          "   near metastability, unlike the drifted NSSA.")
+
+
+if __name__ == "__main__":
+    main()

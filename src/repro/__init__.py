@@ -1,0 +1,48 @@
+"""Reproduction of "Mitigation of Sense Amplifier Degradation Using
+Input Switching" (Kraak et al., DATE 2017).
+
+The package implements the paper's full stack from scratch:
+
+* :mod:`repro.spice` — a batched SPICE-like circuit simulator,
+* :mod:`repro.models` — 45 nm PTM-HP-like device models and variation,
+* :mod:`repro.aging` — the atomistic BTI model (Eq. 1/2, CET maps),
+* :mod:`repro.digital` — an event-driven gate-level simulator,
+* :mod:`repro.circuits` — the NSSA/ISSA netlists and control logic,
+* :mod:`repro.core` — Monte-Carlo offset/delay characterisation,
+* :mod:`repro.memory` — bitline/array latency and overhead models,
+* :mod:`repro.analysis` — Eq.-3 spec solving, reports, paper references.
+
+Quick start::
+
+    from repro import ExperimentCell, run_cell, Environment, paper_workload
+    cell = ExperimentCell("issa", paper_workload("80r0"), 1e8,
+                          Environment.from_celsius(125))
+    print(run_cell(cell).row())
+"""
+
+from .constants import (T0, VDD_NOM, FAILURE_RATE_TARGET, PAPER_STRESS_TIME,
+                        thermal_voltage, celsius_to_kelvin, arrhenius_factor)
+from .workloads import Workload, ReadStream, paper_workload, PAPER_WORKLOADS
+from .models import Environment, MismatchModel, NMOS_45HP, PMOS_45HP
+from .circuits import build_nssa, build_issa, ReadTiming
+from .core import (ExperimentCell, CellResult, run_cell, SenseAmpTestbench,
+                   offset_distribution, extract_offsets, McSettings,
+                   default_aging_model, default_mc_settings, delay_vs_aging,
+                   stream_balance, predicted_offset_spec, lifetime_extension)
+from .analysis import offset_spec, sigma_level
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "T0", "VDD_NOM", "FAILURE_RATE_TARGET", "PAPER_STRESS_TIME",
+    "thermal_voltage", "celsius_to_kelvin", "arrhenius_factor",
+    "Workload", "ReadStream", "paper_workload", "PAPER_WORKLOADS",
+    "Environment", "MismatchModel", "NMOS_45HP", "PMOS_45HP",
+    "build_nssa", "build_issa", "ReadTiming",
+    "ExperimentCell", "CellResult", "run_cell", "SenseAmpTestbench",
+    "offset_distribution", "extract_offsets", "McSettings",
+    "default_aging_model", "default_mc_settings", "delay_vs_aging",
+    "stream_balance", "predicted_offset_spec", "lifetime_extension",
+    "offset_spec", "sigma_level",
+    "__version__",
+]

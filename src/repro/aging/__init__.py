@@ -1,0 +1,44 @@
+"""Atomistic BTI aging: trap occupancy, CET maps, circuit-level engine.
+
+Public surface:
+
+* :func:`~repro.aging.occupancy.capture_probability` /
+  :func:`~repro.aging.occupancy.emission_probability` — the paper's
+  Eq. (1)/(2) — and their duty-cycled generalisation.
+* :class:`~repro.aging.cet.CetMap` — capture/emission time distribution.
+* :class:`~repro.aging.bti.AtomisticBti` / :class:`~repro.aging.bti.BtiParams`
+  — per-device threshold-shift sampler.
+* :class:`~repro.aging.engine.AgingModel` / :func:`~repro.aging.engine.age_circuit`
+  — whole-circuit aging.
+* :func:`~repro.aging.duty.nssa_duties` / :func:`~repro.aging.duty.issa_duties`
+  — workload -> per-transistor duty factors.
+"""
+
+from .occupancy import (capture_probability, emission_probability, ac_rates,
+                        ac_steady_state, ac_occupancy)
+from .cet import CetMap, DEFAULT_CET_MAP
+from .stress import StressCondition, StressSegment, total_time, \
+    equivalent_condition
+from .bti import AtomisticBti, BtiParams
+from .engine import AgingModel, age_circuit, age_circuit_schedule, \
+    expected_shifts
+from .duty import nssa_duties, issa_duties, latch_duties, shared_duties, \
+    inverter_duties, AMPLIFY_FRACTION
+from .hci import HciModel, HciParams, HCI_DEFAULT, SA_EVENTS_PER_READ, \
+    reads_from_lifetime, bti_to_hci_ratio
+from .tddb import TddbModel, TddbParams, TDDB_DEFAULT, \
+    tddb_vs_offset_budget
+
+__all__ = [
+    "capture_probability", "emission_probability", "ac_rates",
+    "ac_steady_state", "ac_occupancy",
+    "CetMap", "DEFAULT_CET_MAP",
+    "StressCondition", "StressSegment", "total_time", "equivalent_condition",
+    "AtomisticBti", "BtiParams",
+    "AgingModel", "age_circuit", "age_circuit_schedule", "expected_shifts",
+    "nssa_duties", "issa_duties", "latch_duties", "shared_duties",
+    "inverter_duties", "AMPLIFY_FRACTION",
+    "HciModel", "HciParams", "HCI_DEFAULT", "SA_EVENTS_PER_READ",
+    "reads_from_lifetime", "bti_to_hci_ratio",
+    "TddbModel", "TddbParams", "TDDB_DEFAULT", "tddb_vs_offset_budget",
+]

@@ -1,0 +1,243 @@
+"""Atomistic BTI threshold-shift model.
+
+Each transistor carries a population of gate-oxide defects.  A defect
+that is *occupied* (has captured a carrier) contributes a random
+threshold shift; the device's total shift is the sum over occupied
+defects.  This reproduces the three experimentally observed signatures
+the paper relies on:
+
+1. the **mean** shift grows with stress time, duty factor, temperature
+   and gate bias;
+2. the **variance** of the shift grows with the mean (trap-count
+   statistics), which is why the offset-voltage sigma in Tables II-IV
+   increases with aging for *every* workload, balanced or not;
+3. small devices age more *variably* (per-trap impact scales with
+   1/area).
+
+Structure
+---------
+* Trap time constants come from a :class:`~repro.aging.cet.CetMap`;
+  per-trap occupancy follows the paper's Eq. (1)/(2) generalised to
+  duty-cycled stress (:mod:`repro.aging.occupancy`).
+* The density of *activated* defects scales with temperature
+  (Arrhenius, ``ea_ev``), stress bias (exponential, ``gamma_v``), and a
+  duty-shaping power ``duty_exponent`` that stands in for the
+  capture/emission correlation of measured CET maps (calibrated so the
+  80r0-vs-20r0 mean ratio of Table II is honoured).
+* Per-trap impact is exponentially distributed with mean
+  ``eta0 / area`` (charge-sharing scaling).
+
+The numeric parameter values are frozen in
+:mod:`repro.core.calibration` and documented there against the paper's
+tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import T0, VDD_NOM, arrhenius_factor
+from ..models.temperature import Environment
+from .cet import CetMap, DEFAULT_CET_MAP
+from .occupancy import ac_occupancy
+from .stress import StressCondition, StressSegment
+
+
+@dataclasses.dataclass(frozen=True)
+class BtiParams:
+    """Parameters of the atomistic BTI model for one device polarity.
+
+    Attributes
+    ----------
+    density0:
+        Areal density of activatable defects [1/m^2] at the reference
+        corner (T0, nominal Vdd, duty 1).
+    eta0:
+        Per-trap threshold-impact coefficient [V*m^2]; the mean impact
+        of one trap is ``eta0 / (W*L)``.
+    duty_exponent:
+        Power shaping the activated-defect density with duty factor.
+    ea_ev:
+        Activation energy [eV] of the activated-defect density.
+    gamma_v:
+        Exponential gate-bias acceleration [1/V] of the density.
+    ea_capture_ev:
+        Activation energy [eV] accelerating *capture times* (shifts the
+        CET map left when hot; affects the time-shape only).
+    gamma_capture:
+        Gate-bias acceleration [1/V] of capture times.
+    variance_tempering:
+        Temperature split between trap count and trap impact: the
+        Arrhenius factor ``AF_T`` multiplies the defect density as
+        ``AF_T**(1 + variance_tempering)`` while the per-trap impact
+        shrinks by ``AF_T**variance_tempering``.  The *mean* shift
+        keeps its full Arrhenius acceleration, but the shift *variance*
+        scales only as ``AF_T**(1 - variance_tempering)`` — heat
+        activates many small traps rather than fewer large ones.
+        Calibrated against the sigma columns of Table IV.
+    cet:
+        Capture/emission-time map.
+    """
+
+    density0: float
+    eta0: float
+    duty_exponent: float = 0.2
+    ea_ev: float = 0.08
+    gamma_v: float = 4.5
+    ea_capture_ev: float = 0.3
+    gamma_capture: float = 2.0
+    variance_tempering: float = 0.0
+    cet: CetMap = DEFAULT_CET_MAP
+
+    def __post_init__(self) -> None:
+        if self.density0 < 0.0 or self.eta0 < 0.0:
+            raise ValueError("density0 and eta0 must be non-negative")
+        if self.duty_exponent < 0.0:
+            raise ValueError("duty_exponent must be non-negative")
+
+    def scaled(self, factor: float) -> "BtiParams":
+        """Return a copy with the defect density scaled by ``factor``.
+
+        Used by ablations (e.g. a pessimistic 2x-density corner).
+        """
+        return dataclasses.replace(self, density0=self.density0 * factor)
+
+
+class AtomisticBti:
+    """Samples per-device threshold shifts for one device polarity."""
+
+    def __init__(self, params: BtiParams) -> None:
+        self.params = params
+
+    # -- acceleration factors -------------------------------------------
+
+    def _arrhenius(self, env: Environment) -> float:
+        """Temperature part of the density acceleration."""
+        return arrhenius_factor(self.params.ea_ev, env.temperature_k)
+
+    def activation_factor(self, env: Environment) -> float:
+        """Density multiplier for an environmental corner.
+
+        Includes the variance-tempering boost of the trap count; the
+        matching per-trap impact reduction lives in :meth:`eta_mean`.
+        """
+        p = self.params
+        return (self._arrhenius(env) ** (1.0 + p.variance_tempering)
+                * float(np.exp(p.gamma_v * (env.vdd - VDD_NOM))))
+
+    def capture_acceleration(self, env: Environment) -> float:
+        """Capture-time speed-up for an environmental corner."""
+        p = self.params
+        return (arrhenius_factor(p.ea_capture_ev, env.temperature_k)
+                * float(np.exp(p.gamma_capture * (env.vdd - VDD_NOM))))
+
+    def poisson_mean(self, area_m2: float, duty: float,
+                     env: Environment) -> float:
+        """Expected number of activated defects for one device."""
+        if area_m2 <= 0.0:
+            raise ValueError("device area must be positive")
+        if not 0.0 <= duty <= 1.0:
+            raise ValueError("duty must be within [0, 1]")
+        p = self.params
+        return (p.density0 * area_m2 * duty ** p.duty_exponent
+                * self.activation_factor(env))
+
+    def eta_mean(self, area_m2: float, env: Environment) -> float:
+        """Mean per-trap threshold impact [V] at a corner.
+
+        Shrinks with temperature by ``AF_T**variance_tempering`` —
+        see :class:`BtiParams`.
+        """
+        return (self.params.eta0 / area_m2
+                / self._arrhenius(env) ** self.params.variance_tempering)
+
+    # -- analytic companions --------------------------------------------
+
+    def mean_occupancy(self, stress: StressCondition) -> float:
+        """Mean trap occupancy over the CET map for a stress condition."""
+        if stress.time_s == 0.0 or stress.duty == 0.0:
+            return 0.0
+        return self.params.cet.mean_occupancy(
+            stress.time_s, stress.duty,
+            self.capture_acceleration(stress.env))
+
+    def expected_shift(self, area_m2: float,
+                       stress: StressCondition) -> float:
+        """Expected threshold shift [V] (analytic, no sampling)."""
+        lam = self.poisson_mean(area_m2, stress.duty, stress.env)
+        return (lam * self.mean_occupancy(stress)
+                * self.eta_mean(area_m2, stress.env))
+
+    def expected_sigma(self, area_m2: float,
+                       stress: StressCondition) -> float:
+        """Standard deviation of the shift [V] (compound Poisson).
+
+        With Poisson counts, Bernoulli occupancy and exponential impact,
+        ``var = lambda * p_mean * E[eta^2] = 2 * mean * eta_mean``.
+        """
+        mean = self.expected_shift(area_m2, stress)
+        return float(np.sqrt(2.0 * mean
+                             * self.eta_mean(area_m2, stress.env)))
+
+    # -- sampling --------------------------------------------------------
+
+    def sample_shift(self, area_m2: float, stress: StressCondition,
+                     size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` Monte-Carlo threshold shifts [V] for one device."""
+        if stress.time_s == 0.0 or stress.duty == 0.0:
+            return np.zeros(size)
+        lam = self.poisson_mean(area_m2, stress.duty, stress.env)
+        counts = rng.poisson(lam, size=size)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(size)
+        accel = self.capture_acceleration(stress.env)
+        tau_c, tau_e = self.params.cet.sample(total, rng, accel)
+        prob = ac_occupancy(stress.time_s, stress.duty, tau_c, tau_e)
+        occupied = rng.random(total) < prob
+        eta = rng.exponential(self.eta_mean(area_m2, stress.env),
+                              size=total)
+        contributions = np.where(occupied, eta, 0.0)
+        owner = np.repeat(np.arange(size), counts)
+        return np.bincount(owner, weights=contributions, minlength=size)
+
+    def sample_shift_schedule(self, area_m2: float,
+                              segments: Sequence[StressSegment],
+                              size: int,
+                              rng: np.random.Generator) -> np.ndarray:
+        """Draw shifts for a piecewise stress history.
+
+        Trap occupancies are propagated segment by segment through the
+        duty-cycled master equation, so recovery during low-duty phases
+        is captured (the mechanism the ISSA exploits at trap level).
+        The activated-defect population is drawn for the density-maximal
+        segment; segments only re-weight occupancy.
+        """
+        if not segments:
+            return np.zeros(size)
+        peak = max(segments,
+                   key=lambda seg: self.poisson_mean(
+                       area_m2, max(seg.duty, 1e-12), seg.env))
+        lam = self.poisson_mean(area_m2, max(peak.duty, 1e-12), peak.env)
+        if lam == 0.0:
+            return np.zeros(size)
+        counts = rng.poisson(lam, size=size)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(size)
+        # Base (unaccelerated) time constants; each segment applies its
+        # own capture acceleration.
+        tau_c0, tau_e = self.params.cet.sample(total, rng, 1.0)
+        prob = np.zeros(total)
+        for seg in segments:
+            accel = self.capture_acceleration(seg.env)
+            prob = ac_occupancy(seg.duration_s, seg.duty, tau_c0 / accel,
+                                tau_e, p_initial=prob)
+        occupied = rng.random(total) < prob
+        eta = rng.exponential(self.eta_mean(area_m2, peak.env), size=total)
+        contributions = np.where(occupied, eta, 0.0)
+        owner = np.repeat(np.arange(size), counts)
+        return np.bincount(owner, weights=contributions, minlength=size)

@@ -1,0 +1,122 @@
+"""Per-transistor stress duty factors for the NSSA and ISSA.
+
+The mapping from a read workload to per-device gate-stress duty factors
+follows the paper's Section III discussion:
+
+* In the amplified state of a **read 0**, ``S`` is low and ``SBar``
+  high, so ``Mdown`` (NMOS, gate on ``SBar``) sees positive gate stress
+  (PBTI) and ``MupBar`` (PMOS, gate on ``S``) sees negative gate stress
+  (NBTI); a **read 1** stresses the mirror devices.  This matches the
+  paper: "When mostly zeros (ones) are read, transistors Mdown
+  (MdownBar) and MupBar (Mup) are the most stressed."
+* Stress accrues while the SA is activated; idle intervals contribute
+  relaxation (this is what the paper's activation-rate workload naming
+  encodes — 20r0 ages visibly less than 80r0 although both read only
+  zeros).
+* The shared devices (pass gates, enable header/footer, output
+  inverters) see read-value-independent duties; they do not shift the
+  offset mean but do contribute to the sigma growth and to the delay
+  degradation of *balanced* workloads.
+* The **ISSA** control loop swaps inputs every ``2^(N-1)`` reads, so
+  each latch device experiences the balanced duty ``A/2`` regardless of
+  the read mix; its four pass transistors each serve half the reads.
+
+Device names match the netlists in :mod:`repro.circuits.sense_amp`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..workloads import Workload
+
+#: Fraction of an activated read cycle spent with the SA enabled
+#: (amplify phase); the remainder is the develop phase.
+AMPLIFY_FRACTION = 0.5
+
+
+def latch_duties(activation_rate: float, zero_fraction: float,
+                 ) -> Dict[str, float]:
+    """Duty factors of the cross-coupled latch devices."""
+    a = activation_rate
+    f0 = zero_fraction
+    f1 = 1.0 - zero_fraction
+    return {
+        "Mdown": a * f0,      # NMOS, gate = SBar (high while reading 0)
+        "MdownBar": a * f1,   # NMOS, gate = S
+        "Mup": a * f1,        # PMOS, gate = SBar (low while reading 1)
+        "MupBar": a * f0,     # PMOS, gate = S
+    }
+
+
+def shared_duties(activation_rate: float) -> Dict[str, float]:
+    """Duty factors of the read-value-independent devices."""
+    a = activation_rate
+    amplify = AMPLIFY_FRACTION * a
+    return {
+        # PMOS pass gates conduct (gate low -> NBTI stress) whenever the
+        # SA is not amplifying.
+        "Mpass": 1.0 - amplify,
+        "MpassBar": 1.0 - amplify,
+        # Enable header (PMOS, gate = SAenablebar) and footer (NMOS,
+        # gate = SAenable) are stressed during the amplify phase only.
+        "Mtop": amplify,
+        "Mbottom": amplify,
+    }
+
+
+def inverter_duties(activation_rate: float, zero_fraction: float,
+                    ) -> Dict[str, float]:
+    """Duty factors of the output inverters (inputs S and SBar)."""
+    a = activation_rate
+    f0 = zero_fraction
+    f1 = 1.0 - zero_fraction
+    return {
+        # Inverter S -> Outbar: NMOS stressed while S is high (read 1).
+        "MinvOutbarN": a * f1,
+        "MinvOutbarP": a * f0,
+        # Inverter SBar -> Out: NMOS stressed while SBar is high (read 0).
+        "MinvOutN": a * f0,
+        "MinvOutP": a * f1,
+    }
+
+
+def nssa_duties(workload: Workload) -> Dict[str, float]:
+    """Per-device duty factors of the standard (non-switching) SA."""
+    duties = latch_duties(workload.activation_rate, workload.zero_fraction)
+    duties.update(shared_duties(workload.activation_rate))
+    duties.update(inverter_duties(workload.activation_rate,
+                                  workload.zero_fraction))
+    return duties
+
+
+def issa_duties(workload: Workload,
+                residual_imbalance: float = 0.0) -> Dict[str, float]:
+    """Per-device duty factors of the input-switching SA.
+
+    Parameters
+    ----------
+    workload:
+        The *external* workload; the control loop balances it at the
+        internal nodes.
+    residual_imbalance:
+        Leftover internal zero/one imbalance (0 for an ideal switching
+        scheme; ablations inject non-zero values to study imperfect
+        balancing, e.g. pathological read streams correlated with the
+        counter period).
+    """
+    if not -1.0 <= residual_imbalance <= 1.0:
+        raise ValueError("residual imbalance must be within [-1, 1]")
+    balanced = workload.balanced()
+    internal_zero_fraction = 0.5 * (1.0 + residual_imbalance)
+    duties = latch_duties(balanced.activation_rate, internal_zero_fraction)
+    duties.update(shared_duties(balanced.activation_rate))
+    duties.update(inverter_duties(balanced.activation_rate,
+                                  internal_zero_fraction))
+    # The original pass gates now serve only the non-switched half of
+    # the reads; the added pair M3/M4 serves the other half.
+    pass_duty = 0.5 * duties.pop("Mpass")
+    duties.pop("MpassBar")
+    duties.update({"M1": pass_duty, "M2": pass_duty,
+                   "M3": pass_duty, "M4": pass_duty})
+    return duties

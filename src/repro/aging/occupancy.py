@@ -1,0 +1,105 @@
+"""Trap capture/emission occupancy — Eq. (1)/(2) of the paper.
+
+The atomistic BTI model of Kaczer et al. treats each gate-oxide defect
+as a two-state system with mean capture time ``tau_c`` (while stressed)
+and mean emission time ``tau_e``.  The paper quotes the occupation
+probabilities after a pure stress or pure relaxation interval
+(its Eq. (1) and (2), from Toledano-Luque et al.):
+
+    P_C(t) = tau_e/(tau_c+tau_e) * (1 - exp(-(1/tau_e + 1/tau_c) t))
+    P_E(t) = tau_c/(tau_c+tau_e) * (1 - exp(-(1/tau_e + 1/tau_c) t))
+
+Real workloads alternate stress and relaxation far faster than the trap
+time constants, so we also provide the standard duty-cycle-averaged
+two-state Markov solution: with stress duty factor ``D`` the effective
+capture rate is ``D/tau_c`` while emission (active in both phases, as
+in Eq. (1)/(2)) proceeds at ``1/tau_e``; the occupancy then relaxes
+exponentially toward ``P_inf = (D/tau_c) / (D/tau_c + 1/tau_e)``.
+At ``D = 1`` this reduces exactly to Eq. (1).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def _validate_taus(tau_c: ArrayLike, tau_e: ArrayLike) -> Tuple[np.ndarray,
+                                                                np.ndarray]:
+    tc = np.asarray(tau_c, dtype=float)
+    te = np.asarray(tau_e, dtype=float)
+    if np.any(tc <= 0.0) or np.any(te <= 0.0):
+        raise ValueError("tau_c and tau_e must be positive")
+    return tc, te
+
+
+def capture_probability(t_stress: ArrayLike, tau_c: ArrayLike,
+                        tau_e: ArrayLike) -> np.ndarray:
+    """Eq. (1): probability a trap is captured after DC stress."""
+    tc, te = _validate_taus(tau_c, tau_e)
+    t = np.asarray(t_stress, dtype=float)
+    if np.any(t < 0.0):
+        raise ValueError("stress time must be non-negative")
+    rate = 1.0 / tc + 1.0 / te
+    return te / (tc + te) * -np.expm1(-rate * t)
+
+
+def emission_probability(t_relax: ArrayLike, tau_c: ArrayLike,
+                         tau_e: ArrayLike) -> np.ndarray:
+    """Eq. (2): probability a captured trap has emitted after relaxation."""
+    tc, te = _validate_taus(tau_c, tau_e)
+    t = np.asarray(t_relax, dtype=float)
+    if np.any(t < 0.0):
+        raise ValueError("relaxation time must be non-negative")
+    rate = 1.0 / tc + 1.0 / te
+    return tc / (tc + te) * -np.expm1(-rate * t)
+
+
+def ac_rates(duty: ArrayLike, tau_c: ArrayLike,
+             tau_e: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Duty-averaged (capture, emission) rates [1/s].
+
+    Capture only proceeds during the stressed fraction ``duty``;
+    emission proceeds in both phases (consistent with the rate structure
+    of Eq. (1)/(2)).
+    """
+    tc, te = _validate_taus(tau_c, tau_e)
+    d = np.asarray(duty, dtype=float)
+    if np.any(d < 0.0) or np.any(d > 1.0):
+        raise ValueError("duty must be within [0, 1]")
+    return d / tc, 1.0 / te
+
+
+def ac_steady_state(duty: ArrayLike, tau_c: ArrayLike,
+                    tau_e: ArrayLike) -> np.ndarray:
+    """Asymptotic occupancy under duty-cycled stress.
+
+    ``P_inf = k_c / (k_c + k_e)``; equals Eq. (1)'s prefactor at
+    ``duty = 1`` and 0 at ``duty = 0``.
+    """
+    k_c, k_e = ac_rates(duty, tau_c, tau_e)
+    total = k_c + k_e
+    return np.divide(k_c, total, out=np.zeros_like(np.asarray(total, float)),
+                     where=total > 0.0)
+
+
+def ac_occupancy(time_s: ArrayLike, duty: ArrayLike, tau_c: ArrayLike,
+                 tau_e: ArrayLike, p_initial: ArrayLike = 0.0) -> np.ndarray:
+    """Occupancy after ``time_s`` of duty-cycled stress.
+
+    ``P(t) = P_inf + (P0 - P_inf) * exp(-(k_c + k_e) t)``.
+
+    ``p_initial`` lets callers chain stress segments (workload phases,
+    DVFS epochs): the occupancy at the end of one segment seeds the
+    next.
+    """
+    t = np.asarray(time_s, dtype=float)
+    if np.any(t < 0.0):
+        raise ValueError("time must be non-negative")
+    k_c, k_e = ac_rates(duty, tau_c, tau_e)
+    p_inf = ac_steady_state(duty, tau_c, tau_e)
+    p0 = np.asarray(p_initial, dtype=float)
+    return p_inf + (p0 - p_inf) * np.exp(-(k_c + k_e) * t)

@@ -1,0 +1,83 @@
+"""Stress-condition descriptions for aging analysis.
+
+A :class:`StressCondition` bundles everything the BTI model needs to
+age one transistor: how long the device has been in the field, which
+fraction of that time its gate was stressed, and the environmental
+corner (temperature, supply).  :class:`StressSegment` sequences support
+piecewise lifetimes (workload phases, DVFS epochs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Tuple
+
+from ..models.temperature import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class StressCondition:
+    """A single uniform stress interval.
+
+    Attributes
+    ----------
+    time_s:
+        Total elapsed stress time [s].
+    duty:
+        Fraction of time the gate is under stress bias (0..1).
+    env:
+        Environmental corner (temperature, Vdd).  The stress gate bias
+        is the corner's supply voltage.
+    """
+
+    time_s: float
+    duty: float
+    env: Environment = dataclasses.field(default_factory=Environment.nominal)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0.0:
+            raise ValueError("stress time must be non-negative")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty must be within [0, 1]")
+
+    def with_duty(self, duty: float) -> "StressCondition":
+        """Same time and corner with a different duty factor."""
+        return StressCondition(self.time_s, duty, self.env)
+
+
+@dataclasses.dataclass(frozen=True)
+class StressSegment:
+    """One segment of a piecewise stress history."""
+
+    duration_s: float
+    duty: float
+    env: Environment = dataclasses.field(default_factory=Environment.nominal)
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0.0:
+            raise ValueError("segment duration must be non-negative")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty must be within [0, 1]")
+
+
+def total_time(segments: Sequence[StressSegment]) -> float:
+    """Total duration of a stress history [s]."""
+    return float(sum(seg.duration_s for seg in segments))
+
+
+def equivalent_condition(segments: Sequence[StressSegment],
+                         ) -> StressCondition:
+    """Duration-weighted single-segment approximation of a history.
+
+    Useful as a sanity baseline against the exact piecewise
+    propagation; the duty is time-averaged and the corner is taken from
+    the longest segment.
+    """
+    if not segments:
+        raise ValueError("history must contain at least one segment")
+    total = total_time(segments)
+    if total == 0.0:
+        return StressCondition(0.0, 0.0, segments[0].env)
+    duty = sum(seg.duration_s * seg.duty for seg in segments) / total
+    longest = max(segments, key=lambda seg: seg.duration_s)
+    return StressCondition(total, duty, longest.env)

@@ -1,0 +1,119 @@
+"""Time-dependent dielectric breakdown (TDDB) model.
+
+The third aging mechanism the paper names (Sec. II-A).  TDDB is a
+*catastrophic* failure mode — a gate-oxide percolation path shorts the
+gate — so unlike BTI/HCI it contributes a hard failure probability
+rather than a parametric shift.  The standard model is Weibull in time
+with exponential field acceleration and Poisson area scaling:
+
+    P_fail(t) = 1 - exp(-(t / eta)**beta)
+    eta(E, T, A) = eta0 * exp(-gamma_e * E) * arrhenius(-ea, T)
+                   * (A_ref / A)**(1/beta)
+
+Exposed here so the memory-level analyses can check that the SA's
+offset-driven failure rate (Eq. 3's 1e-9 budget) is not swamped by
+oxide wear-out over the same 1e8 s horizon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable
+
+from ..constants import arrhenius_factor
+from ..models.temperature import Environment
+
+
+@dataclasses.dataclass(frozen=True)
+class TddbParams:
+    """Weibull TDDB parameters.
+
+    Attributes
+    ----------
+    eta0:
+        Characteristic life [s] at the reference field/temperature for
+        the reference area.
+    beta:
+        Weibull shape (~1-2 for thin oxides).
+    gamma_e:
+        Field acceleration [cm/MV as 1/(V/nm) here: per (V/nm)].
+    ea_ev:
+        Activation energy [eV] (breakdown accelerates when hot).
+    tox_nm:
+        Oxide thickness [nm] converting Vdd to field.
+    area_ref_m2:
+        Reference gate area [m^2].
+    """
+
+    eta0: float = 3e17
+    beta: float = 1.4
+    gamma_e: float = 8.0
+    ea_ev: float = 0.6
+    tox_nm: float = 1.1
+    area_ref_m2: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.eta0 <= 0.0 or self.beta <= 0.0:
+            raise ValueError("eta0 and beta must be positive")
+        if self.tox_nm <= 0.0 or self.area_ref_m2 <= 0.0:
+            raise ValueError("tox and reference area must be positive")
+
+
+TDDB_DEFAULT = TddbParams()
+
+
+class TddbModel:
+    """Weibull breakdown-probability evaluator."""
+
+    def __init__(self, params: TddbParams = TDDB_DEFAULT) -> None:
+        self.params = params
+
+    def field_v_per_nm(self, env: Environment) -> float:
+        """Oxide field [V/nm] at a corner."""
+        return env.vdd / self.params.tox_nm
+
+    def characteristic_life(self, env: Environment,
+                            area_m2: float) -> float:
+        """Weibull eta [s] for one device at a corner."""
+        if area_m2 <= 0.0:
+            raise ValueError("area must be positive")
+        p = self.params
+        field_ref = 1.0 / p.tox_nm  # 1.0 V nominal supply
+        accel = math.exp(-p.gamma_e
+                         * (self.field_v_per_nm(env) - field_ref))
+        thermal = 1.0 / arrhenius_factor(p.ea_ev, env.temperature_k)
+        area_scale = (p.area_ref_m2 / area_m2) ** (1.0 / p.beta)
+        return p.eta0 * accel * thermal * area_scale
+
+    def failure_probability(self, time_s: float, env: Environment,
+                            area_m2: float) -> float:
+        """P(breakdown before ``time_s``) for one device."""
+        if time_s < 0.0:
+            raise ValueError("time must be non-negative")
+        if time_s == 0.0:
+            return 0.0
+        eta = self.characteristic_life(env, area_m2)
+        return -math.expm1(-(time_s / eta) ** self.params.beta)
+
+    def circuit_failure_probability(self, time_s: float,
+                                    env: Environment,
+                                    areas_m2: Iterable[float]) -> float:
+        """P(any device breaks down) — independent Weibull devices."""
+        survival = 1.0
+        for area in areas_m2:
+            survival *= 1.0 - self.failure_probability(time_s, env, area)
+        return 1.0 - survival
+
+
+def tddb_vs_offset_budget(tddb_probability: float,
+                          offset_failure_rate: float = 1e-9) -> float:
+    """Ratio of oxide-breakdown risk to the Eq.-3 offset budget.
+
+    A ratio well below 1 validates the paper's implicit premise that
+    the offset specification, not oxide wear-out, is the binding
+    reliability constraint over the evaluated lifetime.
+    """
+    if offset_failure_rate <= 0.0:
+        raise ValueError("offset failure rate must be positive")
+    return tddb_probability / offset_failure_rate

@@ -1,0 +1,63 @@
+"""Failure-rate / sigma-level conversions (Eq. 3 machinery).
+
+The paper's offset-voltage specification is defined through Eq. (3):
+an SA instance fails if its required input offset lies outside
+``[-Voffset, +Voffset]``; the specification is the ``Voffset`` at which
+the failure probability equals the target rate (1e-9), evaluated under
+the fitted normal offset distribution.
+"""
+
+from __future__ import annotations
+
+from scipy import optimize, stats as scipy_stats
+
+from ..constants import FAILURE_RATE_TARGET
+
+
+def sigma_level(failure_rate: float) -> float:
+    """Two-sided sigma multiplier for a centred distribution.
+
+    For ``mu = 0`` Eq. (3) reduces to ``2*Phi(-z) = fr``; the paper
+    quotes ``z = 6.1`` for ``fr = 1e-9``.
+    """
+    if not 0.0 < failure_rate < 1.0:
+        raise ValueError("failure rate must be in (0, 1)")
+    return float(-scipy_stats.norm.ppf(failure_rate / 2.0))
+
+
+def failure_rate_at(voffset: float, mu: float, sigma: float) -> float:
+    """Failure probability of Eq. (3) for a given spec and distribution."""
+    if sigma <= 0.0:
+        raise ValueError("sigma must be positive")
+    if voffset < 0.0:
+        raise ValueError("voffset must be non-negative")
+    upper = scipy_stats.norm.cdf((voffset - mu) / sigma)
+    lower = scipy_stats.norm.cdf((-voffset - mu) / sigma)
+    return float(1.0 - (upper - lower))
+
+
+def offset_spec(mu: float, sigma: float,
+                failure_rate: float = FAILURE_RATE_TARGET) -> float:
+    """Solve Eq. (3) numerically for the offset-voltage specification.
+
+    Returns the smallest ``Voffset`` whose failure probability does not
+    exceed ``failure_rate``.  For ``mu = 0`` this equals
+    ``sigma_level(fr) * sigma`` (~6.1 sigma at 1e-9); for shifted
+    distributions the far tail dominates and the spec approaches
+    ``|mu| + z1 * sigma`` with the one-sided ``z1``.
+    """
+    if sigma <= 0.0:
+        raise ValueError("sigma must be positive")
+    if not 0.0 < failure_rate < 1.0:
+        raise ValueError("failure rate must be in (0, 1)")
+    z_two_sided = sigma_level(failure_rate)
+    upper = abs(mu) + (z_two_sided + 1.0) * sigma
+
+    def excess(voffset: float) -> float:
+        return failure_rate_at(voffset, mu, sigma) - failure_rate
+
+    if excess(upper) > 0.0:
+        # Pathological target; widen until bracketed.
+        while excess(upper) > 0.0:
+            upper *= 2.0
+    return float(optimize.brentq(excess, 0.0, upper, xtol=1e-9))

@@ -1,0 +1,123 @@
+"""Figure-series extraction and ASCII rendering.
+
+The paper's Figures 4-6 plot, per experiment condition, the offset
+distribution's mean and its +-6 sigma bar; Figure 7 plots mean sensing
+delay versus stress time.  These helpers turn
+:class:`~repro.core.experiment.CellResult` lists into those series and
+render them as aligned text for terminal reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionBar:
+    """One bar of Figures 4-6: mean and +-k*sigma extent [mV]."""
+
+    label: str
+    mu_mv: float
+    sigma_mv: float
+    k: float = 6.0
+
+    @property
+    def low_mv(self) -> float:
+        return self.mu_mv - self.k * self.sigma_mv
+
+    @property
+    def high_mv(self) -> float:
+        return self.mu_mv + self.k * self.sigma_mv
+
+
+@dataclasses.dataclass(frozen=True)
+class DelaySeries:
+    """One curve of Figure 7: mean delay versus stress time."""
+
+    label: str
+    times_s: Tuple[float, ...]
+    delays_ps: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.delays_ps):
+            raise ValueError("times and delays must have equal length")
+
+    def at(self, time_s: float) -> float:
+        """Delay at an exact sampled time."""
+        for t, d in zip(self.times_s, self.delays_ps):
+            if t == time_s:
+                return d
+        raise KeyError(f"time {time_s} not sampled in series {self.label}")
+
+
+def render_bars(bars: Sequence[DistributionBar], width: int = 61,
+                span_mv: float = 220.0) -> str:
+    """ASCII rendering of distribution bars (Figures 4-6 style).
+
+    Each bar renders as ``|----x----|`` over a symmetric +-span axis,
+    mirroring the paper's +-220 mV plots.
+    """
+    if width < 11 or width % 2 == 0:
+        raise ValueError("width must be an odd number >= 11")
+    lines = []
+    centre = width // 2
+
+    def column(value_mv: float) -> int:
+        frac = (value_mv + span_mv) / (2.0 * span_mv)
+        return int(round(np.clip(frac, 0.0, 1.0) * (width - 1)))
+
+    label_width = max((len(b.label) for b in bars), default=0)
+    for bar in bars:
+        canvas = [" "] * width
+        canvas[centre] = "."
+        lo, hi, mid = (column(bar.low_mv), column(bar.high_mv),
+                       column(bar.mu_mv))
+        for position in range(lo, hi + 1):
+            canvas[position] = "-"
+        canvas[lo] = "|"
+        canvas[hi] = "|"
+        canvas[mid] = "x"
+        lines.append(f"{bar.label.ljust(label_width)} "
+                     f"[{''.join(canvas)}]  "
+                     f"mu={bar.mu_mv:+7.2f}mV sig={bar.sigma_mv:5.2f}mV")
+    axis = (f"{' ' * label_width} "
+            f"[{('-' + str(int(span_mv))).rjust(6)}"
+            f"{'0'.center(width - 12)}{('+' + str(int(span_mv))).ljust(6)}]")
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_delay_series(series: Sequence[DelaySeries]) -> str:
+    """Aligned text table of Figure-7 delay curves."""
+    if not series:
+        return "(no series)"
+    times = series[0].times_s
+    for s in series:
+        if s.times_s != times:
+            raise ValueError("all series must share the same time grid")
+    header = ["t [s]"] + [s.label for s in series]
+    rows = []
+    for index, t in enumerate(times):
+        rows.append([f"{t:.0e}" if t > 0 else "0"]
+                    + [f"{s.delays_ps[index]:.2f}" for s in series])
+    from .tables import format_table
+    return format_table(header, rows)
+
+
+def crossover_time(reference: DelaySeries, other: DelaySeries,
+                   ) -> Optional[float]:
+    """First sampled time at which ``other`` beats ``reference``.
+
+    Used for the Figure-7 claim that the aged NSSA's delay eventually
+    exceeds the ISSA's.  Returns None if no crossover is observed.
+    """
+    if reference.times_s != other.times_s:
+        raise ValueError("series must share the same time grid")
+    for t, d_ref, d_other in zip(reference.times_s, reference.delays_ps,
+                                 other.delays_ps):
+        if d_other < d_ref:
+            return t
+    return None

@@ -1,0 +1,110 @@
+"""ASCII histograms and quantile diagnostics for Monte-Carlo samples.
+
+Terminal-friendly companions to the distribution-bar plots: a binned
+histogram renderer for offset populations and a normal quantile check
+(how Gaussian the binary-search offsets really are — the paper's Eq.-3
+machinery assumes normality, and this makes the assumption testable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclasses.dataclass(frozen=True)
+class Histogram:
+    """A binned sample distribution."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def mode_bin(self) -> Tuple[float, float]:
+        """Edges of the most populated bin."""
+        k = int(np.argmax(self.counts))
+        return float(self.edges[k]), float(self.edges[k + 1])
+
+
+def histogram(samples: np.ndarray, bins: int = 20) -> Histogram:
+    """Bin finite samples into an equal-width histogram."""
+    values = np.asarray(samples, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("no finite samples to bin")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    counts, edges = np.histogram(values, bins=bins)
+    return Histogram(edges=edges, counts=counts)
+
+
+def render_histogram(samples: np.ndarray, bins: int = 20,
+                     width: int = 50, unit_scale: float = 1e3,
+                     unit: str = "mV") -> str:
+    """Render samples as a horizontal-bar ASCII histogram.
+
+    ``unit_scale`` converts sample units for the labels (default V to
+    mV, matching the paper's figures).
+    """
+    if width < 5:
+        raise ValueError("width must be at least 5")
+    hist = histogram(samples, bins)
+    peak = max(int(hist.counts.max()), 1)
+    lines: List[str] = []
+    for k, count in enumerate(hist.counts):
+        low = hist.edges[k] * unit_scale
+        high = hist.edges[k + 1] * unit_scale
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{low:+8.1f}..{high:+8.1f} {unit} |"
+                     f"{bar.ljust(width)}| {count}")
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalityCheck:
+    """Result of a normality diagnostic on a sample population.
+
+    Attributes
+    ----------
+    statistic / p_value:
+        Shapiro-Wilk test output.
+    quantile_correlation:
+        Correlation of the sample quantiles against normal quantiles
+        (a Q-Q straightness score; 1.0 = perfectly normal).
+    """
+
+    statistic: float
+    p_value: float
+    quantile_correlation: float
+
+    @property
+    def looks_normal(self) -> bool:
+        """Permissive verdict for Eq.-3 use (alpha = 1 %)."""
+        return self.p_value > 0.01 and self.quantile_correlation > 0.98
+
+
+def check_normality(samples: np.ndarray) -> NormalityCheck:
+    """Shapiro-Wilk + Q-Q correlation diagnostic.
+
+    The paper asserts "the offset voltage of SAs typically follows a
+    normal distribution"; this check validates that claim on our
+    extracted populations (see the integration tests).
+    """
+    values = np.asarray(samples, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size < 8:
+        raise ValueError("need at least 8 samples for the diagnostic")
+    statistic, p_value = scipy_stats.shapiro(values)
+    ordered = np.sort(values)
+    probs = (np.arange(values.size) + 0.5) / values.size
+    theoretical = scipy_stats.norm.ppf(probs)
+    corr = float(np.corrcoef(ordered, theoretical)[0, 1])
+    return NormalityCheck(statistic=float(statistic),
+                          p_value=float(p_value),
+                          quantile_correlation=corr)

@@ -1,0 +1,72 @@
+"""Distribution statistics for Monte-Carlo results."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalFit:
+    """Sample mean / standard deviation of a Monte-Carlo population.
+
+    Attributes
+    ----------
+    mu:
+        Sample mean.
+    sigma:
+        Sample standard deviation (ddof = 1).
+    count:
+        Number of valid samples.
+    """
+
+    mu: float
+    sigma: float
+    count: int
+
+    @property
+    def mu_stderr(self) -> float:
+        """Standard error of the mean estimate."""
+        if self.count <= 0:
+            return float("nan")
+        return self.sigma / math.sqrt(self.count)
+
+    @property
+    def sigma_stderr(self) -> float:
+        """Approximate standard error of the sigma estimate."""
+        if self.count <= 1:
+            return float("nan")
+        return self.sigma / math.sqrt(2.0 * (self.count - 1))
+
+    def six_sigma_interval(self, k: float = 6.0) -> Tuple[float, float]:
+        """``(mu - k*sigma, mu + k*sigma)`` — the bars of Figures 4-6."""
+        return self.mu - k * self.sigma, self.mu + k * self.sigma
+
+
+def fit_normal(samples: np.ndarray) -> NormalFit:
+    """Fit a normal distribution to samples, ignoring NaNs.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two valid samples remain.
+    """
+    values = np.asarray(samples, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size < 2:
+        raise ValueError(
+            f"need at least 2 valid samples, got {values.size}")
+    return NormalFit(mu=float(np.mean(values)),
+                     sigma=float(np.std(values, ddof=1)),
+                     count=int(values.size))
+
+
+def valid_fraction(samples: np.ndarray) -> float:
+    """Fraction of samples that are finite (resolved)."""
+    values = np.asarray(samples, dtype=float)
+    if values.size == 0:
+        return 0.0
+    return float(np.mean(np.isfinite(values)))

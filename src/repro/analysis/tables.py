@@ -1,0 +1,67 @@
+"""Table formatting: paper-style rows with paper-vs-measured columns."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .reference import RowValue
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    materialised: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(widths):
+            raise ValueError("row length does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}"
+
+
+def comparison_row(scheme: str, time_s: float, workload: str,
+                   corner_label: str,
+                   measured: Tuple[float, float, float, float],
+                   paper: Optional[RowValue]) -> List[str]:
+    """One paper-vs-measured row: mu / sigma / spec / delay pairs."""
+    mu, sigma, spec, delay = measured
+    cells = [scheme.upper(),
+             "0" if time_s == 0.0 else f"{time_s:.0e}",
+             workload, corner_label,
+             _fmt(mu, 2), _fmt(sigma, 2), _fmt(spec), _fmt(delay, 2)]
+    if paper is None:
+        cells.extend(["-", "-", "-", "-"])
+    else:
+        p_mu, p_sigma, p_spec, p_delay = paper
+        cells.extend([_fmt(p_mu, 2), _fmt(p_sigma, 2), _fmt(p_spec),
+                      _fmt(p_delay, 2)])
+    return cells
+
+
+COMPARISON_HEADERS = (
+    "scheme", "time[s]", "workload", "corner",
+    "mu[mV]", "sig[mV]", "spec[mV]", "delay[ps]",
+    "paper mu", "paper sig", "paper spec", "paper delay",
+)
+
+
+def render_comparison(rows: Iterable[List[str]]) -> str:
+    """Render a full paper-vs-measured table."""
+    return format_table(COMPARISON_HEADERS, rows)
+
+
+def relative_error(measured: float, paper: float) -> float:
+    """Relative deviation from the paper value (paper as reference)."""
+    if paper == 0.0:
+        raise ValueError("paper reference value is zero")
+    return (measured - paper) / abs(paper)

@@ -1,0 +1,124 @@
+"""Multi-column sense-amplifier array with shared control.
+
+The paper's overhead argument (Sec. IV-C) rests on one control block —
+counter plus gates — serving *many* SA columns.  This module builds
+that structure at netlist level: ``m`` ISSA columns instantiated from a
+subcircuit template, all pass-gate enables driven by the same
+``saena``/``saenb`` rails (Figure 3's "ISSA1 … ISSAm").
+
+It demonstrates two things the single-SA experiments cannot:
+
+* electrical sharing is sound — columns resolve independently while
+  the enable rails switch them together;
+* per-column mismatch stays independent after flattening (device names
+  are instance-prefixed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from ..constants import VDD_NOM
+from ..models.mosmodel import MosParams
+from ..models.ptm45 import NMOS_45HP, PMOS_45HP
+from ..spice.netlist import Circuit
+from ..spice.subckt import SubCircuit, instantiate
+from ..spice.waveforms import Dc
+from .sense_amp import (NODE_CAP, OUTPUT_LOAD_CAP, RATIO_BOTTOM,
+                        RATIO_DOWN, RATIO_INV_N, RATIO_INV_P, RATIO_PASS,
+                        RATIO_TOP, RATIO_UP)
+
+
+def issa_column_template(nmos: MosParams = NMOS_45HP,
+                         pmos: MosParams = PMOS_45HP) -> SubCircuit:
+    """One ISSA column as a subcircuit.
+
+    Ports: ``vdd, bl, blbar, saen, saenbar, saena, saenb, out,
+    outbar``.  Internal nodes (s, sbar, top, bot) are private per
+    instance.
+    """
+    sub = SubCircuit("issa_column",
+                     ["vdd", "bl", "blbar", "saen", "saenbar", "saena",
+                      "saenb", "out", "outbar"])
+    c = sub.circuit
+    c.add_mosfet("M1", "s", "saena", "bl", "vdd", pmos, RATIO_PASS)
+    c.add_mosfet("M2", "sbar", "saena", "blbar", "vdd", pmos, RATIO_PASS)
+    c.add_mosfet("M3", "s", "saenb", "blbar", "vdd", pmos, RATIO_PASS)
+    c.add_mosfet("M4", "sbar", "saenb", "bl", "vdd", pmos, RATIO_PASS)
+    c.add_mosfet("Mtop", "top", "saenbar", "vdd", "vdd", pmos, RATIO_TOP)
+    c.add_mosfet("Mup", "s", "sbar", "top", "vdd", pmos, RATIO_UP)
+    c.add_mosfet("MupBar", "sbar", "s", "top", "vdd", pmos, RATIO_UP)
+    c.add_mosfet("Mdown", "s", "sbar", "bot", "0", nmos, RATIO_DOWN)
+    c.add_mosfet("MdownBar", "sbar", "s", "bot", "0", nmos, RATIO_DOWN)
+    c.add_mosfet("Mbottom", "bot", "saen", "0", "0", nmos, RATIO_BOTTOM)
+    c.add_capacitor("Cs", "s", "0", NODE_CAP)
+    c.add_capacitor("Csbar", "sbar", "0", NODE_CAP)
+    c.add_mosfet("MinvOutP", "out", "sbar", "vdd", "vdd", pmos,
+                 RATIO_INV_P)
+    c.add_mosfet("MinvOutN", "out", "sbar", "0", "0", nmos, RATIO_INV_N)
+    c.add_mosfet("MinvOutbarP", "outbar", "s", "vdd", "vdd", pmos,
+                 RATIO_INV_P)
+    c.add_mosfet("MinvOutbarN", "outbar", "s", "0", "0", nmos,
+                 RATIO_INV_N)
+    c.add_capacitor("Cout", "out", "0", OUTPUT_LOAD_CAP)
+    c.add_capacitor("Coutbar", "outbar", "0", OUTPUT_LOAD_CAP)
+    return sub
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnArray:
+    """A flattened multi-column array.
+
+    Attributes
+    ----------
+    circuit:
+        The flattened netlist.
+    columns:
+        Per-column name prefixes (``col0``, ``col1``, ...).
+    """
+
+    circuit: Circuit
+    columns: Sequence[str]
+
+    def column_node(self, column: int, node: str) -> str:
+        """Flattened name of a column-internal node."""
+        return f"X{self.columns[column]}.{node}"
+
+    def column_device(self, column: int, device: str) -> str:
+        """Flattened name of a column-internal device."""
+        return f"X{self.columns[column]}.{device}"
+
+    def output_nodes(self, column: int):
+        return (f"out{column}", f"outbar{column}")
+
+
+def build_sa_column_array(n_columns: int,
+                          nmos: MosParams = NMOS_45HP,
+                          pmos: MosParams = PMOS_45HP) -> ColumnArray:
+    """Build ``n_columns`` ISSA columns sharing one enable/control rail.
+
+    Each column gets its own bitline pair (``bl<i>``/``blbar<i>``) and
+    outputs; the ``saen/saenbar/saena/saenb`` rails — the wires the
+    shared Figure-3 control block drives — are common.
+    """
+    if n_columns < 1:
+        raise ValueError("need at least one column")
+    template = issa_column_template(nmos, pmos)
+    circuit = Circuit(f"issa_array_{n_columns}")
+    for node in ("vdd", "saen", "saenbar", "saena", "saenb"):
+        circuit.add_vsource(f"V{node}", node, Dc(VDD_NOM))
+    columns: List[str] = []
+    for index in range(n_columns):
+        name = f"col{index}"
+        columns.append(name)
+        bl, blbar = f"bl{index}", f"blbar{index}"
+        circuit.add_vsource(f"V{bl}", bl, Dc(VDD_NOM))
+        circuit.add_vsource(f"V{blbar}", blbar, Dc(VDD_NOM))
+        instantiate(circuit, template, name, {
+            "vdd": "vdd", "bl": bl, "blbar": blbar,
+            "saen": "saen", "saenbar": "saenbar",
+            "saena": "saena", "saenb": "saenb",
+            "out": f"out{index}", "outbar": f"outbar{index}",
+        })
+    return ColumnArray(circuit=circuit, columns=tuple(columns))

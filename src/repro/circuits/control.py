@@ -1,0 +1,162 @@
+"""ISSA control logic (paper Figure 3 / Table I).
+
+An N-bit read counter (clocked by reads, gated by ``read_enable``)
+produces the ``Switch`` signal from its most significant bit; two NAND
+gates derive the pass-gate enables from ``SAenablebar`` and
+``Switch``/``SwitchBar``::
+
+    SAenableA = NAND(SAenablebar, SwitchBar)   # straight pair M1/M2
+    SAenableB = NAND(SAenablebar, Switch)      # swapped  pair M3/M4
+
+Both enables are active low, so the non-selected pair's enable is held
+high — exactly Table I.  With the paper's 8-bit counter the inputs swap
+every 128 reads.
+
+Two views are provided:
+
+* :class:`ControlLogicGateLevel` — the actual gate-level netlist run on
+  the event-driven simulator (used to *verify* Table I);
+* :class:`IssaController` — a cycle-accurate behavioural model used by
+  the workload-balancing analyses, cross-checked against the gate
+  level in the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..digital.counter import build_ripple_counter
+from ..digital.signals import HIGH, LOW
+from ..digital.simulator import LogicCircuit, LogicSimulator
+
+#: Counter width used by the paper's case study.
+PAPER_COUNTER_BITS = 8
+
+
+class ControlLogicGateLevel:
+    """Gate-level Figure-3 control logic.
+
+    Drives an internal N-bit ripple counter with read pulses and
+    evaluates the two NAND gates; exposes (SAenableA, SAenableB) for a
+    given ``SAenablebar`` level so Table I can be checked directly.
+    """
+
+    def __init__(self, bits: int = PAPER_COUNTER_BITS) -> None:
+        self.bits = bits
+        circuit = LogicCircuit("issa_control")
+        circuit.add_input("clk")
+        circuit.add_input("read_enable")
+        circuit.add_input("reset")
+        circuit.add_input("saenbar")
+        counter_bits = build_ripple_counter(circuit, bits, "clk",
+                                            "read_enable", "reset")
+        switch = counter_bits[-1]
+        circuit.add_gate("not", "inv_switch", [switch], "switchbar")
+        circuit.add_gate("nand", "nand_a", ["saenbar", "switchbar"],
+                         "saena")
+        circuit.add_gate("nand", "nand_b", ["saenbar", switch], "saenb")
+        self.circuit = circuit
+        self.switch_net = switch
+        self.sim = LogicSimulator(circuit)
+        for net, value in (("clk", LOW), ("read_enable", HIGH),
+                           ("saenbar", HIGH), ("reset", HIGH)):
+            self.sim.set_input(net, value)
+        self.sim.run()
+        self.sim.set_input("reset", LOW)
+        self.sim.run()
+
+    def pulse_reads(self, count: int, enabled: bool = True) -> None:
+        """Clock ``count`` reads into the counter."""
+        self.sim.set_input("read_enable", HIGH if enabled else LOW)
+        self.sim.run()
+        for _ in range(count):
+            self.sim.set_input("clk", HIGH)
+            self.sim.run()
+            self.sim.set_input("clk", LOW)
+            self.sim.run()
+
+    def enables_for(self, saenablebar: int) -> Tuple[int, int]:
+        """(SAenableA, SAenableB) for a given SAenablebar level."""
+        self.sim.set_input("saenbar", HIGH if saenablebar else LOW)
+        self.sim.run()
+        return (1 if self.sim.value("saena") == HIGH else 0,
+                1 if self.sim.value("saenb") == HIGH else 0)
+
+    @property
+    def switch(self) -> int:
+        """Current Switch level (counter MSB)."""
+        return 1 if self.sim.value(self.switch_net) == HIGH else 0
+
+
+@dataclasses.dataclass
+class IssaController:
+    """Behavioural cycle model of the switching policy.
+
+    Tracks the read counter and reports, per read, whether the inputs
+    are currently swapped.  Used to transform external read streams
+    into the value mix observed at the SA's internal nodes.
+    """
+
+    bits: int = PAPER_COUNTER_BITS
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("counter needs at least one bit")
+
+    @property
+    def switch_period_reads(self) -> int:
+        """Reads between input swaps: ``2^(N-1)``."""
+        return 1 << (self.bits - 1)
+
+    @property
+    def swapped(self) -> bool:
+        """True when the MSB is set (inputs currently swapped)."""
+        return bool((self.count >> (self.bits - 1)) & 1)
+
+    def observe_read(self) -> bool:
+        """Account one read; returns whether *this* read was swapped."""
+        swapped = self.swapped
+        self.count = (self.count + 1) % (1 << self.bits)
+        return swapped
+
+    def internal_values(self, external_reads: Iterable[int]) -> np.ndarray:
+        """Values seen at the internal nodes for an external read stream.
+
+        A swapped read presents the complemented value to the latch;
+        the output inversion restores the architectural value (the
+        paper notes the final read value must be inverted).
+        """
+        out: List[int] = []
+        for value in external_reads:
+            if value not in (0, 1):
+                raise ValueError("read values must be 0 or 1")
+            swapped = self.observe_read()
+            out.append(value ^ int(swapped))
+        return np.asarray(out, dtype=np.int8)
+
+    def balance_metric(self, external_reads: Iterable[int]) -> float:
+        """Residual internal imbalance in [-1, 1] for a read stream.
+
+        0 means perfectly balanced internal nodes; +-1 means all
+        internal 0s / 1s.  The ISSA drives this toward 0 for any
+        stationary external mix.
+        """
+        internal = self.internal_values(external_reads)
+        if internal.size == 0:
+            return 0.0
+        zero_fraction = float(np.mean(internal == 0))
+        return 2.0 * zero_fraction - 1.0
+
+
+def table1_rows() -> List[Dict[str, int]]:
+    """The paper's Table I as data (for tests and reports)."""
+    return [
+        {"switch": 0, "saenablebar": 0, "saenablea": 1, "saenableb": 1},
+        {"switch": 0, "saenablebar": 1, "saenablea": 0, "saenableb": 1},
+        {"switch": 1, "saenablebar": 0, "saenablea": 1, "saenableb": 1},
+        {"switch": 1, "saenablebar": 1, "saenablea": 1, "saenableb": 0},
+    ]

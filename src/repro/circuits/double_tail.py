@@ -1,0 +1,184 @@
+"""Double-tail latch-type sense amplifier (Schinkel et al., ISSCC'07).
+
+The paper notes its scheme "can be applied to other types of SAs, such
+as look-ahead type SA, double-tail latch-type SA, etc.".  This module
+provides that extension: a two-stage double-tail SA with an input stage
+(clocked tail + differential pair, outputs Di/DiBar) driving a
+cross-coupled output latch, plus an input-switching variant whose input
+pair is duplicated exactly like the ISSA's pass gates.
+
+The characterisation flow (binary-search offsets, sensing delay) works
+on these designs through the same testbench abstraction, demonstrating
+the generality claim with a runnable experiment
+(``benchmarks/bench_ablation_double_tail.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from ..constants import VDD_NOM
+from ..models.mosmodel import MosParams
+from ..models.ptm45 import NMOS_45HP, PMOS_45HP
+from ..spice.netlist import Circuit
+from ..spice.waveforms import Dc, Step, Waveform
+from .sense_amp import ReadTiming, SenseAmpDesign, NODE_CAP
+
+#: Device sizes (W/L) for the double-tail stages.
+RATIO_INPUT_PAIR = 8.0
+RATIO_TAIL = 12.0
+RATIO_LATCH_N = 10.0
+RATIO_LATCH_P = 5.0
+RATIO_RESET = 4.0
+
+
+def _add_output_latch(circuit: Circuit, nmos: MosParams,
+                      pmos: MosParams) -> None:
+    """Cross-coupled output latch driven by the intermediate nodes."""
+    circuit.add_mosfet("Mlatchtail", "ltail", "saenbar", "vdd", "vdd", pmos,
+                       RATIO_TAIL)
+    circuit.add_mosfet("Mup", "s", "sbar", "ltail", "vdd", pmos,
+                       RATIO_LATCH_P)
+    circuit.add_mosfet("MupBar", "sbar", "s", "ltail", "vdd", pmos,
+                       RATIO_LATCH_P)
+    circuit.add_mosfet("Mdown", "s", "sbar", "0", "0", nmos, RATIO_LATCH_N)
+    circuit.add_mosfet("MdownBar", "sbar", "s", "0", "0", nmos,
+                       RATIO_LATCH_N)
+    # Coupling devices: intermediate nodes steer the latch.
+    circuit.add_mosfet("Mcpl", "s", "dibar", "0", "0", nmos, RATIO_LATCH_N)
+    circuit.add_mosfet("McplBar", "sbar", "di", "0", "0", nmos,
+                       RATIO_LATCH_N)
+    circuit.add_capacitor("Cs", "s", "0", NODE_CAP)
+    circuit.add_capacitor("Csbar", "sbar", "0", NODE_CAP)
+
+
+def _add_input_stage(circuit: Circuit, nmos: MosParams, pmos: MosParams,
+                     in_p: str, in_n: str, suffix: str = "",
+                     tail_gate: str = "saen") -> None:
+    """One clocked input stage: tail NMOS + differential pair + resets."""
+    tail = f"itail{suffix}"
+    circuit.add_mosfet(f"Mtail{suffix}", tail, tail_gate, "0", "0", nmos,
+                       RATIO_TAIL)
+    circuit.add_mosfet(f"Min{suffix}", "dibar", in_p, tail, "0", nmos,
+                       RATIO_INPUT_PAIR)
+    circuit.add_mosfet(f"MinBar{suffix}", "di", in_n, tail, "0", nmos,
+                       RATIO_INPUT_PAIR)
+
+
+def build_double_tail(nmos: MosParams = NMOS_45HP,
+                      pmos: MosParams = PMOS_45HP) -> SenseAmpDesign:
+    """Standard double-tail SA: inputs fixed to BL/BLBar."""
+    circuit = Circuit("double_tail")
+    for node in ("vdd", "bl", "blbar", "saen", "saenbar"):
+        circuit.add_vsource(f"V{node}", node, Dc(VDD_NOM))
+    _add_input_stage(circuit, nmos, pmos, "bl", "blbar")
+    # Precharge (reset) PMOS hold Di/DiBar at Vdd while SAenable is low.
+    circuit.add_mosfet("Mrst", "di", "saen", "vdd", "vdd", pmos,
+                       RATIO_RESET)
+    circuit.add_mosfet("MrstBar", "dibar", "saen", "vdd", "vdd", pmos,
+                       RATIO_RESET)
+    circuit.add_capacitor("Cdi", "di", "0", NODE_CAP)
+    circuit.add_capacitor("Cdibar", "dibar", "0", NODE_CAP)
+    _add_output_latch(circuit, nmos, pmos)
+    return SenseAmpDesign(circuit, "nssa",
+                          read_factory=double_tail_read,
+                          ic_factory=double_tail_initial_conditions,
+                          output_nodes=("s", "sbar"))
+
+
+def build_double_tail_switching(nmos: MosParams = NMOS_45HP,
+                                pmos: MosParams = PMOS_45HP,
+                                ) -> SenseAmpDesign:
+    """Input-switching double-tail SA.
+
+    Duplicates the input differential pair: the straight pair is
+    enabled by ``saena`` acting as its tail clock, the swapped pair by
+    ``saenb`` — the double-tail analogue of the ISSA's M3/M4.
+    """
+    circuit = Circuit("double_tail_switching")
+    for node in ("vdd", "bl", "blbar", "saen", "saenbar", "saena", "saenb"):
+        circuit.add_vsource(f"V{node}", node, Dc(VDD_NOM))
+    _add_input_stage(circuit, nmos, pmos, "bl", "blbar", suffix="A",
+                     tail_gate="saena")
+    _add_input_stage(circuit, nmos, pmos, "blbar", "bl", suffix="B",
+                     tail_gate="saenb")
+    circuit.add_mosfet("Mrst", "di", "saen", "vdd", "vdd", pmos,
+                       RATIO_RESET)
+    circuit.add_mosfet("MrstBar", "dibar", "saen", "vdd", "vdd", pmos,
+                       RATIO_RESET)
+    circuit.add_capacitor("Cdi", "di", "0", NODE_CAP)
+    circuit.add_capacitor("Cdibar", "dibar", "0", NODE_CAP)
+    _add_output_latch(circuit, nmos, pmos)
+    return SenseAmpDesign(circuit, "issa",
+                          read_factory=double_tail_read,
+                          ic_factory=double_tail_initial_conditions,
+                          output_nodes=("s", "sbar"))
+
+
+def double_tail_initial_conditions(vdd: float) -> Dict[str, float]:
+    """Pre-read state: Di/DiBar precharged high, latch nodes held low."""
+    return {"di": vdd, "dibar": vdd, "s": 0.0, "sbar": 0.0,
+            "ltail": 0.0, "itail": 0.0, "itailA": 0.0, "itailB": 0.0}
+
+
+def double_tail_read(design: SenseAmpDesign,
+                     vin: Union[float, np.ndarray],
+                     vdd: float = VDD_NOM,
+                     timing: ReadTiming = ReadTiming(),
+                     swapped: bool = False) -> Dict[str, Waveform]:
+    """Source waveforms for one double-tail read.
+
+    Unlike the pass-gate SA, the inputs connect to transistor gates;
+    the bitlines sit at their developed levels and SAenable fires the
+    two tails.  For the switching variant only the selected stage's
+    tail clock rises (active high here, since the tails are NMOS).
+    """
+    if swapped and not design.is_switching:
+        raise ValueError("only the switching variant supports swapped reads")
+    vin_arr = np.asarray(vin, dtype=float)
+    common = vdd - 0.1
+    enable = Step(0.0, vdd, timing.t_develop, timing.t_rise)
+    waveforms: Dict[str, Waveform] = {
+        "vdd": Dc(vdd),
+        "bl": Dc(common + vin_arr / 2.0),
+        "blbar": Dc(common - vin_arr / 2.0),
+        "saen": enable,
+        "saenbar": Step(vdd, 0.0, timing.t_develop, timing.t_rise),
+    }
+    if design.is_switching:
+        idle = Dc(0.0)
+        waveforms["saena"] = idle if swapped else enable
+        waveforms["saenb"] = enable if swapped else idle
+    return waveforms
+
+
+def double_tail_duties(activation_rate: float, zero_fraction: float,
+                       switching: bool) -> Dict[str, float]:
+    """Per-device duty factors for the double-tail variants.
+
+    The input pair gates sit at the (high) bitline levels whenever the
+    column is idle or developing, so they age with a large, read-value
+    *independent* duty; the output latch ages with the resolved-value
+    mix exactly like the standard SA's latch.  Input switching halves
+    each input stage's usage and balances the latch mix.
+    """
+    a = activation_rate
+    f0, f1 = zero_fraction, 1.0 - zero_fraction
+    if not switching:
+        return {
+            "Min": 1.0 - 0.5 * a, "MinBar": 1.0 - 0.5 * a,
+            "Mtail": 0.5 * a, "Mlatchtail": 0.5 * a,
+            "Mdown": a * f0, "MdownBar": a * f1,
+            "Mup": a * f1, "MupBar": a * f0,
+            "Mcpl": a * f1, "McplBar": a * f0,
+        }
+    half = 0.5 * (1.0 - 0.5 * a)
+    return {
+        "MinA": half, "MinBarA": half, "MinB": half, "MinBarB": half,
+        "MtailA": 0.25 * a, "MtailB": 0.25 * a, "Mlatchtail": 0.5 * a,
+        "Mdown": 0.5 * a * 0.5, "MdownBar": 0.5 * a * 0.5,
+        "Mup": 0.5 * a * 0.5, "MupBar": 0.5 * a * 0.5,
+        "Mcpl": 0.5 * a * 0.5, "McplBar": 0.5 * a * 0.5,
+    }

@@ -1,0 +1,180 @@
+"""Transistor-level memory read path: cell + bitlines + sense amplifier.
+
+The table/figure experiments drive the SA from ideal bitline sources
+(as the paper's testbench does); this module closes the loop for the
+system-level story: a 6T-cell read stack discharges a capacitive
+bitline pair, the pass gates track it onto the SA's internal nodes, and
+SAenable fires after a programmable develop time.  It demonstrates —
+at transistor level — the central argument that a larger offset
+specification requires a longer bitline develop time
+(``examples/memory_readpath.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..constants import VDD_NOM
+from ..models.mosmodel import MosParams
+from ..models.ptm45 import NMOS_45HP, PMOS_45HP
+from ..spice.mna import MnaSystem
+from ..spice.measure import final_sign
+from ..spice.netlist import Circuit
+from ..spice.transient import TransientResult, run_transient
+from ..spice.waveforms import Dc, Step
+from .sense_amp import _add_core, RATIO_PASS
+
+#: Cell transistor sizes (W/L).
+RATIO_ACCESS = 2.0
+RATIO_DRIVER = 3.0
+RATIO_PRECHARGE = 6.0
+
+#: Bitline capacitance for a ~256-cell column [F].
+BITLINE_CAP = 60e-15
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadPathTiming:
+    """Timing of one full read-path access.
+
+    Attributes
+    ----------
+    t_wordline:
+        Wordline rise instant [s]; precharge releases simultaneously.
+    t_enable:
+        SAenable rise instant [s]; the develop time is
+        ``t_enable - t_wordline``.
+    t_rise:
+        Edge rise time [s].
+    t_window:
+        Total simulated time [s].
+    dt:
+        Time step [s].
+    """
+
+    t_wordline: float = 20e-12
+    t_enable: float = 220e-12
+    t_rise: float = 5e-12
+    t_window: float = 320e-12
+    dt: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.t_wordline < self.t_enable < self.t_window):
+            raise ValueError("timing must order wordline < enable < window")
+        if self.t_rise <= 0.0 or self.dt <= 0.0:
+            raise ValueError("rise time and dt must be positive")
+
+    @property
+    def develop_time(self) -> float:
+        """Bitline develop interval [s]."""
+        return self.t_enable - self.t_wordline
+
+
+def build_read_path(stored_value: int,
+                    nmos: MosParams = NMOS_45HP,
+                    pmos: MosParams = PMOS_45HP,
+                    bitline_cap: float = BITLINE_CAP) -> Circuit:
+    """Build the full read-path netlist for one stored bit.
+
+    The accessed 6T cell is modelled by its read stack: the access
+    transistor in series with the pull-down driver on the side storing
+    a 0.  ``stored_value=0`` discharges BL, ``stored_value=1``
+    discharges BLBar.
+    """
+    if stored_value not in (0, 1):
+        raise ValueError("stored value must be 0 or 1")
+    circuit = Circuit(f"readpath_bit{stored_value}")
+    for node in ("vdd", "saen", "saenbar", "wl", "prechbar"):
+        circuit.add_vsource(f"V{node}", node, Dc(VDD_NOM))
+    # Floating bitlines with their wire capacitance.
+    circuit.add_capacitor("Cbl", "bl", "0", bitline_cap)
+    circuit.add_capacitor("Cblbar", "blbar", "0", bitline_cap)
+    # Precharge PMOS (active low on prechbar).
+    circuit.add_mosfet("Mprech", "bl", "prechbar", "vdd", "vdd", pmos,
+                       RATIO_PRECHARGE)
+    circuit.add_mosfet("MprechBar", "blbar", "prechbar", "vdd", "vdd",
+                       pmos, RATIO_PRECHARGE)
+    # Accessed cell read stack on the discharging side.
+    side = "bl" if stored_value == 0 else "blbar"
+    circuit.add_mosfet("Maccess", side, "wl", "cell", "0", nmos,
+                       RATIO_ACCESS)
+    circuit.add_mosfet("Mdriver", "cell", "vdd", "0", "0", nmos,
+                       RATIO_DRIVER)
+    # Sense amplifier (Figure-1 core with its pass gates).
+    circuit.add_mosfet("Mpass", "s", "saen", "bl", "vdd", pmos, RATIO_PASS)
+    circuit.add_mosfet("MpassBar", "sbar", "saen", "blbar", "vdd", pmos,
+                       RATIO_PASS)
+    _add_core(circuit, nmos, pmos)
+    return circuit
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadPathResult:
+    """Outcome of one simulated read access."""
+
+    transient: TransientResult
+    correct: np.ndarray
+    swing_at_enable: np.ndarray
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of Monte-Carlo samples that read correctly."""
+        return float(np.mean(self.correct))
+
+
+def simulate_read(stored_value: int,
+                  timing: ReadPathTiming = ReadPathTiming(),
+                  vdd: float = VDD_NOM,
+                  temperature_k: float = 298.15,
+                  vth_shifts: Optional[Dict[str, np.ndarray]] = None,
+                  batch_size: int = 1) -> ReadPathResult:
+    """Simulate one read access through the full path.
+
+    Parameters
+    ----------
+    stored_value:
+        Bit stored in the accessed cell.
+    timing:
+        Access timing; the develop time is the experiment's knob.
+    vdd / temperature_k:
+        Corner.
+    vth_shifts:
+        Optional per-device threshold shifts (mismatch/aging).
+    batch_size:
+        Monte-Carlo population size.
+    """
+    circuit = build_read_path(stored_value)
+    # Program the access waveforms.
+    by_node = {v.node: i for i, v in enumerate(circuit.vsources)}
+    def set_wave(node, wave):
+        circuit.vsources[by_node[node]] = dataclasses.replace(
+            circuit.vsources[by_node[node]], waveform=wave)
+    set_wave("vdd", Dc(vdd))
+    set_wave("wl", Step(0.0, vdd, timing.t_wordline, timing.t_rise))
+    set_wave("prechbar", Step(0.0, vdd, timing.t_wordline, timing.t_rise))
+    set_wave("saen", Step(0.0, vdd, timing.t_enable, timing.t_rise))
+    set_wave("saenbar", Step(vdd, 0.0, timing.t_enable, timing.t_rise))
+
+    system = MnaSystem(circuit, temperature_k, batch_size=batch_size)
+    if vth_shifts:
+        system.set_vth_shifts(dict(vth_shifts))
+    initial = {"bl": vdd, "blbar": vdd, "s": vdd, "sbar": vdd,
+               "top": vdd, "bot": 0.0, "cell": 0.0,
+               "out": 0.0, "outbar": 0.0}
+    result = run_transient(system, timing.t_window, timing.dt,
+                           probes=("bl", "blbar", "s", "sbar",
+                                   "out", "outbar"),
+                           initial=initial)
+    diff = result.differential("s", "sbar")
+    sign = final_sign(diff)
+    expected = -1.0 if stored_value == 0 else 1.0
+    correct = sign == expected
+    # Bitline swing right before SA firing.
+    index = int(np.searchsorted(result.times, timing.t_enable))
+    index = min(index, len(result.times) - 1)
+    swing = np.abs(result.probe("bl")[index] - result.probe("blbar")[index])
+    return ReadPathResult(transient=result, correct=correct,
+                          swing_at_enable=swing)

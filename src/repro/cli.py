@@ -1,0 +1,241 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>``:
+
+* ``characterize`` — one table cell (scheme, workload, time, corner);
+* ``table`` — a full paper table (II, III or IV) with paper columns;
+* ``fig7`` — the delay-versus-aging sweep at 125 C;
+* ``sensitivity`` — per-device offset/delay sensitivities;
+* ``balance`` — stream a workload through the ISSA controller;
+* ``overheads`` — the Section IV-C area/energy numbers;
+* ``guardband`` — worst-case margin comparison over the full
+  condition set;
+* ``report`` — assemble REPORT.md from the benchmark artefacts;
+* ``workloads`` — list the paper's workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.figures import render_delay_series
+from .analysis.tables import comparison_row, render_comparison
+from .circuits.sense_amp import ReadTiming, build_issa, build_nssa
+from .core.calibration import default_mc_settings
+from .core.delay import delay_vs_aging
+from .core.experiment import ExperimentCell, run_cell
+from .core.mitigation import stream_balance
+from .core.sensitivity import measure_sensitivities
+from .memory.energy import (MemoryOrganisation, issa_area_overhead,
+                            issa_energy_overhead_per_read)
+from .models.temperature import Environment
+from .workloads import PAPER_WORKLOADS, paper_workload
+
+
+def _add_corner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--temp", type=float, default=25.0,
+                        help="temperature in Celsius (default 25)")
+    parser.add_argument("--vdd", type=float, default=1.0,
+                        help="supply voltage in volts (default 1.0)")
+
+
+def _add_mc_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mc", type=int, default=100,
+                        help="Monte-Carlo samples (paper: 400)")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--dt", type=float, default=1e-12,
+                        help="transient step in seconds")
+
+
+def _settings(args):
+    return default_mc_settings(size=args.mc, seed=args.seed)
+
+
+def _cell_result(args, scheme: str, workload_name: Optional[str],
+                 time_s: float, env: Environment):
+    workload = paper_workload(workload_name) if workload_name else None
+    return run_cell(ExperimentCell(scheme, workload, time_s, env),
+                    settings=_settings(args),
+                    timing=ReadTiming(dt=args.dt))
+
+
+def cmd_characterize(args) -> int:
+    env = Environment.from_celsius(args.temp, args.vdd)
+    result = _cell_result(args, args.scheme, args.workload, args.time,
+                          env)
+    print(f"corner: {env.label()}  MC={args.mc}")
+    for key, value in result.row().items():
+        print(f"  {key:10s} {value}")
+    return 0
+
+
+def cmd_table(args) -> int:
+    from .core.paper import run_grid
+
+    def progress(index, total, cell):
+        print(f"  [{index + 1}/{total}] {cell.scheme} "
+              f"{cell.workload_label} {cell.env.label()}",
+              file=sys.stderr)
+
+    rows = run_grid(args.which, settings=_settings(args),
+                    timing=ReadTiming(dt=args.dt), progress=progress)
+    rendered = [comparison_row(
+        row.result.cell.scheme, row.result.cell.time_s,
+        row.result.cell.workload_label, row.result.cell.env.label(),
+        row.measured, row.paper) for row in rows]
+    print(render_comparison(rendered))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    env = Environment.from_celsius(125.0)
+    times = (0.0, 1e2, 1e4, 1e6, 1e7, 1e8)
+    kwargs = dict(times_s=times, settings=_settings(args),
+                  timing=ReadTiming(dt=args.dt))
+    series = [
+        delay_vs_aging("nssa", paper_workload("80r0"), env, **kwargs),
+        delay_vs_aging("nssa", paper_workload("80r0r1"), env, **kwargs),
+        delay_vs_aging("issa", paper_workload("80r0"), env, **kwargs),
+    ]
+    print(render_delay_series(series))
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    design = build_issa() if args.scheme == "issa" else build_nssa()
+    env = Environment.from_celsius(args.temp, args.vdd)
+    report = measure_sensitivities(design, env,
+                                   timing=ReadTiming(dt=args.dt))
+    print(f"{args.scheme.upper()} at {env.label()} "
+          f"(perturbation {report.perturbation * 1e3:.0f} mV):")
+    print(f"{'device':14s} {'d(offset)/dVth':>15s} "
+          f"{'d(delay)/dVth [ps/V]':>21s}")
+    for name in sorted(report.offset_per_volt,
+                       key=lambda n: -abs(report.offset_per_volt[n])):
+        print(f"{name:14s} {report.offset_per_volt[name]:>+15.3f} "
+              f"{report.delay_per_volt[name] * 1e12:>21.2f}")
+    return 0
+
+
+def cmd_balance(args) -> int:
+    report = stream_balance(paper_workload(args.workload),
+                            reads=args.reads, counter_bits=args.bits)
+    print(f"workload {args.workload}, {args.reads} reads, "
+          f"{args.bits}-bit counter (swap every "
+          f"{report.switch_period_reads} reads):")
+    print(f"  external imbalance: {report.external_imbalance:+.4f}")
+    print(f"  internal imbalance: {report.internal_imbalance:+.4f}")
+    print(f"  imbalance removed:  "
+          f"{report.imbalance_reduction * 100.0:.1f}%")
+    return 0
+
+
+def cmd_overheads(args) -> int:
+    org = MemoryOrganisation(counter_bits=args.bits,
+                             columns_per_control=args.columns)
+    print(f"{args.columns} columns sharing one {args.bits}-bit counter:")
+    print(f"  area overhead:   {issa_area_overhead(org) * 100:.3f}%")
+    print(f"  energy overhead: "
+          f"{issa_energy_overhead_per_read(org) * 100:.3f}% per read")
+    return 0
+
+
+def cmd_guardband(args) -> int:
+    from .core.guardband import guardband_report
+    report = guardband_report(lifetime_s=args.lifetime)
+    print(report.summary())
+    return 0
+
+
+def cmd_report(args) -> int:
+    import pathlib
+    from .analysis.report import write_report
+    path, status = write_report(pathlib.Path(args.results),
+                                pathlib.Path(args.output)
+                                if args.output else None)
+    print(f"report written to {path}")
+    if status.missing:
+        print("missing artefacts (benchmarks not run):")
+        for name in status.missing:
+            print(f"  - {name}")
+    return 0 if status.complete else 1
+
+
+def cmd_workloads(args) -> int:
+    for workload in PAPER_WORKLOADS:
+        print(f"  {str(workload):8s} activation={workload.activation_rate}"
+              f"  zero-fraction={workload.zero_fraction}"
+              f"  -> ISSA internal: {workload.balanced()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATE'17 ISSA sense-amplifier reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="run one table cell")
+    p.add_argument("--scheme", choices=("nssa", "issa"), default="nssa")
+    p.add_argument("--workload", default=None,
+                   help="paper workload name (e.g. 80r0); omit for t=0")
+    p.add_argument("--time", type=float, default=0.0,
+                   help="stress time in seconds (paper: 1e8)")
+    _add_corner_args(p)
+    _add_mc_args(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("--which", choices=("2", "3", "4"), required=True)
+    _add_mc_args(p)
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("fig7", help="delay vs aging at 125C")
+    _add_mc_args(p)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("sensitivity",
+                       help="per-device offset/delay sensitivities")
+    p.add_argument("--scheme", choices=("nssa", "issa"), default="nssa")
+    _add_corner_args(p)
+    p.add_argument("--dt", type=float, default=1e-12)
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser("balance", help="ISSA workload balancing demo")
+    p.add_argument("--workload", default="80r0")
+    p.add_argument("--bits", type=int, default=8)
+    p.add_argument("--reads", type=int, default=1 << 14)
+    p.set_defaults(func=cmd_balance)
+
+    p = sub.add_parser("overheads", help="Sec. IV-C overhead numbers")
+    p.add_argument("--bits", type=int, default=8)
+    p.add_argument("--columns", type=int, default=128)
+    p.set_defaults(func=cmd_overheads)
+
+    p = sub.add_parser("guardband",
+                       help="guardbanding vs mitigation margins")
+    p.add_argument("--lifetime", type=float, default=1e8,
+                   help="sign-off lifetime in seconds")
+    p.set_defaults(func=cmd_guardband)
+
+    p = sub.add_parser("report",
+                       help="assemble REPORT.md from benchmark artefacts")
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("workloads", help="list the paper's workloads")
+    p.set_defaults(func=cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Physical constants and default reference conditions.
+
+All quantities are SI unless a name says otherwise.  The reference
+temperature ``T0`` and supply ``VDD_NOM`` correspond to the nominal
+simulation corner of the paper (25 degC, 1.0 V).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant in electron volts [eV/K].
+BOLTZMANN_EV = BOLTZMANN / ELEMENTARY_CHARGE
+
+#: Zero Celsius in Kelvin.
+ZERO_CELSIUS = 273.15
+
+#: Reference (nominal) temperature used throughout the paper [K] (25 degC).
+T0 = ZERO_CELSIUS + 25.0
+
+#: Nominal supply voltage of the 45 nm PTM HP corner [V].
+VDD_NOM = 1.0
+
+#: Target failure rate for the offset-voltage specification (paper Sec. II-C).
+FAILURE_RATE_TARGET = 1e-9
+
+#: Stress time used for the aged corners in Tables II-IV [s].
+PAPER_STRESS_TIME = 1e8
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Return the thermal voltage kT/q [V] at ``temperature_k`` Kelvin."""
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    kelvin = temperature_c + ZERO_CELSIUS
+    if kelvin <= 0.0:
+        raise ValueError(f"{temperature_c} degC is below absolute zero")
+    return kelvin
+
+
+def kelvin_to_celsius(temperature_k: float) -> float:
+    """Convert a Kelvin temperature to Celsius."""
+    return temperature_k - ZERO_CELSIUS
+
+
+def arrhenius_factor(activation_energy_ev: float,
+                     temperature_k: float,
+                     reference_k: float = T0) -> float:
+    """Arrhenius acceleration factor between two temperatures.
+
+    Returns ``exp(Ea/k * (1/Tref - 1/T))`` which is > 1 when ``temperature_k``
+    exceeds the reference (thermally activated processes speed up).
+    """
+    if temperature_k <= 0.0 or reference_k <= 0.0:
+        raise ValueError("temperatures must be positive Kelvin values")
+    return math.exp(activation_energy_ev / BOLTZMANN_EV
+                    * (1.0 / reference_k - 1.0 / temperature_k))

@@ -1,0 +1,88 @@
+"""Frozen calibration of the reproduction against the paper's tables.
+
+The paper's absolute numbers come from Spectre with proprietary-quality
+BSIM/atomistic decks; this module records the handful of knobs that tie
+our from-scratch substrate to the same operating point, together with
+*how each value was derived*.  Everything else in the repository is
+parameter-free physics/structure.
+
+Derivation log (all against Tables II-IV at t = 1e8 s unless noted):
+
+* ``AVT_DEFAULT = 1.82 mV*um`` (models/variation.py) — scaled so the
+  t = 0 Monte-Carlo offset sigma of the NSSA is ~14.8 mV (Table II).
+* MOSFET temperature coefficients ``mobility_exp = -1.9``,
+  ``vth_tc = 0.22 mV/K`` and the 1 fF output loads
+  (circuits/sense_amp.py) — set so the fresh sensing delay reproduces
+  13.6 ps nominal / 17.2 ps at -10 % Vdd / 11.3 ps at +10 % Vdd /
+  17.1 ps at 75 C / 21.3 ps at 125 C within a few percent.
+* PBTI (NMOS) parameters below — derived analytically from the
+  measured offset sensitivity of the latch NMOS pair (~1.04 mV/mV at
+  the nominal corner):
+
+  - mean Mdown shift required for the 80r0 mean offset (+17.3 mV):
+    16.6 mV; combined with the CET-map occupancy F(1e8 s, D) this
+    fixes ``density0 * eta0``;
+  - ``duty_exponent = 0.028``: residual shaping after the CET map's
+    own duty dependence so mu(20r0)/mu(80r0) = 12.8/17.3;
+  - ``eta0 = 2.59e-17 V*m^2`` (mean per-trap impact 0.72 mV on the
+    latch NMOS): reproduces the aged sigma 16.2 mV of 80r0r1 and,
+    without further tuning, the 15.7 mV of 80r0 and 15.9 mV of 20r0r1;
+  - ``ea_ev = 0.106 eV`` with capture-time activation 0.3 eV: mean
+    ratios ~2.4x at 75 C and ~4.2x at 125 C (Table IV);
+  - ``variance_tempering = 1.5``: temperature activates many small
+    traps instead of fewer large ones, so the aged sigma at 75/125 C
+    tracks the modest growth of Table IV's sigma columns instead of
+    scaling with the full mean acceleration;
+  - ``gamma_v = 4.95 /V``: mean ratios 0.59x at -10 % and 1.60x at
+    +10 % Vdd (Table III).
+
+* NBTI (PMOS) uses the same family with a 1.2x density (NBTI is
+  typically somewhat stronger than PBTI); the latch-PMOS offset
+  sensitivity is two orders of magnitude below the NMOS pair's in this
+  topology, so NBTI mainly matters for the delay experiments.
+"""
+
+from __future__ import annotations
+
+from ..aging.bti import AtomisticBti, BtiParams
+from ..aging.cet import DEFAULT_CET_MAP
+from ..aging.engine import AgingModel
+from ..models.variation import MismatchModel
+from .montecarlo import McSettings
+
+#: Calibrated PBTI (NMOS) parameters.
+PBTI_PARAMS = BtiParams(
+    density0=9.97e14,          # activatable defects per m^2
+    eta0=2.59e-17,             # V*m^2 per trap
+    duty_exponent=0.028,
+    ea_ev=0.106,
+    gamma_v=4.95,
+    ea_capture_ev=0.3,
+    gamma_capture=2.0,
+    variance_tempering=1.5,
+    cet=DEFAULT_CET_MAP,
+)
+
+#: Calibrated NBTI (PMOS) parameters (1.2x PBTI density).
+NBTI_PARAMS = BtiParams(
+    density0=1.2 * 9.97e14,
+    eta0=2.59e-17,
+    duty_exponent=0.028,
+    ea_ev=0.106,
+    gamma_v=4.95,
+    ea_capture_ev=0.3,
+    gamma_capture=2.0,
+    variance_tempering=1.5,
+    cet=DEFAULT_CET_MAP,
+)
+
+
+def default_aging_model() -> AgingModel:
+    """The calibrated NBTI/PBTI pair used by all paper experiments."""
+    return AgingModel(nbti=AtomisticBti(NBTI_PARAMS),
+                      pbti=AtomisticBti(PBTI_PARAMS))
+
+
+def default_mc_settings(size: int = 400, seed: int = 2017) -> McSettings:
+    """Paper-matched Monte-Carlo settings (400 samples)."""
+    return McSettings(size=size, seed=seed, mismatch=MismatchModel())

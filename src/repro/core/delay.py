@@ -1,0 +1,70 @@
+"""Delay-versus-aging sweeps (Figure 7).
+
+Figure 7 plots the mean sensing delay against stress time at 125 C for
+the NSSA under 80r0 and 80r0r1 and for the ISSA (80 %).  The sweep
+re-ages the same Monte-Carlo population at each time point (common
+random numbers) so the curves are smooth in time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..analysis.figures import DelaySeries
+from ..aging.engine import AgingModel
+from ..circuits.sense_amp import ReadTiming
+from ..models.temperature import Environment
+from ..workloads import Workload
+from .calibration import default_aging_model, default_mc_settings
+from .experiment import build_design, _mean_delay
+from .montecarlo import McSettings, sample_total_shifts
+from .testbench import SenseAmpTestbench
+
+#: Stress-time grid of the Figure-7 sweep [s].
+FIG7_TIMES = (0.0, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8)
+
+
+def delay_vs_aging(scheme: str, workload: Workload, env: Environment,
+                   times_s: Sequence[float] = FIG7_TIMES,
+                   settings: Optional[McSettings] = None,
+                   aging: Optional[AgingModel] = None,
+                   timing: ReadTiming = ReadTiming(),
+                   label: Optional[str] = None) -> DelaySeries:
+    """Mean sensing delay [ps] at each stress time.
+
+    Parameters
+    ----------
+    scheme:
+        ``"nssa"`` or ``"issa"``.
+    workload:
+        External workload under which the SA ages.
+    env:
+        Environmental corner (Figure 7 uses 125 C, nominal Vdd).
+    times_s:
+        Stress-time grid; must be non-decreasing.
+    settings / aging / timing:
+        As in :func:`repro.core.experiment.run_cell`.
+    label:
+        Series label; defaults to ``"<SCHEME> <workload>"``.
+    """
+    if list(times_s) != sorted(times_s):
+        raise ValueError("stress times must be non-decreasing")
+    settings = settings or default_mc_settings()
+    aging = aging or default_aging_model()
+    design = build_design(scheme)
+    testbench = SenseAmpTestbench(design, env, batch_size=settings.size,
+                                  timing=timing)
+    delays = []
+    for time_s in times_s:
+        shifts = sample_total_shifts(design, aging, workload, time_s, env,
+                                     settings)
+        testbench.set_vth_shifts(shifts)
+        delays.append(_mean_delay(testbench,
+                                  workload if time_s > 0.0 else None)
+                      * 1e12)
+    if label is None:
+        wl_label = (str(workload.balanced()) if scheme == "issa"
+                    else str(workload))
+        label = f"{scheme.upper()} {wl_label}"
+    return DelaySeries(label=label, times_s=tuple(times_s),
+                       delays_ps=tuple(delays))

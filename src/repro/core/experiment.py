@@ -1,0 +1,171 @@
+"""Experiment runner: one object per table cell of the paper.
+
+A *cell* is one (scheme, workload, stress time, corner) combination; a
+:class:`CellResult` carries the three offset figures the paper tabulates
+(mu, sigma, spec) plus the mean sensing delay.  Running a whole table
+is a loop over cells — see the ``benchmarks/`` directory for the exact
+grids of Tables II-IV and Figures 4-7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits.sense_amp import ReadTiming, build_issa, build_nssa
+from ..constants import FAILURE_RATE_TARGET
+from ..models.temperature import Environment
+from ..workloads import Workload
+from ..aging.engine import AgingModel
+from .calibration import default_aging_model, default_mc_settings
+from .montecarlo import McSettings, sample_total_shifts
+from .offset import OffsetDistribution, offset_distribution
+from .testbench import SenseAmpTestbench
+
+#: Differential input magnitude used for sensing-delay reads [V]; a
+#: provisioned bitline swing comfortably above the worst aged offset
+#: spec, as a real design would allocate.
+DELAY_READ_SWING = 0.2
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentCell:
+    """One table cell: scheme + workload + stress time + corner.
+
+    ``workload=None`` (or ``time_s=0``) denotes the fresh population.
+    For the ISSA the workload is the *external* one; the scheme
+    balances it internally, so the paper labels ISSA rows by activation
+    rate only.
+    """
+
+    scheme: str
+    workload: Optional[Workload]
+    time_s: float
+    env: Environment = dataclasses.field(default_factory=Environment.nominal)
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("nssa", "issa"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.time_s < 0.0:
+            raise ValueError("stress time must be non-negative")
+
+    @property
+    def workload_label(self) -> str:
+        if self.workload is None or self.time_s == 0.0:
+            return "-"
+        if self.scheme == "issa":
+            return str(self.workload.balanced())
+        return str(self.workload)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellResult:
+    """Characterisation results of one cell (paper-table units)."""
+
+    cell: ExperimentCell
+    offset: Optional[OffsetDistribution]
+    delay_s: float
+
+    @property
+    def mu_mv(self) -> float:
+        return self.offset.mu * 1e3 if self.offset else float("nan")
+
+    @property
+    def sigma_mv(self) -> float:
+        return self.offset.sigma * 1e3 if self.offset else float("nan")
+
+    @property
+    def spec_mv(self) -> float:
+        return self.offset.spec * 1e3 if self.offset else float("nan")
+
+    @property
+    def delay_ps(self) -> float:
+        return self.delay_s * 1e12
+
+    def row(self) -> Dict[str, float]:
+        """The paper-table row as a plain dict (for reports/tests)."""
+        return {
+            "scheme": self.cell.scheme.upper(),
+            "time_s": self.cell.time_s,
+            "workload": self.cell.workload_label,
+            "mu_mV": round(self.mu_mv, 2),
+            "sigma_mV": round(self.sigma_mv, 2),
+            "spec_mV": round(self.spec_mv, 1),
+            "delay_ps": round(self.delay_ps, 2),
+        }
+
+
+def build_design(scheme: str):
+    """Instantiate a fresh netlist for a scheme name."""
+    return build_issa() if scheme == "issa" else build_nssa()
+
+
+def _mean_delay(testbench: SenseAmpTestbench,
+                workload: Optional[Workload]) -> float:
+    """Mean sensing delay [s] per the cell's dominant read mix.
+
+    An unbalanced workload is timed on its dominant read value (the
+    operation the memory actually performs); balanced and fresh cells
+    average both read directions.
+    """
+    zero_frac = 0.5
+    if workload is not None and testbench.design.kind == "nssa":
+        zero_frac = workload.zero_fraction
+    delays = []
+    if zero_frac > 0.0:
+        delays.append((zero_frac,
+                       testbench.sensing_delay(-DELAY_READ_SWING)))
+    if zero_frac < 1.0:
+        delays.append((1.0 - zero_frac,
+                       testbench.sensing_delay(+DELAY_READ_SWING)))
+    total = sum(weight * np.nanmean(values) for weight, values in delays)
+    return float(total)
+
+
+def run_cell(cell: ExperimentCell,
+             settings: Optional[McSettings] = None,
+             aging: Optional[AgingModel] = None,
+             timing: ReadTiming = ReadTiming(),
+             failure_rate: float = FAILURE_RATE_TARGET,
+             measure_offset: bool = True,
+             measure_delay: bool = True,
+             offset_iterations: int = 14) -> CellResult:
+    """Characterise one cell: Monte-Carlo offsets and sensing delay.
+
+    Parameters
+    ----------
+    cell:
+        The cell to run.
+    settings:
+        Monte-Carlo settings; defaults to the paper's 400 samples.
+    aging:
+        BTI model pair; defaults to the calibrated model.
+    timing:
+        Read-operation timing.
+    failure_rate:
+        Spec target of Eq. (3).
+    measure_offset / measure_delay:
+        Disable one measurement to save time (Figure 7 needs delays
+        only).
+    offset_iterations:
+        Binary-search depth for the offset extraction.
+    """
+    settings = settings or default_mc_settings()
+    aging = aging or default_aging_model()
+    design = build_design(cell.scheme)
+    testbench = SenseAmpTestbench(design, cell.env,
+                                  batch_size=settings.size, timing=timing)
+    shifts = sample_total_shifts(design, aging, cell.workload, cell.time_s,
+                                 cell.env, settings)
+    testbench.set_vth_shifts(shifts)
+
+    offset = None
+    if measure_offset:
+        offset = offset_distribution(testbench, failure_rate=failure_rate,
+                                     iterations=offset_iterations)
+    delay = float("nan")
+    if measure_delay:
+        delay = _mean_delay(testbench, cell.workload)
+    return CellResult(cell=cell, offset=offset, delay_s=delay)

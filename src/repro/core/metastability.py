@@ -1,0 +1,138 @@
+"""Metastability analysis of the latch-type sense amplifier.
+
+The offset specification (Eq. 3) answers "which inputs resolve
+*correctly*"; this module answers the companion question "how *fast*
+do near-threshold inputs resolve".  Both trade against the same design
+margin, and aging degrades both through the same devices:
+
+* the **regeneration time constant** ``tau`` is extracted from the
+  exponential growth of the internal differential after SAenable —
+  ``|V(s) - V(sbar)| ~ d0 * exp(t / tau)`` with ``tau = C / gm`` of
+  the cross-coupled pair;
+* classic synchronizer theory then gives the probability that a read
+  with input uniformly distributed around the trip point fails to
+  resolve within a timing window ``T``:
+  ``P(unresolved) = (v_window / v_swing) * exp(-T / tau)`` where
+  ``v_window`` is the input range mapping to less-than-full-swing
+  starting differentials.
+
+Aging the latch NMOS pair reduces its gm and therefore lengthens
+``tau`` — a second, subtler way BTI slows the memory that the mean
+sensing delay only partially captures, and that the ISSA's balanced
+stress mitigates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .testbench import SenseAmpTestbench
+
+
+@dataclasses.dataclass(frozen=True)
+class RegenerationFit:
+    """Fitted exponential regeneration of one read.
+
+    Attributes
+    ----------
+    tau_s:
+        Regeneration time constant [s] (per Monte-Carlo sample).
+    r_squared:
+        Goodness of the log-linear fit over the growth window.
+    """
+
+    tau_s: np.ndarray
+    r_squared: np.ndarray
+
+    @property
+    def mean_tau_s(self) -> float:
+        return float(np.nanmean(self.tau_s))
+
+
+def measure_regeneration_tau(testbench: SenseAmpTestbench,
+                             vin: float = 1e-3,
+                             fit_low_v: float = 5e-3,
+                             fit_high_v: float = 0.2,
+                             ) -> RegenerationFit:
+    """Extract the latch regeneration time constant per sample.
+
+    A read with a tiny differential is simulated; the window where the
+    internal differential grows from ``fit_low_v`` to ``fit_high_v``
+    (safely exponential: above numerical noise, below saturation) is
+    fitted log-linearly.
+
+    Parameters
+    ----------
+    testbench:
+        Configured testbench (install aged shifts first to study aged
+        regeneration).
+    vin:
+        Input differential [V]; small so the growth window is long.
+    fit_low_v / fit_high_v:
+        Differential magnitudes bounding the fit window [V].
+    """
+    if not 0.0 < fit_low_v < fit_high_v:
+        raise ValueError("need 0 < fit_low_v < fit_high_v")
+    result = testbench.run_read(np.full(testbench.batch_size, vin),
+                                probes=("s", "sbar"))
+    diff = np.abs(result.differential("s", "sbar"))
+    times = result.times
+    batch = diff.shape[1]
+    taus = np.full(batch, np.nan)
+    r2 = np.full(batch, np.nan)
+    for b in range(batch):
+        mask = (diff[:, b] > fit_low_v) & (diff[:, b] < fit_high_v) \
+            & (times > testbench.timing.t_enable_mid)
+        if int(mask.sum()) < 4:
+            continue
+        t = times[mask]
+        y = np.log(diff[mask, b])
+        slope, intercept = np.polyfit(t, y, 1)
+        if slope <= 0.0:
+            continue
+        predicted = slope * t + intercept
+        ss_res = float(np.sum((y - predicted) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        taus[b] = 1.0 / slope
+        r2[b] = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return RegenerationFit(tau_s=taus, r_squared=r2)
+
+
+def resolution_failure_probability(tau_s: float, window_s: float,
+                                   input_window_v: float,
+                                   swing_v: float) -> float:
+    """P(a read fails to resolve within the timing window).
+
+    ``input_window_v`` is the width of the input band around the trip
+    point a read may land in (e.g. the offset sigma for worst-case
+    analysis); ``swing_v`` the full provisioned differential.  The
+    standard synchronizer model: the starting differential is
+    proportional to the input distance from the trip point, and
+    resolution requires ``exp(T/tau)`` amplification.
+    """
+    if tau_s <= 0.0 or window_s < 0.0:
+        raise ValueError("tau must be positive, window non-negative")
+    if not 0.0 < input_window_v <= swing_v:
+        raise ValueError("need 0 < input_window_v <= swing_v")
+    probability = (input_window_v / swing_v) * np.exp(-window_s / tau_s)
+    return float(min(probability, 1.0))
+
+
+def window_for_failure_target(tau_s: float, input_window_v: float,
+                              swing_v: float,
+                              target: float = 1e-9) -> float:
+    """Timing window [s] needed to reach a resolution-failure target.
+
+    The inverse of :func:`resolution_failure_probability` — how much
+    time the design must budget after SAenable, directly comparable
+    across fresh/aged and NSSA/ISSA tau values.
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    base = input_window_v / swing_v
+    if base <= target:
+        return 0.0
+    return float(tau_s * np.log(base / target))

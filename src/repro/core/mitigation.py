@@ -1,0 +1,184 @@
+"""Mitigation-scheme driver: the ISSA policy at system level.
+
+Connects the pieces the paper's Section III describes into one
+workload-level API:
+
+* run an external read stream through the switching controller and
+  quantify the residual internal imbalance (ideal balancing gives 0);
+* predict the aged offset specification of NSSA vs ISSA for a workload
+  and corner *without* running the full Monte-Carlo (analytic BTI
+  moments through the measured circuit sensitivities) — used for quick
+  design-space exploration and the counter-width ablation;
+* estimate lifetime extension: the stress time at which each scheme's
+  offset spec crosses a budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..aging.duty import issa_duties, nssa_duties
+from ..aging.engine import AgingModel
+from ..aging.stress import StressCondition
+from ..analysis.failure import offset_spec
+from ..circuits.control import IssaController
+from ..circuits.sense_amp import build_issa, build_nssa
+from ..models.temperature import Environment
+from ..models.variation import MismatchModel
+from ..workloads import ReadStream, Workload
+from .calibration import default_aging_model
+
+#: Measured offset sensitivity of the latch NMOS pair [mV per mV] at
+#: the nominal corner; re-measured per corner by the full Monte-Carlo
+#: flow, used here only for the fast analytic predictor.
+NMOS_PAIR_SENSITIVITY = 1.04
+
+#: Measured temperature slope of that sensitivity [1/degC]: 1.043 at
+#: 25 C rising to 1.172 at 125 C on the simulated latch (subthreshold
+#: softening) — see repro.core.sensitivity.
+NMOS_PAIR_SENSITIVITY_TC = 0.00129
+
+
+def corner_sensitivity(env: Environment) -> float:
+    """Latch-pair offset sensitivity at an environmental corner."""
+    return (NMOS_PAIR_SENSITIVITY
+            + NMOS_PAIR_SENSITIVITY_TC * (env.temperature_c - 25.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class BalanceReport:
+    """Result of streaming a workload through the ISSA controller."""
+
+    external_zero_fraction: float
+    internal_zero_fraction: float
+    reads: int
+    switch_period_reads: int
+
+    @property
+    def external_imbalance(self) -> float:
+        return 2.0 * self.external_zero_fraction - 1.0
+
+    @property
+    def internal_imbalance(self) -> float:
+        return 2.0 * self.internal_zero_fraction - 1.0
+
+    @property
+    def imbalance_reduction(self) -> float:
+        """Fraction of the external imbalance removed by switching."""
+        if self.external_imbalance == 0.0:
+            return 1.0
+        return 1.0 - abs(self.internal_imbalance
+                         / self.external_imbalance)
+
+
+def stream_balance(workload: Workload, reads: int = 1 << 14,
+                   counter_bits: int = 8, seed: int = 7) -> BalanceReport:
+    """Empirically measure the ISSA's workload balancing.
+
+    Generates a concrete read stream for ``workload``, runs it through
+    the cycle-accurate controller and reports internal vs external
+    zero fractions.
+    """
+    if reads < 1:
+        raise ValueError("need at least one read")
+    stream = ReadStream(workload, seed=seed)
+    values = stream.reads(reads)
+    controller = IssaController(bits=counter_bits)
+    internal = controller.internal_values(values)
+    return BalanceReport(
+        external_zero_fraction=float(np.mean(values == 0)),
+        internal_zero_fraction=float(np.mean(internal == 0)),
+        reads=reads,
+        switch_period_reads=controller.switch_period_reads)
+
+
+def predicted_offset_spec(scheme: str, workload: Optional[Workload],
+                          time_s: float, env: Environment,
+                          aging: Optional[AgingModel] = None,
+                          mismatch: Optional[MismatchModel] = None,
+                          sensitivity: Optional[float] = None,
+                          ) -> float:
+    """Analytic offset-spec prediction [V] (no Monte Carlo).
+
+    Propagates the BTI mean/sigma of the latch NMOS pair through the
+    measured circuit sensitivity (temperature-corrected — see
+    :func:`corner_sensitivity`) and adds the time-zero sigma in
+    quadrature, then solves Eq. (3).  Cross-validated against the full
+    Monte-Carlo flow in the tests (agreement within a few percent).
+    """
+    if scheme not in ("nssa", "issa"):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if sensitivity is None:
+        sensitivity = corner_sensitivity(env)
+    aging = aging or default_aging_model()
+    mismatch = mismatch or MismatchModel()
+    design = build_issa() if scheme == "issa" else build_nssa()
+
+    # Time-zero sigma through the same sensitivity chain: the latch
+    # NMOS pair dominates; the residual of the full population is
+    # absorbed into an effective pair sigma.
+    down = design.circuit.mosfet_by_name("Mdown")
+    sigma0 = (sensitivity * math.sqrt(2.0)
+              * mismatch.sigma_vth(down.w_over_l))
+
+    if workload is None or time_s == 0.0:
+        return offset_spec(0.0, sigma0)
+
+    duties = (issa_duties(workload) if scheme == "issa"
+              else nssa_duties(workload))
+    area = down.width * down.length
+    model = aging.pbti
+    mean = {}
+    var = {}
+    for name in ("Mdown", "MdownBar"):
+        stress = StressCondition(time_s, duties[name], env)
+        mean[name] = model.expected_shift(area, stress)
+        var[name] = model.expected_sigma(area, stress) ** 2
+    mu = sensitivity * (mean["Mdown"] - mean["MdownBar"])
+    sigma = math.sqrt(sigma0 ** 2 + sensitivity ** 2
+                      * (var["Mdown"] + var["MdownBar"]))
+    return offset_spec(mu, sigma)
+
+
+def lifetime_to_spec(scheme: str, workload: Workload, env: Environment,
+                     spec_budget_v: float,
+                     aging: Optional[AgingModel] = None,
+                     t_min: float = 1.0, t_max: float = 1e10) -> float:
+    """Stress time [s] at which the offset spec reaches a budget.
+
+    Returns ``inf`` if the budget is never reached before ``t_max`` —
+    the quantitative version of the paper's "extend the lifetime of
+    the devices" conclusion.
+    """
+    if spec_budget_v <= 0.0:
+        raise ValueError("spec budget must be positive")
+    if predicted_offset_spec(scheme, workload, t_max, env,
+                             aging) < spec_budget_v:
+        return float("inf")
+    if predicted_offset_spec(scheme, workload, t_min, env,
+                             aging) >= spec_budget_v:
+        return t_min
+    lo, hi = t_min, t_max
+    for _ in range(80):
+        mid = math.sqrt(lo * hi)
+        if predicted_offset_spec(scheme, workload, mid, env,
+                                 aging) >= spec_budget_v:
+            hi = mid
+        else:
+            lo = mid
+    return math.sqrt(lo * hi)
+
+
+def lifetime_extension(workload: Workload, env: Environment,
+                       spec_budget_v: float,
+                       aging: Optional[AgingModel] = None) -> float:
+    """Lifetime ratio ISSA / NSSA for a given offset-spec budget."""
+    nssa = lifetime_to_spec("nssa", workload, env, spec_budget_v, aging)
+    issa = lifetime_to_spec("issa", workload, env, spec_budget_v, aging)
+    if math.isinf(nssa):
+        return 1.0 if math.isinf(issa) else 0.0
+    return issa / nssa

@@ -1,0 +1,129 @@
+"""Canonical experiment grids of the paper's evaluation section.
+
+One place defining exactly which (scheme, workload, time, corner)
+cells each table/figure contains, plus runners that execute a grid and
+return paper-vs-measured rows.  The CLI and ad-hoc scripts build on
+this; the benchmarks keep their own copies so each benchmark file is
+self-describing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reference import (TABLE2, TABLE3, TABLE4, RowKey,
+                                  RowValue, lookup)
+from ..circuits.sense_amp import ReadTiming
+from ..models.temperature import Environment
+from ..workloads import paper_workload
+from .calibration import default_mc_settings
+from .experiment import CellResult, ExperimentCell, run_cell
+from .montecarlo import McSettings
+
+#: (scheme, workload name or None, time, temperature C, vdd)
+GridSpec = Tuple[str, Optional[str], float, float, float]
+
+TABLE2_GRID: Tuple[GridSpec, ...] = tuple(
+    (scheme, workload, time_s, 25.0, 1.0) for scheme, workload, time_s in
+    (("nssa", None, 0.0), ("nssa", "80r0r1", 1e8), ("nssa", "80r0", 1e8),
+     ("nssa", "80r1", 1e8), ("nssa", "20r0r1", 1e8),
+     ("nssa", "20r0", 1e8), ("nssa", "20r1", 1e8), ("issa", None, 0.0),
+     ("issa", "80r0", 1e8), ("issa", "20r0", 1e8)))
+
+TABLE3_GRID: Tuple[GridSpec, ...] = tuple(
+    (scheme, workload, time_s, 25.0, vdd)
+    for vdd in (0.9, 1.1)
+    for scheme, workload, time_s in
+    (("nssa", None, 0.0), ("nssa", "80r0r1", 1e8), ("nssa", "80r0", 1e8),
+     ("nssa", "80r1", 1e8), ("issa", None, 0.0), ("issa", "80r0", 1e8)))
+
+TABLE4_GRID: Tuple[GridSpec, ...] = tuple(
+    (scheme, workload, time_s, temp_c, 1.0)
+    for temp_c in (75.0, 125.0)
+    for scheme, workload, time_s in
+    (("nssa", None, 0.0), ("nssa", "80r0r1", 1e8), ("nssa", "80r0", 1e8),
+     ("nssa", "80r1", 1e8), ("issa", None, 0.0), ("issa", "80r0", 1e8)))
+
+GRIDS: Dict[str, Tuple[GridSpec, ...]] = {
+    "2": TABLE2_GRID, "3": TABLE3_GRID, "4": TABLE4_GRID,
+}
+
+REFERENCES: Dict[str, Dict[RowKey, RowValue]] = {
+    "2": TABLE2, "3": TABLE3, "4": TABLE4,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GridRow:
+    """One executed grid cell with its paper reference (if tabulated)."""
+
+    result: CellResult
+    paper: Optional[RowValue]
+
+    @property
+    def measured(self) -> Tuple[float, float, float, float]:
+        r = self.result
+        return (r.mu_mv, r.sigma_mv, r.spec_mv, r.delay_ps)
+
+
+def run_grid(which: str,
+             settings: Optional[McSettings] = None,
+             timing: ReadTiming = ReadTiming(),
+             offset_iterations: int = 14,
+             progress=None) -> List[GridRow]:
+    """Execute one paper table's grid.
+
+    Parameters
+    ----------
+    which:
+        ``"2"``, ``"3"`` or ``"4"``.
+    settings / timing / offset_iterations:
+        Characterisation configuration (defaults match the paper).
+    progress:
+        Optional callback ``(index, total, cell)`` invoked before each
+        cell (CLI progress reporting).
+    """
+    if which not in GRIDS:
+        raise ValueError(f"unknown table {which!r}; choose 2, 3 or 4")
+    settings = settings or default_mc_settings()
+    grid = GRIDS[which]
+    reference = REFERENCES[which]
+    rows: List[GridRow] = []
+    for index, (scheme, workload_name, time_s, temp_c, vdd) in \
+            enumerate(grid):
+        workload = paper_workload(workload_name) if workload_name \
+            else None
+        cell = ExperimentCell(scheme, workload, time_s,
+                              Environment.from_celsius(temp_c, vdd))
+        if progress is not None:
+            progress(index, len(grid), cell)
+        result = run_cell(cell, settings=settings, timing=timing,
+                          offset_iterations=offset_iterations)
+        paper = lookup(reference, scheme, time_s, cell.workload_label,
+                       (temp_c, vdd))
+        rows.append(GridRow(result=result, paper=paper))
+    return rows
+
+
+def shape_deviations(rows: Sequence[GridRow],
+                     rel_tolerance: float = 0.15) -> List[str]:
+    """Rows whose measured spec deviates from the paper beyond tolerance.
+
+    Returns human-readable descriptions; an empty list means every
+    tabulated spec matched within ``rel_tolerance``.
+    """
+    out: List[str] = []
+    for row in rows:
+        if row.paper is None:
+            continue
+        measured_spec = row.measured[2]
+        paper_spec = row.paper[2]
+        deviation = abs(measured_spec - paper_spec) / paper_spec
+        if deviation > rel_tolerance:
+            cell = row.result.cell
+            out.append(f"{cell.scheme} {cell.workload_label} "
+                       f"{cell.env.label()}: spec {measured_spec:.1f} "
+                       f"vs paper {paper_spec:.1f} "
+                       f"({deviation * 100.0:.1f}%)")
+    return out

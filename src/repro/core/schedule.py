@@ -1,0 +1,107 @@
+"""Lifetime stress schedules: workload phases over a device lifetime.
+
+Real memories do not see one stationary workload for 1e8 seconds — they
+alternate phases (boot scrubbing, daytime traffic, idle nights, DVFS
+states).  The paper's model (and Tables II-IV) use a single equivalent
+workload; this extension exposes the atomistic model's exact piecewise
+propagation (trap occupancies are carried across phase boundaries, so
+*recovery* during idle/balanced phases is captured) and compares it to
+the paper-style time-averaged approximation.
+
+The interesting systems question it answers: how much of the ISSA's
+benefit does a workload with natural idle recovery already provide, and
+how much margin does the single-workload abstraction waste?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..aging.duty import issa_duties, nssa_duties
+from ..aging.engine import AgingModel, age_circuit_schedule
+from ..aging.stress import StressSegment
+from ..circuits.sense_amp import SenseAmpDesign
+from ..models.temperature import Environment
+from ..workloads import Workload
+from .calibration import default_aging_model
+from .montecarlo import McSettings, sample_mismatch
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadPhase:
+    """One phase of a lifetime schedule."""
+
+    duration_s: float
+    workload: Workload
+    env: Environment = dataclasses.field(
+        default_factory=Environment.nominal)
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0.0:
+            raise ValueError("phase duration must be non-negative")
+
+
+def device_segments(design: SenseAmpDesign,
+                    phases: Sequence[WorkloadPhase],
+                    ) -> Dict[str, List[StressSegment]]:
+    """Per-device stress-segment lists for a schedule."""
+    segments: Dict[str, List[StressSegment]] = {
+        m.name: [] for m in design.circuit.mosfets}
+    for phase in phases:
+        duties = (issa_duties(phase.workload) if design.is_switching
+                  else nssa_duties(phase.workload))
+        for name in segments:
+            segments[name].append(
+                StressSegment(phase.duration_s, duties.get(name, 0.0),
+                              phase.env))
+    return segments
+
+
+def sample_schedule_shifts(design: SenseAmpDesign,
+                           phases: Sequence[WorkloadPhase],
+                           settings: McSettings,
+                           aging: Optional[AgingModel] = None,
+                           ) -> Dict[str, np.ndarray]:
+    """Mismatch + piecewise-aged BTI shifts for a schedule.
+
+    Drop-in replacement for
+    :func:`repro.core.montecarlo.sample_total_shifts` when the lifetime
+    is phased; same common-random-numbers discipline.
+    """
+    if not phases:
+        raise ValueError("schedule needs at least one phase")
+    aging = aging or default_aging_model()
+    shifts = sample_mismatch(design, settings)
+    segments = device_segments(design, phases)
+    rng = np.random.default_rng(settings.seed + 1)
+    bti = age_circuit_schedule(design.circuit, aging, segments,
+                               settings.size, rng)
+    return {name: shifts[name] + bti.get(name, 0.0) for name in shifts}
+
+
+def equivalent_workload_phase(phases: Sequence[WorkloadPhase],
+                              ) -> WorkloadPhase:
+    """Paper-style single-phase approximation of a schedule.
+
+    Duration-weighted activation rate and zero fraction; the corner is
+    taken from the longest phase.  Used as the baseline the exact
+    piecewise propagation is compared against.
+    """
+    if not phases:
+        raise ValueError("schedule needs at least one phase")
+    total = sum(p.duration_s for p in phases)
+    if total == 0.0:
+        return phases[0]
+    rate = sum(p.duration_s * p.workload.activation_rate
+               for p in phases) / total
+    reads = sum(p.duration_s * p.workload.activation_rate for p in phases)
+    if reads > 0.0:
+        zero = sum(p.duration_s * p.workload.activation_rate
+                   * p.workload.zero_fraction for p in phases) / reads
+    else:
+        zero = 0.5
+    longest = max(phases, key=lambda p: p.duration_s)
+    return WorkloadPhase(total, Workload(rate, zero), longest.env)

@@ -1,0 +1,134 @@
+"""Sense-amplifier read-operation testbench.
+
+Wraps a :class:`~repro.circuits.sense_amp.SenseAmpDesign` together with
+an environmental corner and a compiled :class:`~repro.spice.mna.MnaSystem`
+so characterisation code can fire batched read operations and measure:
+
+* the **resolution sign** (which way the latch fell) — the primitive
+  under the binary-search offset extraction, and
+* the **sensing delay** — SAenable at 50 % Vdd to the rising output at
+  50 % Vdd, exactly the paper's definition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.sense_amp import (ReadTiming, SenseAmpDesign,
+                                  apply_waveforms)
+from ..models.temperature import Environment
+from ..spice.mna import MnaSystem
+from ..spice.measure import crossing_time, final_sign
+from ..spice.solver import NewtonOptions
+from ..spice.transient import TransientResult, run_transient
+
+#: Baseline probe set for read operations on the Figure-1/2 designs.
+READ_PROBES = ("s", "sbar", "out", "outbar", "saen")
+
+
+def default_probes(design: SenseAmpDesign) -> Tuple[str, ...]:
+    """Internal nodes plus the design's declared outputs."""
+    probes = ["s", "sbar"]
+    probes.extend(n for n in design.output_nodes if n not in probes)
+    return tuple(probes)
+
+
+class SenseAmpTestbench:
+    """Batched read-operation driver for one SA design at one corner.
+
+    Parameters
+    ----------
+    design:
+        The sense amplifier (NSSA or ISSA).
+    env:
+        Environmental corner (temperature, Vdd).
+    batch_size:
+        Monte-Carlo population size.
+    timing:
+        Read-operation timing.
+    newton:
+        Newton solver options for the transient engine.
+    """
+
+    def __init__(self, design: SenseAmpDesign, env: Environment,
+                 batch_size: int = 1,
+                 timing: ReadTiming = ReadTiming(),
+                 newton: NewtonOptions = NewtonOptions()) -> None:
+        self.design = design
+        self.env = env
+        self.timing = timing
+        self.newton = newton
+        self.system = MnaSystem(design.circuit, env.temperature_k,
+                                batch_size=batch_size)
+
+    @property
+    def batch_size(self) -> int:
+        return self.system.batch_size
+
+    # -- configuration ---------------------------------------------------
+
+    def set_vth_shifts(self, shifts: Mapping[str,
+                                             Union[float, np.ndarray]],
+                       ) -> None:
+        """Install per-device threshold shifts (mismatch + aging)."""
+        self.system.set_vth_shifts(dict(shifts))
+
+    def clear_vth_shifts(self) -> None:
+        self.system.clear_vth_shifts()
+
+    # -- simulation ------------------------------------------------------
+
+    def run_read(self, vin: Union[float, np.ndarray],
+                 swapped: bool = False,
+                 probes: Optional[Sequence[str]] = None,
+                 t_window: Optional[float] = None) -> TransientResult:
+        """Simulate one read with differential input ``vin``.
+
+        ``vin`` may be an array of shape ``(batch_size,)`` to give every
+        Monte-Carlo sample its own input (binary search).  ``t_window``
+        optionally shortens the simulated window (offset extraction only
+        needs the latch decision, not the full output settling).
+        """
+        if probes is None:
+            probes = default_probes(self.design)
+        waveforms = self.design.read_waveforms(vin, self.env.vdd,
+                                               self.timing, swapped=swapped)
+        apply_waveforms(self.design, waveforms)
+        window = self.timing.t_window if t_window is None else t_window
+        return run_transient(self.system, window, self.timing.dt,
+                             probes=probes,
+                             initial=self.design.initial_conditions(
+                                 self.env.vdd),
+                             options=self.newton)
+
+    def resolve_sign(self, vin: Union[float, np.ndarray],
+                     swapped: bool = False,
+                     t_window: Optional[float] = None) -> np.ndarray:
+        """Latch decision per sample: +1 (S high, read 1) or -1.
+
+        The decision is read from the internal differential at the end
+        of a (possibly shortened) window; regeneration is exponential,
+        so the sign is fixed long before full swing.
+        """
+        result = self.run_read(vin, swapped=swapped, probes=("s", "sbar"),
+                               t_window=t_window)
+        return final_sign(result.differential("s", "sbar"))
+
+    def sensing_delay(self, vin: Union[float, np.ndarray],
+                      swapped: bool = False) -> np.ndarray:
+        """Sensing delay per sample [s], per the paper's definition.
+
+        Time from SAenable crossing 50 % Vdd (rising) to whichever
+        output (``out``/``outbar``) rises through 50 % Vdd.
+        """
+        result = self.run_read(vin, swapped=swapped)
+        half = 0.5 * self.env.vdd
+        t_trigger = self.timing.t_enable_mid
+        out_a, out_b = self.design.output_nodes
+        t_out = crossing_time(result.times, result.probe(out_a), half,
+                              rising=True, t_min=t_trigger)
+        t_outbar = crossing_time(result.times, result.probe(out_b), half,
+                                 rising=True, t_min=t_trigger)
+        return np.fmin(t_out, t_outbar) - t_trigger

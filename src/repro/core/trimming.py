@@ -1,0 +1,163 @@
+"""Offset-trimming baseline — the mitigation the paper cites but does
+not evaluate.
+
+Reference [12] of the paper (Abu-Rahma et al., CICC'11) compensates SA
+offset with a *tunable* (trimmed) sense amplifier: a calibration step
+measures each instance's offset and programs a quantised correction.
+Trimming is the natural competitor to input switching, with the
+opposite strengths:
+
+* trimming cancels the **time-zero** offset (including the part the
+  ISSA cannot touch) up to its quantisation step and range;
+* but a one-time factory trim does nothing about **drift** — the aged
+  mean shift of an unbalanced workload re-opens exactly the gap the
+  paper's Tables II-IV document — unless the system re-calibrates in
+  the field, which costs test time and availability.
+
+This module models a trim DAC (step, range), applies it to Monte-Carlo
+offset populations, and evaluates the resulting offset specification
+for one-time and periodically re-calibrated trimming, so the benchmark
+can rank NSSA / trimmed SA / ISSA / trimmed ISSA under the same aging.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.failure import offset_spec
+from ..analysis.stats import fit_normal
+from ..constants import FAILURE_RATE_TARGET
+
+
+@dataclasses.dataclass(frozen=True)
+class TrimScheme:
+    """A trim-DAC description.
+
+    Attributes
+    ----------
+    step_v:
+        Correction quantisation step [V] (one DAC LSB).
+    range_v:
+        Maximum correction magnitude [V] (DAC full scale).
+    """
+
+    step_v: float = 0.004
+    range_v: float = 0.048
+
+    def __post_init__(self) -> None:
+        if self.step_v <= 0.0 or self.range_v <= 0.0:
+            raise ValueError("step and range must be positive")
+        if self.range_v < self.step_v:
+            raise ValueError("range must cover at least one step")
+
+    @property
+    def dac_levels(self) -> int:
+        """Number of correction levels (both polarities plus zero)."""
+        return 2 * int(round(self.range_v / self.step_v)) + 1
+
+    def corrections(self, measured_offsets: np.ndarray) -> np.ndarray:
+        """Quantised corrections cancelling measured offsets.
+
+        The correction is the nearest DAC level to ``-offset``, clipped
+        to the DAC range; NaN measurements (unresolved instances) get
+        zero correction.
+        """
+        offsets = np.asarray(measured_offsets, dtype=float)
+        ideal = -offsets
+        quantised = np.round(ideal / self.step_v) * self.step_v
+        clipped = np.clip(quantised, -self.range_v, self.range_v)
+        return np.where(np.isfinite(clipped), clipped, 0.0)
+
+
+def trimmed_offsets(offsets_at_trim: np.ndarray,
+                    offsets_now: np.ndarray,
+                    scheme: TrimScheme) -> np.ndarray:
+    """Effective offsets after trimming at an earlier calibration point.
+
+    ``offsets_at_trim`` is the population the calibration measured;
+    ``offsets_now`` the same instances at evaluation time (common
+    random numbers).  The correction cancels the calibration-time
+    offset up to quantisation/range; all drift accumulated since
+    remains.
+    """
+    at_trim = np.asarray(offsets_at_trim, dtype=float)
+    now = np.asarray(offsets_now, dtype=float)
+    if at_trim.shape != now.shape:
+        raise ValueError("populations must share their shape")
+    return now + scheme.corrections(at_trim)
+
+
+def trimmed_spec(offsets_at_trim: np.ndarray, offsets_now: np.ndarray,
+                 scheme: TrimScheme,
+                 failure_rate: float = FAILURE_RATE_TARGET) -> float:
+    """Offset specification [V] of a trimmed population (Eq. 3)."""
+    residual = trimmed_offsets(offsets_at_trim, offsets_now, scheme)
+    fit = fit_normal(residual)
+    return offset_spec(fit.mu, fit.sigma, failure_rate)
+
+
+def quantisation_floor_spec(scheme: TrimScheme,
+                            failure_rate: float = FAILURE_RATE_TARGET,
+                            ) -> float:
+    """Spec floor [V] a perfect-range trim cannot beat.
+
+    Residuals of an in-range trim are uniform over one step,
+    ``sigma = step / sqrt(12)``; solving Eq. (3) with a normal of that
+    sigma gives a slightly conservative floor (the uniform tail is
+    bounded, the normal's is not).
+    """
+    sigma = scheme.step_v / np.sqrt(12.0)
+    return offset_spec(0.0, float(sigma), failure_rate)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrimmingComparison:
+    """Specs [V] of the mitigation alternatives under one aging run."""
+
+    untrimmed_fresh: float
+    untrimmed_aged: float
+    trimmed_once: float
+    retrimmed: float
+
+    @property
+    def drift_penalty_v(self) -> float:
+        """Spec the one-time trim loses to drift versus re-trimming."""
+        return self.trimmed_once - self.retrimmed
+
+    @property
+    def trim_gain_aged_v(self) -> float:
+        """Spec a one-time trim still saves over the untrimmed aged SA."""
+        return self.untrimmed_aged - self.trimmed_once
+
+
+def compare_trimming(offsets_fresh: np.ndarray,
+                     offsets_aged: np.ndarray,
+                     scheme: Optional[TrimScheme] = None,
+                     failure_rate: float = FAILURE_RATE_TARGET,
+                     ) -> TrimmingComparison:
+    """Rank un-trimmed / once-trimmed / re-trimmed specs.
+
+    ``offsets_fresh`` and ``offsets_aged`` must be the same Monte-Carlo
+    instances at t = 0 and at the evaluation time (the common-random-
+    numbers discipline of :mod:`repro.core.montecarlo` provides this).
+
+    * *trimmed once*: calibrated at t = 0, evaluated aged — drift
+      survives;
+    * *re-trimmed*: calibrated at evaluation time — only quantisation
+      and range clipping survive.
+    """
+    scheme = scheme or TrimScheme()
+    fresh_fit = fit_normal(np.asarray(offsets_fresh, dtype=float))
+    aged_fit = fit_normal(np.asarray(offsets_aged, dtype=float))
+    return TrimmingComparison(
+        untrimmed_fresh=offset_spec(fresh_fit.mu, fresh_fit.sigma,
+                                    failure_rate),
+        untrimmed_aged=offset_spec(aged_fit.mu, aged_fit.sigma,
+                                   failure_rate),
+        trimmed_once=trimmed_spec(offsets_fresh, offsets_aged, scheme,
+                                  failure_rate),
+        retrimmed=trimmed_spec(offsets_aged, offsets_aged, scheme,
+                               failure_rate))

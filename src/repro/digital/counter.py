@@ -1,0 +1,102 @@
+"""N-bit ripple counter built from toggle flip-flops.
+
+The ISSA control logic uses an N-bit counter updated only during reads
+(gated by ``read_enable``); its most significant bit is the ``Switch``
+signal, so the SA inputs swap every ``2^(N-1)`` reads (paper: N = 8,
+swap every 128 reads).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .signals import HIGH, LOW
+from .simulator import LogicCircuit, LogicSimulator
+
+
+def build_ripple_counter(circuit: LogicCircuit, bits: int,
+                         clock: str, enable: str, reset: str,
+                         prefix: str = "cnt") -> List[str]:
+    """Add an N-bit ripple counter to ``circuit``.
+
+    Bit 0 toggles on every enabled rising clock edge; bit ``k`` toggles
+    on the falling edge of bit ``k-1`` (implemented by clocking each
+    stage with the inverted previous bit, the classic ripple topology).
+
+    Returns the list of counter-bit net names, LSB first.
+    """
+    if bits < 1:
+        raise ValueError("counter needs at least one bit")
+    outputs: List[str] = []
+    stage_clock = clock
+    for bit in range(bits):
+        out = f"{prefix}_q{bit}"
+        if bit == 0:
+            circuit.add_tff(f"{prefix}_tff{bit}", stage_clock, out,
+                            enable=enable, reset=reset)
+        else:
+            # Ripple stage: clock on the falling edge of the previous
+            # bit via an inverter.
+            inverted = f"{prefix}_q{bit - 1}_n"
+            circuit.add_gate("not", f"{prefix}_inv{bit}",
+                             [f"{prefix}_q{bit - 1}"], inverted)
+            circuit.add_tff(f"{prefix}_tff{bit}", inverted, out,
+                            reset=reset)
+        outputs.append(out)
+    return outputs
+
+
+class RippleCounter:
+    """A standalone simulated N-bit read counter.
+
+    Convenience wrapper used by the control-logic model and tests:
+    drive :meth:`clock_reads` and inspect :meth:`value` /
+    :meth:`msb`.
+    """
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.bits = bits
+        self.circuit = LogicCircuit(f"counter{bits}")
+        self.clk = self.circuit.add_input("clk")
+        self.enable = self.circuit.add_input("read_enable")
+        self.reset = self.circuit.add_input("reset")
+        self.outputs = build_ripple_counter(self.circuit, bits, "clk",
+                                            "read_enable", "reset")
+        self.sim = LogicSimulator(self.circuit)
+        self.sim.set_input("clk", LOW)
+        self.sim.set_input("read_enable", HIGH)
+        self.sim.set_input("reset", HIGH)
+        self.sim.run()
+        self.sim.set_input("reset", LOW)
+        self.sim.run()
+
+    def clock_reads(self, count: int, enabled: bool = True) -> None:
+        """Apply ``count`` read pulses (clock cycles)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.sim.set_input("read_enable", HIGH if enabled else LOW)
+        self.sim.run()
+        for _ in range(count):
+            self.sim.set_input("clk", HIGH)
+            self.sim.run()
+            self.sim.set_input("clk", LOW)
+            self.sim.run()
+
+    def value(self) -> int:
+        """Current counter value (bits with X read as 0)."""
+        total = 0
+        for bit, net in enumerate(self.outputs):
+            if self.sim.value(net) == HIGH:
+                total |= 1 << bit
+        return total
+
+    def msb(self) -> int:
+        """The Switch signal: most significant counter bit."""
+        return 1 if self.sim.value(self.outputs[-1]) == HIGH else 0
+
+    @property
+    def switch_period_reads(self) -> int:
+        """Reads between Switch toggles: ``2^(N-1)``."""
+        return 1 << (self.bits - 1)

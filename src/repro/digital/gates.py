@@ -1,0 +1,112 @@
+"""Gate primitives for the event-driven simulator.
+
+Each gate is a named component with input nets, one output net, a
+propagation delay (in integer time units) and an evaluation function.
+Sequential elements (D flip-flops / T flip-flops) react to rising clock
+edges instead of input levels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .signals import (LogicValue, logic_and, logic_nand, logic_nor,
+                      logic_not, logic_or, logic_xor)
+
+EvalFn = Callable[..., LogicValue]
+
+_COMBINATIONAL_FN: Dict[str, EvalFn] = {
+    "not": logic_not,
+    "and": logic_and,
+    "or": logic_or,
+    "nand": logic_nand,
+    "nor": logic_nor,
+    "xor": logic_xor,
+    "buf": lambda v: v,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Gate:
+    """A combinational gate.
+
+    Attributes
+    ----------
+    name:
+        Instance name.
+    kind:
+        One of ``not/and/or/nand/nor/xor/buf``.
+    inputs:
+        Input net names.
+    output:
+        Output net name.
+    delay:
+        Propagation delay in simulator time units.
+    """
+
+    name: str
+    kind: str
+    inputs: Tuple[str, ...]
+    output: str
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _COMBINATIONAL_FN:
+            raise ValueError(f"unknown gate kind {self.kind!r}")
+        if self.kind in ("not", "buf") and len(self.inputs) != 1:
+            raise ValueError(f"{self.kind} gate takes exactly one input")
+        if self.kind == "xor" and len(self.inputs) != 2:
+            raise ValueError("xor gate takes exactly two inputs")
+        if not self.inputs:
+            raise ValueError("gate needs at least one input")
+        if self.delay < 0:
+            raise ValueError("gate delay must be non-negative")
+
+    def evaluate(self, values: Sequence[LogicValue]) -> LogicValue:
+        """Output value for the given input values."""
+        return _COMBINATIONAL_FN[self.kind](*values)
+
+
+@dataclasses.dataclass(frozen=True)
+class Dff:
+    """A rising-edge D flip-flop with optional enable and async reset.
+
+    On a rising edge of ``clock`` (0 -> 1) while ``enable`` (if any) is
+    high, the value of ``data`` is transferred to ``output`` after
+    ``delay``.  A high level on ``reset`` (if any) forces the output
+    low asynchronously.
+    """
+
+    name: str
+    data: str
+    clock: str
+    output: str
+    enable: Optional[str] = None
+    reset: Optional[str] = None
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("flip-flop delay must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class Tff:
+    """A rising-edge toggle flip-flop (the ripple-counter bit cell).
+
+    On a rising edge of ``clock`` while ``enable`` (if any) is high,
+    the output toggles.  ``reset`` behaves as in :class:`Dff`.
+    Uninitialised outputs resolve to 0 on reset or stay ``X``.
+    """
+
+    name: str
+    clock: str
+    output: str
+    enable: Optional[str] = None
+    reset: Optional[str] = None
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("flip-flop delay must be non-negative")

@@ -1,0 +1,78 @@
+"""Logic values and events for the gate-level simulator.
+
+The control logic of the ISSA (Figure 3) is tiny — an N-bit counter and
+two NAND gates — but the paper's Table I is a functional claim about
+it, so we implement and verify it with a real event-driven gate-level
+simulator rather than hard-coding the truth table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+#: Logic values.  ``X`` is the unknown/uninitialised state.
+LOW = 0
+HIGH = 1
+UNKNOWN = "x"
+
+LogicValue = object  # 0, 1, or "x"
+
+
+def is_valid(value: LogicValue) -> bool:
+    """True for a driven 0/1 value."""
+    return value in (LOW, HIGH)
+
+
+def logic_not(value: LogicValue) -> LogicValue:
+    """Logical inversion with X propagation."""
+    if value == LOW:
+        return HIGH
+    if value == HIGH:
+        return LOW
+    return UNKNOWN
+
+
+def logic_and(*values: LogicValue) -> LogicValue:
+    """Multi-input AND with X propagation (0 dominates X)."""
+    if any(v == LOW for v in values):
+        return LOW
+    if all(v == HIGH for v in values):
+        return HIGH
+    return UNKNOWN
+
+
+def logic_or(*values: LogicValue) -> LogicValue:
+    """Multi-input OR with X propagation (1 dominates X)."""
+    if any(v == HIGH for v in values):
+        return HIGH
+    if all(v == LOW for v in values):
+        return LOW
+    return UNKNOWN
+
+
+def logic_nand(*values: LogicValue) -> LogicValue:
+    """Multi-input NAND with X propagation."""
+    return logic_not(logic_and(*values))
+
+
+def logic_nor(*values: LogicValue) -> LogicValue:
+    """Multi-input NOR with X propagation."""
+    return logic_not(logic_or(*values))
+
+
+def logic_xor(a: LogicValue, b: LogicValue) -> LogicValue:
+    """Two-input XOR with X propagation."""
+    if not (is_valid(a) and is_valid(b)):
+        return UNKNOWN
+    return HIGH if a != b else LOW
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled signal transition."""
+
+    time: int
+    sequence: int
+    net: str = dataclasses.field(compare=False)
+    value: LogicValue = dataclasses.field(compare=False)

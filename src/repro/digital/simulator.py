@@ -1,0 +1,194 @@
+"""Event-driven gate-level logic simulator.
+
+A :class:`LogicCircuit` holds gates and flip-flops over named nets; the
+:class:`LogicSimulator` propagates transitions through an event queue
+with per-gate delays.  Designed for the ISSA control logic (Figure 3)
+and similar small synchronous blocks; correctness, not throughput, is
+the goal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .gates import Dff, Gate, Tff
+from .signals import (HIGH, LOW, UNKNOWN, Event, LogicValue, is_valid,
+                      logic_not)
+
+
+class LogicCircuit:
+    """A collection of gates/flip-flops over named nets."""
+
+    def __init__(self, name: str = "logic") -> None:
+        self.name = name
+        self.gates: List[Gate] = []
+        self.dffs: List[Dff] = []
+        self.tffs: List[Tff] = []
+        self.primary_inputs: Set[str] = set()
+        self._driven: Dict[str, str] = {}
+
+    def _claim_output(self, net: str, driver: str) -> None:
+        if net in self._driven:
+            raise ValueError(
+                f"net {net!r} driven by both {self._driven[net]!r} "
+                f"and {driver!r}")
+        self._driven[net] = driver
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        self._claim_output(net, f"input:{net}")
+        self.primary_inputs.add(net)
+        return net
+
+    def add_gate(self, kind: str, name: str, inputs: Iterable[str],
+                 output: str, delay: int = 1) -> Gate:
+        """Add a combinational gate."""
+        gate = Gate(name, kind, tuple(inputs), output, delay)
+        self._claim_output(output, name)
+        self.gates.append(gate)
+        return gate
+
+    def add_dff(self, name: str, data: str, clock: str, output: str,
+                enable: Optional[str] = None, reset: Optional[str] = None,
+                delay: int = 1) -> Dff:
+        """Add a D flip-flop."""
+        dff = Dff(name, data, clock, output, enable, reset, delay)
+        self._claim_output(output, name)
+        self.dffs.append(dff)
+        return dff
+
+    def add_tff(self, name: str, clock: str, output: str,
+                enable: Optional[str] = None, reset: Optional[str] = None,
+                delay: int = 1) -> Tff:
+        """Add a toggle flip-flop."""
+        tff = Tff(name, clock, output, enable, reset, delay)
+        self._claim_output(output, name)
+        self.tffs.append(tff)
+        return tff
+
+    def nets(self) -> Set[str]:
+        """All net names referenced by the circuit."""
+        names: Set[str] = set(self.primary_inputs)
+        for gate in self.gates:
+            names.update(gate.inputs)
+            names.add(gate.output)
+        for ff in self.dffs:
+            names.update(n for n in (ff.data, ff.clock, ff.output,
+                                     ff.enable, ff.reset) if n)
+        for ff in self.tffs:
+            names.update(n for n in (ff.clock, ff.output, ff.enable,
+                                     ff.reset) if n)
+        return names
+
+
+class LogicSimulator:
+    """Event-driven simulator over a :class:`LogicCircuit`."""
+
+    def __init__(self, circuit: LogicCircuit) -> None:
+        self.circuit = circuit
+        self.now = 0
+        self.values: Dict[str, LogicValue] = {
+            net: UNKNOWN for net in circuit.nets()}
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        #: Last value scheduled per net — the comparison target when
+        #: deciding whether a gate needs a new output event (comparing
+        #: against the *current* value would drop corrections to
+        #: still-pending events).
+        self._last_scheduled: Dict[str, LogicValue] = {}
+        self._gate_fanout: Dict[str, List[Gate]] = {}
+        for gate in circuit.gates:
+            for net in gate.inputs:
+                self._gate_fanout.setdefault(net, []).append(gate)
+        self._clock_fanout: Dict[str, List[object]] = {}
+        self._reset_fanout: Dict[str, List[object]] = {}
+        for ff in list(circuit.dffs) + list(circuit.tffs):
+            self._clock_fanout.setdefault(ff.clock, []).append(ff)
+            if ff.reset:
+                self._reset_fanout.setdefault(ff.reset, []).append(ff)
+        #: Recorded transitions per net: list of (time, value).
+        self.history: Dict[str, List[Tuple[int, LogicValue]]] = {}
+
+    # -- driving ----------------------------------------------------------
+
+    def schedule(self, net: str, value: LogicValue, delay: int = 0) -> None:
+        """Schedule a transition on ``net`` after ``delay`` units."""
+        if net not in self.values:
+            raise KeyError(f"unknown net {net!r}")
+        self._last_scheduled[net] = value
+        heapq.heappush(self._queue,
+                       Event(self.now + delay, next(self._sequence),
+                             net, value))
+
+    def _effective_value(self, net: str) -> LogicValue:
+        """Value a net will hold once pending events drain."""
+        return self._last_scheduled.get(net, self.values[net])
+
+    def set_input(self, net: str, value: LogicValue) -> None:
+        """Drive a primary input at the current time."""
+        if net not in self.circuit.primary_inputs:
+            raise KeyError(f"{net!r} is not a primary input")
+        self.schedule(net, value, 0)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _apply(self, net: str, value: LogicValue) -> None:
+        old = self.values[net]
+        if old == value:
+            return
+        self.values[net] = value
+        self.history.setdefault(net, []).append((self.now, value))
+        for gate in self._gate_fanout.get(net, ()):
+            out = gate.evaluate([self.values[i] for i in gate.inputs])
+            if out != self._effective_value(gate.output):
+                self.schedule(gate.output, out, gate.delay)
+        if old == LOW and value == HIGH or (old == UNKNOWN and value == HIGH):
+            for ff in self._clock_fanout.get(net, ()):
+                self._clock_edge(ff)
+        if value == HIGH:
+            for ff in self._reset_fanout.get(net, ()):
+                self.schedule(ff.output, LOW, ff.delay)
+
+    def _clock_edge(self, ff: object) -> None:
+        if ff.reset and self.values[ff.reset] == HIGH:
+            return
+        if ff.enable and self.values[ff.enable] != HIGH:
+            return
+        if isinstance(ff, Dff):
+            self.schedule(ff.output, self.values[ff.data], ff.delay)
+        else:
+            current = self.values[ff.output]
+            if is_valid(current):
+                self.schedule(ff.output, logic_not(current), ff.delay)
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, max_events: int = 100_000) -> int:
+        """Process events until the queue drains; returns event count.
+
+        Raises
+        ------
+        RuntimeError
+            If ``max_events`` is exceeded (combinational loop).
+        """
+        processed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self.now = max(self.now, event.time)
+            self._apply(event.net, event.value)
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    "event limit exceeded; oscillating feedback?")
+        return processed
+
+    def reset_state(self, nets_low: Iterable[str]) -> None:
+        """Force a set of nets low immediately (initialisation helper)."""
+        for net in nets_low:
+            self._apply(net, LOW)
+
+    def value(self, net: str) -> LogicValue:
+        """Current value of a net."""
+        return self.values[net]

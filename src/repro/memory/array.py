@@ -1,0 +1,92 @@
+"""Memory-array read-latency model.
+
+Combines the bitline develop time (set by the offset specification —
+see :mod:`repro.memory.bitline`) with the SA sensing delay and fixed
+decode/wordline overheads into an end-to-end read latency, so the
+paper's "the ISSA makes the overall memory faster" claim can be
+quantified rather than asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .bitline import BitlineModel, SwingBudget, develop_time
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayTiming:
+    """Fixed (SA-independent) components of the read path.
+
+    Attributes
+    ----------
+    decode_s:
+        Address decode + wordline select time [s].
+    output_s:
+        Output mux / driver time after sensing [s].
+    """
+
+    decode_s: float = 100e-12
+    output_s: float = 50e-12
+
+    def __post_init__(self) -> None:
+        if self.decode_s < 0.0 or self.output_s < 0.0:
+            raise ValueError("timing components must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadLatency:
+    """Decomposed read latency of one access."""
+
+    decode_s: float
+    develop_s: float
+    sense_s: float
+    output_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end read latency [s]."""
+        return self.decode_s + self.develop_s + self.sense_s + self.output_s
+
+    @property
+    def total_ps(self) -> float:
+        return self.total_s * 1e12
+
+
+def read_latency(offset_spec_v: float, sensing_delay_s: float,
+                 bitline: BitlineModel = BitlineModel(),
+                 timing: ArrayTiming = ArrayTiming(),
+                 noise_margin_v: float = 0.02) -> ReadLatency:
+    """End-to-end read latency for a given SA characterisation.
+
+    Parameters
+    ----------
+    offset_spec_v:
+        The SA's offset-voltage specification [V] (Eq. 3 output).
+    sensing_delay_s:
+        The SA's sensing delay [s].
+    bitline / timing:
+        Array electrical and fixed-timing models.
+    noise_margin_v:
+        Extra differential margin provisioned above the spec.
+    """
+    if sensing_delay_s < 0.0:
+        raise ValueError("sensing delay must be non-negative")
+    budget = SwingBudget(offset_spec_v, noise_margin_v)
+    return ReadLatency(decode_s=timing.decode_s,
+                       develop_s=develop_time(bitline, budget),
+                       sense_s=sensing_delay_s,
+                       output_s=timing.output_s)
+
+
+def latency_gain(nssa_spec_v: float, nssa_delay_s: float,
+                 issa_spec_v: float, issa_delay_s: float,
+                 bitline: BitlineModel = BitlineModel(),
+                 timing: ArrayTiming = ArrayTiming()) -> float:
+    """Fractional read-latency reduction of the ISSA over the NSSA.
+
+    Positive values mean the ISSA-based memory is faster.
+    """
+    nssa = read_latency(nssa_spec_v, nssa_delay_s, bitline, timing)
+    issa = read_latency(issa_spec_v, issa_delay_s, bitline, timing)
+    return 1.0 - issa.total_s / nssa.total_s

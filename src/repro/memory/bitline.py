@@ -1,0 +1,95 @@
+"""Bitline discharge model.
+
+The paper's key system-level argument: a larger SA offset specification
+demands a larger bitline swing before the SA may fire, and the swing
+develops at the (slow) cell-current / bitline-capacitance rate — so
+offset degradation directly lengthens the memory read.  This module
+models that conversion.
+
+The bitline is an RC-loaded wire discharged by the accessed cell's
+read current.  For the small swings involved (~100-200 mV out of 1 V)
+the discharge is nearly linear; we keep the exponential form for
+generality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..constants import VDD_NOM
+
+
+@dataclasses.dataclass(frozen=True)
+class BitlineModel:
+    """Electrical model of one bitline column.
+
+    Attributes
+    ----------
+    capacitance:
+        Total bitline capacitance [F] (wire plus one junction per
+        attached cell); ~100 fF for a 256-cell column at 45 nm.
+    cell_current:
+        Read current of the accessed cell [A]; ~20 uA typical.
+    vdd:
+        Precharge level [V].
+    leakage_current:
+        Aggregate leakage of the unaccessed cells [A]; discharges the
+        *reference* bitline and erodes the effective differential.
+    """
+
+    capacitance: float = 100e-15
+    cell_current: float = 20e-6
+    vdd: float = VDD_NOM
+    leakage_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0 or self.cell_current <= 0.0:
+            raise ValueError("capacitance and cell current must be positive")
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        if not 0.0 <= self.leakage_current < self.cell_current:
+            raise ValueError(
+                "leakage must be non-negative and below the cell current")
+
+    @property
+    def effective_current(self) -> float:
+        """Differential discharge current [A] net of reference leakage."""
+        return self.cell_current - self.leakage_current
+
+    def swing_at(self, time_s: float) -> float:
+        """Differential bitline swing [V] developed after ``time_s``."""
+        if time_s < 0.0:
+            raise ValueError("time must be non-negative")
+        return self.effective_current * time_s / self.capacitance
+
+    def time_to_swing(self, swing_v: float) -> float:
+        """Develop time [s] needed to reach a differential swing."""
+        if swing_v < 0.0:
+            raise ValueError("swing must be non-negative")
+        return swing_v * self.capacitance / self.effective_current
+
+
+@dataclasses.dataclass(frozen=True)
+class SwingBudget:
+    """Swing provisioning for a target offset specification.
+
+    The required differential at SA firing is the offset specification
+    plus a fixed design margin for noise/coupling.
+    """
+
+    offset_spec_v: float
+    noise_margin_v: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.offset_spec_v < 0.0 or self.noise_margin_v < 0.0:
+            raise ValueError("spec and margin must be non-negative")
+
+    @property
+    def required_swing_v(self) -> float:
+        """Total differential swing to provision [V]."""
+        return self.offset_spec_v + self.noise_margin_v
+
+
+def develop_time(bitline: BitlineModel, budget: SwingBudget) -> float:
+    """Bitline develop time [s] for an offset-spec budget."""
+    return bitline.time_to_swing(budget.required_swing_v)

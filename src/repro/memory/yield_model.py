@@ -1,0 +1,103 @@
+"""Memory-yield model: from the SA offset spec to array/chip yield.
+
+The paper fixes a failure-rate target of 1e-9 per SA "targeting an
+application with high reliability requirement" (Sec. II-C).  This
+module closes the loop: given the offset distribution a corner/workload
+produces and the swing a design actually provisions, it computes the
+per-SA failure probability (Eq. 3 evaluated at the provisioned swing
+rather than solved for), then aggregates over the columns of a macro
+and the macros of a chip.
+
+This turns the paper's tables into the quantity a product team cares
+about — how many dies stop meeting timing after N years in the field —
+and is exercised by ``examples``/tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..analysis.failure import failure_rate_at
+
+
+@dataclasses.dataclass(frozen=True)
+class YieldModel:
+    """Array organisation for yield aggregation.
+
+    Attributes
+    ----------
+    columns_per_macro:
+        SAs per memory macro.
+    macros_per_chip:
+        Macros per die.
+    """
+
+    columns_per_macro: int = 128
+    macros_per_chip: int = 64
+
+    def __post_init__(self) -> None:
+        if self.columns_per_macro < 1 or self.macros_per_chip < 1:
+            raise ValueError("organisation counts must be positive")
+
+    @property
+    def sense_amps_per_chip(self) -> int:
+        return self.columns_per_macro * self.macros_per_chip
+
+
+def sa_failure_probability(mu_v: float, sigma_v: float,
+                           provisioned_swing_v: float) -> float:
+    """Per-SA failure probability at a provisioned input swing.
+
+    An SA fails when its required offset exceeds the swing the design
+    budgeted (Eq. 3 with ``Voffset`` = the provisioned swing).
+    """
+    if provisioned_swing_v <= 0.0:
+        raise ValueError("provisioned swing must be positive")
+    return failure_rate_at(provisioned_swing_v, mu_v, sigma_v)
+
+
+def array_yield(sa_fail_probability: float,
+                model: YieldModel = YieldModel()) -> float:
+    """Probability a whole chip has no failing SA.
+
+    Independent per-SA failures: ``yield = (1 - p)^(SAs per chip)``,
+    evaluated in log space for tiny ``p``.
+    """
+    if not 0.0 <= sa_fail_probability <= 1.0:
+        raise ValueError("probability must be within [0, 1]")
+    if sa_fail_probability == 1.0:
+        return 0.0
+    return math.exp(model.sense_amps_per_chip
+                    * math.log1p(-sa_fail_probability))
+
+
+def yield_loss_ppm(sa_fail_probability: float,
+                   model: YieldModel = YieldModel()) -> float:
+    """Chip-level yield loss in parts per million."""
+    return (1.0 - array_yield(sa_fail_probability, model)) * 1e6
+
+
+def swing_for_yield(mu_v: float, sigma_v: float, target_yield: float,
+                    model: YieldModel = YieldModel(),
+                    upper_v: float = 1.0) -> float:
+    """Smallest provisioned swing meeting a chip-yield target.
+
+    Bisects the monotone relation swing -> yield.  Raises if even
+    ``upper_v`` of swing cannot reach the target (pathological inputs).
+    """
+    if not 0.0 < target_yield < 1.0:
+        raise ValueError("target yield must be in (0, 1)")
+    if array_yield(sa_failure_probability(mu_v, sigma_v, upper_v),
+                   model) < target_yield:
+        raise ValueError("target yield unreachable within the swing cap")
+    lo, hi = 1e-6, upper_v
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        chip_yield = array_yield(
+            sa_failure_probability(mu_v, sigma_v, mid), model)
+        if chip_yield >= target_yield:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,29 @@
+"""Device models: EKV-style MOSFET cards, PTM-45nm parameters, variation.
+
+Public surface:
+
+* :class:`~repro.models.mosmodel.MosParams` and :func:`~repro.models.mosmodel.mos_current`
+  — the compact model used by the circuit simulator.
+* :data:`~repro.models.ptm45.NMOS_45HP` / :data:`~repro.models.ptm45.PMOS_45HP`
+  — the 45 nm PTM HP-like cards used by the paper's circuits.
+* :class:`~repro.models.variation.MismatchModel` — Pelgrom time-zero mismatch.
+* :class:`~repro.models.temperature.Environment` — a (temperature, Vdd) corner.
+"""
+
+from .mosmodel import MosParams, mos_current, saturation_current, transconductance
+from .ptm45 import NMOS_45HP, PMOS_45HP, L_NOMINAL, COX, width_from_ratio, gate_area
+from .variation import MismatchModel, AVT_DEFAULT, pair_offset_sigma
+from .temperature import Environment, PAPER_TEMPERATURES_C, PAPER_VDD_FACTORS
+from .corners import (ProcessCorner, CORNERS, corner, cornered_cards,
+                      sample_global_corner, CORNER_TT, CORNER_SS,
+                      CORNER_FF, CORNER_SF, CORNER_FS)
+
+__all__ = [
+    "MosParams", "mos_current", "saturation_current", "transconductance",
+    "NMOS_45HP", "PMOS_45HP", "L_NOMINAL", "COX", "width_from_ratio",
+    "gate_area", "MismatchModel", "AVT_DEFAULT", "pair_offset_sigma",
+    "Environment", "PAPER_TEMPERATURES_C", "PAPER_VDD_FACTORS",
+    "ProcessCorner", "CORNERS", "corner", "cornered_cards",
+    "sample_global_corner", "CORNER_TT", "CORNER_SS", "CORNER_FF",
+    "CORNER_SF", "CORNER_FS",
+]

@@ -1,0 +1,112 @@
+"""Global process corners (die-to-die variation).
+
+The Pelgrom mismatch model (:mod:`repro.models.variation`) covers
+*within-die* random variation — what sets the SA offset.  This module
+adds the *die-to-die* (global) component: slow/typical/fast corners
+shifting every NMOS (and, independently, every PMOS) on a die together.
+Corners do not move the offset mean (they are common-mode for matched
+pairs) but they move the sensing delay and shift the BTI operating
+point — the classic five-corner sign-off the paper's guardbanding
+discussion alludes to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .mosmodel import MosParams
+
+#: One-sigma global Vth variation [V] (die to die).
+GLOBAL_VTH_SIGMA = 0.015
+#: One-sigma global mobility variation (relative).
+GLOBAL_MOBILITY_SIGMA = 0.04
+#: Corner distance in sigmas (3-sigma corners).
+CORNER_SIGMAS = 3.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessCorner:
+    """A global corner: per-polarity Vth and mobility skew.
+
+    ``vth_shift_*`` add to |Vth| (positive = slow device);
+    ``mobility_factor_*`` multiply the low-field mobility.
+    """
+
+    name: str
+    vth_shift_nmos: float = 0.0
+    vth_shift_pmos: float = 0.0
+    mobility_factor_nmos: float = 1.0
+    mobility_factor_pmos: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mobility_factor_nmos <= 0.0 \
+                or self.mobility_factor_pmos <= 0.0:
+            raise ValueError("mobility factors must be positive")
+
+    def apply(self, params: MosParams) -> MosParams:
+        """A card with this corner's skew applied."""
+        if params.is_nmos:
+            shift = self.vth_shift_nmos
+            factor = self.mobility_factor_nmos
+        else:
+            shift = self.vth_shift_pmos
+            factor = self.mobility_factor_pmos
+        return dataclasses.replace(params, vth0=params.vth0 + shift,
+                                   u0=params.u0 * factor)
+
+
+def _corner(name: str, n_sign: float, p_sign: float) -> ProcessCorner:
+    dv = CORNER_SIGMAS * GLOBAL_VTH_SIGMA
+    du = CORNER_SIGMAS * GLOBAL_MOBILITY_SIGMA
+    return ProcessCorner(
+        name,
+        vth_shift_nmos=n_sign * dv,
+        vth_shift_pmos=p_sign * dv,
+        mobility_factor_nmos=1.0 - n_sign * du,
+        mobility_factor_pmos=1.0 - p_sign * du)
+
+
+#: The five classic corners.  Sign convention: +1 = slow.
+CORNER_TT = ProcessCorner("TT")
+CORNER_SS = _corner("SS", +1.0, +1.0)
+CORNER_FF = _corner("FF", -1.0, -1.0)
+CORNER_SF = _corner("SF", +1.0, -1.0)   # slow NMOS, fast PMOS
+CORNER_FS = _corner("FS", -1.0, +1.0)
+
+CORNERS: Dict[str, ProcessCorner] = {
+    c.name: c for c in (CORNER_TT, CORNER_SS, CORNER_FF, CORNER_SF,
+                        CORNER_FS)}
+
+
+def corner(name: str) -> ProcessCorner:
+    """Look up a corner by its canonical name (``TT``/``SS``/...)."""
+    try:
+        return CORNERS[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown corner {name!r}; "
+                       f"choose from {sorted(CORNERS)}") from None
+
+
+def sample_global_corner(rng: np.random.Generator,
+                         name: str = "sampled") -> ProcessCorner:
+    """Draw one die's global skew from the corner distribution."""
+    n_sigma = rng.normal(0.0, 1.0)
+    p_sigma = rng.normal(0.0, 1.0)
+    return ProcessCorner(
+        name,
+        vth_shift_nmos=n_sigma * GLOBAL_VTH_SIGMA,
+        vth_shift_pmos=p_sigma * GLOBAL_VTH_SIGMA,
+        mobility_factor_nmos=max(0.1, 1.0 - n_sigma
+                                 * GLOBAL_MOBILITY_SIGMA),
+        mobility_factor_pmos=max(0.1, 1.0 - p_sigma
+                                 * GLOBAL_MOBILITY_SIGMA))
+
+
+def cornered_cards(nmos: MosParams, pmos: MosParams,
+                   process_corner: ProcessCorner,
+                   ) -> Tuple[MosParams, MosParams]:
+    """Both polarity cards with a corner applied."""
+    return process_corner.apply(nmos), process_corner.apply(pmos)

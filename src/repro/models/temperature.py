@@ -1,0 +1,67 @@
+"""Environment (temperature / supply) corner description.
+
+The paper sweeps three temperatures (25, 75, 125 degC) and three supplies
+(0.9, 1.0, 1.1 V).  :class:`Environment` bundles one such corner and is
+threaded through both the circuit simulator (device temperature scaling)
+and the BTI model (stress acceleration).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..constants import T0, VDD_NOM, celsius_to_kelvin, kelvin_to_celsius
+
+
+@dataclasses.dataclass(frozen=True)
+class Environment:
+    """One environmental corner: absolute temperature and supply voltage.
+
+    Attributes
+    ----------
+    temperature_k:
+        Junction temperature [K].
+    vdd:
+        Supply voltage [V].
+    """
+
+    temperature_k: float = T0
+    vdd: float = VDD_NOM
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0.0:
+            raise ValueError("temperature must be positive Kelvin")
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+
+    @classmethod
+    def from_celsius(cls, temperature_c: float,
+                     vdd: float = VDD_NOM) -> "Environment":
+        """Build a corner from a Celsius temperature."""
+        return cls(celsius_to_kelvin(temperature_c), vdd)
+
+    @classmethod
+    def nominal(cls) -> "Environment":
+        """The paper's nominal corner: 25 degC, 1.0 V."""
+        return cls()
+
+    @property
+    def temperature_c(self) -> float:
+        """Junction temperature in Celsius."""
+        return kelvin_to_celsius(self.temperature_k)
+
+    @property
+    def vdd_percent(self) -> float:
+        """Supply deviation from nominal in percent (e.g. +10.0)."""
+        return 100.0 * (self.vdd - VDD_NOM) / VDD_NOM
+
+    def label(self) -> str:
+        """Short human-readable corner label, e.g. ``'125C/+10%Vdd'``."""
+        pct = self.vdd_percent
+        vdd_part = "nom.Vdd" if abs(pct) < 0.5 else f"{pct:+.0f}%Vdd"
+        return f"{self.temperature_c:.0f}C/{vdd_part}"
+
+
+#: The corners swept by the paper's evaluation section.
+PAPER_TEMPERATURES_C = (25.0, 75.0, 125.0)
+PAPER_VDD_FACTORS = (0.9, 1.0, 1.1)

@@ -1,0 +1,51 @@
+"""Batched SPICE-like circuit simulator.
+
+This package replaces the paper's use of Cadence Spectre with a compact,
+numpy-vectorised modified-nodal-analysis simulator:
+
+* :class:`~repro.spice.netlist.Circuit` — netlist container,
+* :class:`~repro.spice.mna.MnaSystem` — compiled system (batched over a
+  Monte-Carlo axis),
+* :func:`~repro.spice.dcop.dc_operating_point` — DC solution,
+* :func:`~repro.spice.transient.run_transient` — fixed-step transient,
+* :mod:`~repro.spice.measure` — crossing/delay measurements,
+* :mod:`~repro.spice.waveforms` — DC / step / pulse / PWL sources.
+"""
+
+from .netlist import Circuit, Resistor, Capacitor, VSource, ISource, Mosfet
+from .waveforms import Dc, Step, Pulse, Pwl, Waveform
+from .mna import MnaSystem, GMIN_DEFAULT
+from .solver import NewtonOptions, ConvergenceError, newton_solve
+from .dcop import dc_operating_point
+from .transient import run_transient, TransientResult
+from .measure import crossing_time, delay_between, final_sign, settles_to
+from .ac import ac_sweep, AcResult, logspace_frequencies
+from .export import export_spice
+from .parser import parse_spice, SpiceParseError
+from .adaptive import run_adaptive_transient, AdaptiveOptions, \
+    waveform_breakpoints
+from .subckt import SubCircuit, instantiate
+from .sweep import dc_sweep, SweepResult, butterfly_curves, \
+    static_noise_margin
+from .noise import noise_analysis, NoiseResult
+from .opinfo import (DeviceOp, device_operating_point,
+                     operating_point_report, render_op_report,
+                     total_supply_current)
+
+__all__ = [
+    "Circuit", "Resistor", "Capacitor", "VSource", "ISource", "Mosfet",
+    "Dc", "Step", "Pulse", "Pwl", "Waveform",
+    "MnaSystem", "GMIN_DEFAULT",
+    "NewtonOptions", "ConvergenceError", "newton_solve",
+    "dc_operating_point",
+    "run_transient", "TransientResult",
+    "crossing_time", "delay_between", "final_sign", "settles_to",
+    "ac_sweep", "AcResult", "logspace_frequencies",
+    "export_spice", "parse_spice", "SpiceParseError",
+    "run_adaptive_transient", "AdaptiveOptions", "waveform_breakpoints",
+    "SubCircuit", "instantiate",
+    "dc_sweep", "SweepResult", "butterfly_curves", "static_noise_margin",
+    "noise_analysis", "NoiseResult",
+    "DeviceOp", "device_operating_point", "operating_point_report",
+    "render_op_report", "total_supply_current",
+]

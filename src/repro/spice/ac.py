@@ -1,0 +1,141 @@
+"""Small-signal (AC) analysis around a DC operating point.
+
+Linearises the compiled system at an operating point and solves the
+complex phasor equations ``(G + j*omega*C) x = b`` for unit-amplitude
+excitation at a source node.  Used for sense-amplifier small-signal
+metrics (pre-amplification gain of the input stage, pole locations of
+the bitline interface) and validated against analytic RC transfer
+functions in the tests.
+
+Limitations: the excitation replaces one grounded source's *small
+signal*; all other sources are AC grounds — the standard single-input
+AC sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .mna import MnaSystem
+
+
+@dataclasses.dataclass
+class AcResult:
+    """Frequency response of one AC sweep.
+
+    Attributes
+    ----------
+    frequencies:
+        Sweep grid [Hz], shape ``(n_freq,)``.
+    transfers:
+        Node name -> complex transfer (node phasor per volt of
+        excitation), shape ``(n_freq, batch)``.
+    """
+
+    frequencies: np.ndarray
+    transfers: Dict[str, np.ndarray]
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        """|H| in dB for a probed node."""
+        h = np.abs(self.transfers[node])
+        return 20.0 * np.log10(np.maximum(h, 1e-300))
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        """Phase of H in degrees for a probed node."""
+        return np.degrees(np.angle(self.transfers[node]))
+
+    def corner_frequency(self, node: str, sample: int = 0) -> float:
+        """-3 dB frequency of a low-pass response (nan if not found).
+
+        The reference level is the response at the lowest swept
+        frequency.
+        """
+        mag = np.abs(self.transfers[node][:, sample])
+        ref = mag[0]
+        below = np.nonzero(mag <= ref / np.sqrt(2.0))[0]
+        if below.size == 0:
+            return float("nan")
+        k = below[0]
+        if k == 0:
+            return float(self.frequencies[0])
+        # Log-linear interpolation between the straddling points.
+        f0, f1 = self.frequencies[k - 1], self.frequencies[k]
+        m0, m1 = mag[k - 1], mag[k]
+        target = ref / np.sqrt(2.0)
+        frac = (m0 - target) / (m0 - m1)
+        return float(f0 * (f1 / f0) ** frac)
+
+
+def ac_sweep(system: MnaSystem, operating_point: np.ndarray,
+             input_node: str, frequencies: Sequence[float],
+             probes: Sequence[str]) -> AcResult:
+    """Run an AC sweep of the linearised system.
+
+    Parameters
+    ----------
+    system:
+        Compiled circuit.
+    operating_point:
+        Full node vector ``(batch, n)`` to linearise around (from
+        :func:`repro.spice.dcop.dc_operating_point` or a transient
+        snapshot).
+    input_node:
+        Source-driven node receiving the unit AC excitation.
+    frequencies:
+        Sweep grid [Hz]; must be positive.
+    probes:
+        Nodes whose transfer to record.
+    """
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if np.any(freqs <= 0.0):
+        raise ValueError("frequencies must be positive")
+    if input_node not in system.node_index:
+        raise KeyError(f"unknown node {input_node!r}")
+    input_idx = system.node_index[input_node]
+    if input_idx not in set(system.known_idx.tolist()):
+        raise ValueError(f"{input_node!r} is not a source-driven node")
+
+    # Linearise: the static Jacobian at the operating point is the
+    # small-signal conductance matrix.
+    _, jac = system.static_residual_jacobian(
+        np.array(operating_point, dtype=float), 0.0)
+    batch = operating_point.shape[0]
+    u = system.unknown_idx
+    row = u[:, None]
+    col = u[None, :]
+    g_uu = jac[:, row, col]
+    g_ui = jac[:, u, input_idx]
+    c = system.c_matrix
+    c_uu = np.broadcast_to(c[np.ix_(u, u)], g_uu.shape)
+    c_ui = np.broadcast_to(c[u, input_idx], g_ui.shape)
+
+    transfers = {p: np.empty((freqs.size, batch), dtype=complex)
+                 for p in probes}
+    for k, f in enumerate(freqs):
+        jw = 2j * np.pi * f
+        a = g_uu + jw * c_uu
+        # Unit excitation on the input node: it appears as a forcing
+        # term through the coupling column.
+        b = -(g_ui + jw * c_ui)
+        x = np.linalg.solve(a, b[..., None])[..., 0]
+        full = np.zeros((batch, system.n_nodes), dtype=complex)
+        full[:, u] = x
+        full[:, input_idx] = 1.0
+        for p in probes:
+            transfers[p][k] = full[:, system.node_index[p]]
+    return AcResult(frequencies=freqs, transfers=transfers)
+
+
+def logspace_frequencies(f_start: float, f_stop: float,
+                         points_per_decade: int = 10) -> np.ndarray:
+    """Logarithmic frequency grid, SPICE ``.ac dec`` style."""
+    if f_start <= 0.0 or f_stop <= f_start:
+        raise ValueError("need 0 < f_start < f_stop")
+    if points_per_decade < 1:
+        raise ValueError("points_per_decade must be >= 1")
+    decades = np.log10(f_stop / f_start)
+    count = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(np.log10(f_start), np.log10(f_stop), count)

@@ -1,0 +1,88 @@
+"""DC operating-point analysis with gmin stepping.
+
+Finds a static solution (capacitors open) of the compiled system.  A
+latch has multiple DC solutions; the one found depends on the initial
+guess, which callers set through ``initial`` (e.g. precharge both
+internal nodes high).  Gmin stepping — starting with a large artificial
+conductance to ground and relaxing it geometrically — is the classic
+continuation that makes the first solve robust.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .mna import MnaSystem
+from .solver import ConvergenceError, NewtonOptions, newton_solve
+
+
+def dc_operating_point(system: MnaSystem,
+                       time_s: float = 0.0,
+                       initial: Optional[Dict[str, float]] = None,
+                       options: NewtonOptions = NewtonOptions(),
+                       gmin_start: float = 1e-3,
+                       gmin_steps: int = 7) -> np.ndarray:
+    """Solve the DC operating point at ``time_s``.
+
+    Parameters
+    ----------
+    system:
+        Compiled circuit.
+    time_s:
+        Time at which source waveforms are evaluated.
+    initial:
+        Optional initial guesses for unknown nodes (selects the latch
+        state when several solutions exist).
+    options:
+        Newton solver options.
+    gmin_start:
+        Initial artificial conductance to ground [S] for the
+        continuation; relaxed geometrically to zero extra conductance
+        over ``gmin_steps`` stages.
+    gmin_steps:
+        Number of continuation stages (0 disables stepping).
+
+    Returns
+    -------
+    np.ndarray
+        The full node-voltage vector ``(batch, n_nodes)``.
+    """
+    v_full = system.initial_full_vector(time_s, initial)
+    diag = np.arange(system.n_nodes)
+
+    def make_res_jac(extra_gmin: float):
+        def res_jac(v):
+            system.apply_known(v, time_s)
+            f, jac = system.static_residual_jacobian(v, time_s)
+            if extra_gmin > 0.0:
+                f += extra_gmin * v
+                jac[:, diag, diag] += extra_gmin
+            return f, jac
+        return res_jac
+
+    # Direct solve first: it succeeds from any reasonable initial guess
+    # and — crucially for bistable circuits — follows the branch the
+    # initial conditions select instead of the artificial-conductance
+    # (near-metastable) branch.
+    try:
+        v_full, _ = newton_solve(make_res_jac(0.0), v_full,
+                                 system.unknown_idx, options)
+        system.apply_known(v_full, time_s)
+        return v_full
+    except ConvergenceError:
+        pass
+
+    v_full = system.initial_full_vector(time_s, initial)
+    if gmin_steps > 0:
+        schedule = gmin_start * (10.0 ** -np.arange(gmin_steps))
+    else:
+        schedule = np.array([])
+    for extra in schedule:
+        v_full, _ = newton_solve(make_res_jac(float(extra)), v_full,
+                                 system.unknown_idx, options)
+    v_full, _ = newton_solve(make_res_jac(0.0), v_full,
+                             system.unknown_idx, options)
+    system.apply_known(v_full, time_s)
+    return v_full

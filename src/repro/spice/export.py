@@ -1,0 +1,70 @@
+"""SPICE-format netlist export.
+
+Writes a :class:`~repro.spice.netlist.Circuit` as a standard SPICE deck
+so the reproduction's circuits can be cross-validated in an external
+simulator (ngspice/Spectre).  MOSFETs reference ``.model`` cards named
+``nmos_45hp`` / ``pmos_45hp``; time-varying sources export their DC
+value with a comment (external testbenches drive their own stimuli).
+
+The companion :mod:`repro.spice.parser` reads the same dialect back;
+round-trip equivalence is covered in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..models.mosmodel import MosParams
+from .netlist import Circuit
+from .waveforms import Dc
+
+
+def _model_name(params: MosParams) -> str:
+    return "nmos_45hp" if params.is_nmos else "pmos_45hp"
+
+
+def _fmt(value: float) -> str:
+    """Plain scientific formatting (SPICE accepts it everywhere)."""
+    return f"{value:.6g}"
+
+
+def export_spice(circuit: Circuit, title: str = "") -> str:
+    """Render a circuit as a SPICE deck string."""
+    lines: List[str] = [f"* {title or circuit.name}"]
+    models: Dict[str, MosParams] = {}
+
+    for r in circuit.resistors:
+        lines.append(f"R{r.name} {r.node_a} {r.node_b} "
+                     f"{_fmt(r.resistance)}")
+    for c in circuit.capacitors:
+        lines.append(f"C{c.name} {c.node_a} {c.node_b} "
+                     f"{_fmt(c.capacitance)}")
+    for v in circuit.vsources:
+        level = v.waveform.value(0.0)
+        try:
+            dc_value = float(level)
+        except TypeError:
+            dc_value = float(level[0])
+        comment = "" if isinstance(v.waveform, Dc) else \
+            "  * time-varying source exported as DC"
+        lines.append(f"V{v.name} {v.node} 0 DC {_fmt(dc_value)}"
+                     f"{comment}")
+    for i in circuit.isources:
+        level = i.waveform.value(0.0)
+        lines.append(f"I{i.name} {i.node_a} {i.node_b} DC "
+                     f"{_fmt(float(level))}")
+    for m in circuit.mosfets:
+        model = _model_name(m.params)
+        models[model] = m.params
+        lines.append(
+            f"M{m.name} {m.drain} {m.gate} {m.source} {m.bulk} {model} "
+            f"W={_fmt(m.width)} L={_fmt(m.length)}")
+
+    for name, params in sorted(models.items()):
+        kind = "NMOS" if params.is_nmos else "PMOS"
+        lines.append(
+            f".model {name} {kind} (VTO={_fmt(params.polarity * params.vth0)} "
+            f"U0={_fmt(params.u0 * 1e4)} COX={_fmt(params.cox)} "
+            f"LAMBDA={_fmt(params.lambda_clm)})")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""Waveform measurement utilities.
+
+These operate on the ``(n_steps, batch)`` probe arrays produced by the
+transient engine and return per-sample quantities (crossing times,
+delays).  Samples whose waveform never satisfies the condition yield
+``nan`` so callers can distinguish "did not resolve" from a real value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def crossing_time(times: np.ndarray, waveform: np.ndarray, level: float,
+                  rising: bool = True, t_min: float = -np.inf) -> np.ndarray:
+    """First time each sample's waveform crosses ``level``.
+
+    Parameters
+    ----------
+    times:
+        Time grid ``(n_steps,)``.
+    waveform:
+        Probe array ``(n_steps, batch)`` (a 1-D array is treated as a
+        single sample).
+    level:
+        Threshold voltage [V].
+    rising:
+        Direction of the crossing to detect.
+    t_min:
+        Ignore crossings before this time (e.g. skip the develop phase).
+
+    Returns
+    -------
+    np.ndarray
+        Crossing times ``(batch,)`` with linear interpolation between
+        grid points; ``nan`` where no crossing occurs.
+    """
+    wave = np.asarray(waveform, dtype=float)
+    if wave.ndim == 1:
+        wave = wave[:, None]
+    n_steps, batch = wave.shape
+    if times.shape[0] != n_steps:
+        raise ValueError("times and waveform lengths differ")
+
+    if rising:
+        below = wave[:-1] < level
+        above = wave[1:] >= level
+    else:
+        below = wave[:-1] > level
+        above = wave[1:] <= level
+    valid = (times[1:] >= t_min)[:, None]
+    crossed = below & above & valid
+
+    out = np.full(batch, np.nan)
+    any_cross = crossed.any(axis=0)
+    first = np.argmax(crossed, axis=0)
+    for sample in np.nonzero(any_cross)[0]:
+        k = first[sample]
+        v0, v1 = wave[k, sample], wave[k + 1, sample]
+        t0, t1 = times[k], times[k + 1]
+        frac = 0.0 if v1 == v0 else (level - v0) / (v1 - v0)
+        out[sample] = t0 + frac * (t1 - t0)
+    return out
+
+
+def delay_between(times: np.ndarray, trigger: np.ndarray,
+                  response: np.ndarray, level_trigger: float,
+                  level_response: float, rising_trigger: bool = True,
+                  rising_response: bool = True,
+                  t_min: float = -np.inf) -> np.ndarray:
+    """Per-sample delay between a trigger crossing and a response crossing.
+
+    Used for the paper's sensing delay: time from SAenable reaching 50 %
+    Vdd to the output reaching 50 % Vdd.
+    """
+    t_trig = crossing_time(times, trigger, level_trigger, rising_trigger,
+                           t_min)
+    t_resp = crossing_time(times, response, level_response, rising_response,
+                           t_min)
+    return t_resp - t_trig
+
+
+def final_sign(waveform: np.ndarray) -> np.ndarray:
+    """Sign of the final value of each sample's waveform.
+
+    Used to decide which way a latch resolved: +1, -1, or 0 (exactly
+    metastable, which with finite arithmetic effectively never happens).
+    """
+    wave = np.asarray(waveform, dtype=float)
+    if wave.ndim == 1:
+        wave = wave[:, None]
+    return np.sign(wave[-1])
+
+
+def settles_to(waveform: np.ndarray, level: float,
+               tolerance: float) -> np.ndarray:
+    """Boolean per sample: does the waveform end within tolerance of level?"""
+    wave = np.asarray(waveform, dtype=float)
+    if wave.ndim == 1:
+        wave = wave[:, None]
+    return np.abs(wave[-1] - level) <= tolerance

@@ -1,0 +1,276 @@
+"""Modified nodal analysis assembly with known-node elimination.
+
+The circuits in this repository only use *grounded* voltage sources
+(supply rails, bitlines, clock/enable phases).  Instead of carrying
+branch-current unknowns for them, the driven nodes are treated as
+*known*: their voltages are imposed from the source waveforms at every
+evaluation, and Kirchhoff's current law is only enforced at the
+remaining (unknown) nodes.  This keeps the Jacobian small, symmetric in
+structure, and easy to batch.
+
+Conventions
+-----------
+* Node index 0 is ground, pinned to 0 V and never solved for.
+* The full node-voltage vector has shape ``(batch, n_nodes)``; the batch
+  axis carries Monte-Carlo samples.
+* The residual ``f[b, i]`` is the total current *leaving* node ``i``
+  in sample ``b``; Newton-Raphson drives ``f -> 0`` on unknown nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..models.mosmodel import mos_current
+from .netlist import Circuit, Mosfet, is_ground
+
+#: Conductance from every node to ground for conditioning [S].
+GMIN_DEFAULT = 1e-9
+
+
+@dataclasses.dataclass
+class _MosfetSlot:
+    """A compiled MOSFET: node indices plus a per-sample Vth shift."""
+
+    element: Mosfet
+    drain: int
+    gate: int
+    source: int
+    bulk: int
+    vth_shift: Union[float, np.ndarray] = 0.0
+
+
+class MnaSystem:
+    """A circuit compiled for batched simulation.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to compile.
+    temperature_k:
+        Junction temperature for device evaluation [K].
+    batch_size:
+        Leading Monte-Carlo axis length (1 for a single deterministic
+        run).
+    gmin:
+        Conditioning conductance from every node to ground [S].
+    """
+
+    def __init__(self, circuit: Circuit, temperature_k: float,
+                 batch_size: int = 1, gmin: float = GMIN_DEFAULT) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.circuit = circuit
+        self.temperature_k = float(temperature_k)
+        self.batch_size = int(batch_size)
+        self.gmin = float(gmin)
+
+        names = circuit.node_names()
+        #: node name -> index; ground is index 0.
+        self.node_index: Dict[str, int] = {"0": 0}
+        for name in names:
+            self.node_index[name] = len(self.node_index)
+        self.n_nodes = len(self.node_index)
+
+        driven = set(circuit.driven_nodes())
+        self.known_names: List[str] = [n for n in names if n in driven]
+        self.unknown_names: List[str] = [n for n in names if n not in driven]
+        self.known_idx = np.array(
+            [self.node_index[n] for n in self.known_names], dtype=int)
+        self.unknown_idx = np.array(
+            [self.node_index[n] for n in self.unknown_names], dtype=int)
+        if len(self.unknown_idx) == 0:
+            raise ValueError("circuit has no unknown nodes to solve for")
+
+        self._isources = [(self._index_of(i.node_a), self._index_of(i.node_b),
+                           i.waveform) for i in circuit.isources]
+
+        self._build_linear_matrices()
+        self._compile_mosfets()
+
+    # -- construction ----------------------------------------------------
+
+    def _index_of(self, node: str) -> int:
+        return 0 if is_ground(node) else self.node_index[node]
+
+    def _build_linear_matrices(self) -> None:
+        n = self.n_nodes
+        g = np.zeros((n, n))
+        c = np.zeros((n, n))
+        for r in self.circuit.resistors:
+            self._stamp_two_terminal(g, self._index_of(r.node_a),
+                                     self._index_of(r.node_b),
+                                     1.0 / r.resistance)
+        for cap in self.circuit.capacitors:
+            self._stamp_two_terminal(c, self._index_of(cap.node_a),
+                                     self._index_of(cap.node_b),
+                                     cap.capacitance)
+        for m in self.circuit.mosfets:
+            self._stamp_mosfet_parasitics(c, m)
+        # gmin on every non-ground diagonal keeps the Jacobian regular.
+        for index in range(1, n):
+            g[index, index] += self.gmin
+        self.g_static = g
+        self.c_matrix = c
+
+    @staticmethod
+    def _stamp_two_terminal(matrix: np.ndarray, a: int, b: int,
+                            value: float) -> None:
+        matrix[a, a] += value
+        matrix[b, b] += value
+        matrix[a, b] -= value
+        matrix[b, a] -= value
+
+    def _stamp_mosfet_parasitics(self, c: np.ndarray, m: Mosfet) -> None:
+        """Lumped linear device capacitances.
+
+        Intrinsic gate capacitance goes gate-bulk; overlap capacitances
+        gate-drain and gate-source; junction capacitances drain-bulk and
+        source-bulk.  Constant (bias-independent) values are a standard
+        simplification that preserves the delay *trends* the paper
+        reports.
+        """
+        width = m.width
+        d, g_, s, b = (self._index_of(m.drain), self._index_of(m.gate),
+                       self._index_of(m.source), self._index_of(m.bulk))
+        c_gate = m.params.cox * width * m.length
+        c_ov = m.params.cg_overlap_per_width * width
+        c_j = m.params.cj_per_width * width
+        self._stamp_two_terminal(c, g_, b, c_gate)
+        self._stamp_two_terminal(c, g_, d, c_ov)
+        self._stamp_two_terminal(c, g_, s, c_ov)
+        self._stamp_two_terminal(c, d, b, c_j)
+        self._stamp_two_terminal(c, s, b, c_j)
+
+    def _compile_mosfets(self) -> None:
+        self._mosfets: List[_MosfetSlot] = []
+        self._mosfet_slots: Dict[str, _MosfetSlot] = {}
+        for m in self.circuit.mosfets:
+            slot = _MosfetSlot(m, self._index_of(m.drain),
+                               self._index_of(m.gate),
+                               self._index_of(m.source),
+                               self._index_of(m.bulk))
+            self._mosfets.append(slot)
+            self._mosfet_slots[m.name] = slot
+
+    # -- configuration ---------------------------------------------------
+
+    def set_vth_shift(self, name: str,
+                      shift: Union[float, np.ndarray]) -> None:
+        """Set the Vth shift magnitude [V] for MOSFET ``name``.
+
+        ``shift`` is a scalar or an array of shape ``(batch_size,)``;
+        it is the sum of time-zero mismatch and BTI aging, and a
+        positive value weakens the device for both polarities.
+        """
+        slot = self._mosfet_slots.get(name)
+        if slot is None:
+            raise KeyError(f"no mosfet named {name!r}")
+        shift_arr = np.asarray(shift, dtype=float)
+        if shift_arr.ndim > 1 or (shift_arr.ndim == 1
+                                  and shift_arr.shape[0] != self.batch_size):
+            raise ValueError(
+                f"shift for {name!r} must be scalar or ({self.batch_size},)")
+        slot.vth_shift = shift if np.isscalar(shift) else shift_arr
+
+    def set_vth_shifts(self, shifts: Dict[str, Union[float, np.ndarray]],
+                       ) -> None:
+        """Set Vth shifts for several MOSFETs at once."""
+        for name, shift in shifts.items():
+            self.set_vth_shift(name, shift)
+
+    def clear_vth_shifts(self) -> None:
+        """Reset all Vth shifts to zero."""
+        for slot in self._mosfets:
+            slot.vth_shift = 0.0
+
+    # -- evaluation ------------------------------------------------------
+
+    def known_voltages(self, time_s: float) -> np.ndarray:
+        """Known (source-driven) node voltages at ``time_s``.
+
+        Returns an array of shape ``(batch, n_known)`` ordered like
+        ``known_names``.  Waveforms are read from the live netlist, so
+        replacing a source waveform (e.g. via
+        :func:`repro.circuits.sense_amp.apply_waveforms`) takes effect
+        without recompiling.
+        """
+        v_full = np.zeros((self.batch_size, self.n_nodes))
+        self.apply_known(v_full, time_s)
+        return v_full[:, self.known_idx]
+
+    def apply_known(self, v_full: np.ndarray, time_s: float) -> None:
+        """Write the source voltages into a full node vector in place."""
+        for source in self.circuit.vsources:
+            v_full[:, self.node_index[source.node]] = np.asarray(
+                source.waveform.value(time_s), dtype=float)
+        v_full[:, 0] = 0.0
+
+    def initial_full_vector(self, time_s: float = 0.0,
+                            initial: Optional[Dict[str, float]] = None,
+                            ) -> np.ndarray:
+        """A full node vector with sources applied and optional ICs.
+
+        ``initial`` maps node names to starting voltages for unknown
+        nodes (e.g. precharged internal nodes of the SA).  Names absent
+        from this circuit are ignored, so one initial-condition dict
+        can serve several related topologies.
+        """
+        v_full = np.zeros((self.batch_size, self.n_nodes))
+        self.apply_known(v_full, time_s)
+        if initial:
+            for node, value in initial.items():
+                if is_ground(node) or node in self.node_index:
+                    v_full[:, self._index_of(node)] = value
+        return v_full
+
+    def static_residual_jacobian(self, v_full: np.ndarray,
+                                 time_s: float,
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resistive + device residual and Jacobian on the full node set.
+
+        Returns ``(f, jac)`` with ``f`` of shape ``(batch, n)`` (current
+        leaving each node) and ``jac`` of shape ``(batch, n, n)``.
+        Capacitor currents are added by the transient engine.
+        """
+        batch = v_full.shape[0]
+        f = v_full @ self.g_static.T
+        jac = np.broadcast_to(self.g_static,
+                              (batch, self.n_nodes, self.n_nodes)).copy()
+        for a, b, waveform in self._isources:
+            current = np.asarray(waveform.value(time_s), dtype=float)
+            f[:, a] += current
+            f[:, b] -= current
+        for slot in self._mosfets:
+            self._add_mosfet(f, jac, v_full, slot)
+        return f, jac
+
+    def _add_mosfet(self, f: np.ndarray, jac: np.ndarray,
+                    v_full: np.ndarray, slot: _MosfetSlot) -> None:
+        d, g_, s = slot.drain, slot.gate, slot.source
+        i_d, gm, gd, gs = mos_current(
+            v_full[:, g_], v_full[:, d], v_full[:, s], v_full[:, slot.bulk],
+            slot.vth_shift, slot.element.params, slot.element.w_over_l,
+            self.temperature_k)
+        f[:, d] += i_d
+        f[:, s] -= i_d
+        jac[:, d, g_] += gm
+        jac[:, d, d] += gd
+        jac[:, d, s] += gs
+        jac[:, s, g_] -= gm
+        jac[:, s, d] -= gd
+        jac[:, s, s] -= gs
+
+    # -- convenience -----------------------------------------------------
+
+    def voltages_of(self, v_full: np.ndarray, node: str) -> np.ndarray:
+        """Slice a node's voltages out of a full vector."""
+        return v_full[:, self._index_of(node)]
+
+    def __repr__(self) -> str:
+        return (f"MnaSystem({self.circuit.name!r}, nodes={self.n_nodes - 1}, "
+                f"unknown={len(self.unknown_idx)}, batch={self.batch_size}, "
+                f"T={self.temperature_k:.1f}K)")

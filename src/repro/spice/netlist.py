@@ -1,0 +1,250 @@
+"""Circuit netlist container and element descriptions.
+
+A :class:`Circuit` is a flat bag of named elements over named nodes.  The
+ground node is ``"0"`` (alias ``"gnd"``).  Voltage sources must be
+grounded (one terminal at ground) — every supply/bitline/clock in the
+paper's circuits is, and this lets the MNA assembly treat source nodes as
+*known* voltages instead of carrying branch-current unknowns.
+
+Elements are plain data; all simulation math lives in
+:mod:`repro.spice.mna` and :mod:`repro.spice.transient`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..models.mosmodel import MosParams
+from ..units import parse_value
+from .waveforms import Dc, Waveform
+
+GROUND_NAMES = ("0", "gnd", "gnd!", "vss")
+
+Value = Union[str, float, int]
+
+
+def is_ground(node: str) -> bool:
+    """True if ``node`` names the ground net."""
+    return node.lower() in GROUND_NAMES
+
+
+@dataclasses.dataclass(frozen=True)
+class Resistor:
+    """Linear resistor between ``node_a`` and ``node_b`` [ohm]."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError(f"resistor {self.name}: non-positive resistance")
+
+
+@dataclasses.dataclass(frozen=True)
+class Capacitor:
+    """Linear capacitor between ``node_a`` and ``node_b`` [F]."""
+
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0.0:
+            raise ValueError(f"capacitor {self.name}: negative capacitance")
+
+
+@dataclasses.dataclass(frozen=True)
+class VSource:
+    """Grounded voltage source driving ``node`` with ``waveform``."""
+
+    name: str
+    node: str
+    waveform: Waveform
+
+    def __post_init__(self) -> None:
+        if is_ground(self.node):
+            raise ValueError(f"vsource {self.name} drives the ground node")
+
+
+@dataclasses.dataclass(frozen=True)
+class ISource:
+    """Current source pushing current from ``node_a`` into ``node_b``."""
+
+    name: str
+    node_a: str
+    node_b: str
+    waveform: Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class Mosfet:
+    """A MOSFET instance.
+
+    Attributes
+    ----------
+    name:
+        Instance name; also the key for per-device Vth shifts
+        (mismatch + aging) supplied at simulation time.
+    drain, gate, source, bulk:
+        Node names.
+    params:
+        Compact-model card (:class:`~repro.models.mosmodel.MosParams`).
+    w_over_l:
+        Geometry ratio, as annotated in the paper's Figure 1/2.
+    length:
+        Physical channel length [m]; defaults to the 45 nm node.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    params: MosParams
+    w_over_l: float
+    length: float = 45e-9
+
+    def __post_init__(self) -> None:
+        if self.w_over_l <= 0.0:
+            raise ValueError(f"mosfet {self.name}: W/L must be positive")
+        if self.length <= 0.0:
+            raise ValueError(f"mosfet {self.name}: length must be positive")
+
+    @property
+    def width(self) -> float:
+        """Physical gate width [m]."""
+        return self.w_over_l * self.length
+
+
+class Circuit:
+    """A named collection of circuit elements.
+
+    Build with the ``add_*`` helpers, then compile into a simulatable
+    system with :class:`repro.spice.mna.MnaSystem`.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.vsources: List[VSource] = []
+        self.isources: List[ISource] = []
+        self.mosfets: List[Mosfet] = []
+        self._names: Dict[str, str] = {}
+
+    # -- element helpers -------------------------------------------------
+
+    def _register(self, name: str, kind: str) -> None:
+        if name in self._names:
+            raise ValueError(
+                f"duplicate element name {name!r} "
+                f"({self._names[name]} vs {kind})")
+        self._names[name] = kind
+
+    def add_resistor(self, name: str, node_a: str, node_b: str,
+                     resistance: Value) -> Resistor:
+        """Add a resistor; ``resistance`` accepts SPICE suffixes."""
+        self._register(name, "resistor")
+        element = Resistor(name, node_a, node_b, parse_value(resistance))
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, name: str, node_a: str, node_b: str,
+                      capacitance: Value) -> Capacitor:
+        """Add a capacitor; ``capacitance`` accepts SPICE suffixes."""
+        self._register(name, "capacitor")
+        element = Capacitor(name, node_a, node_b, parse_value(capacitance))
+        self.capacitors.append(element)
+        return element
+
+    def add_vsource(self, name: str, node: str,
+                    waveform: Union[Waveform, Value]) -> VSource:
+        """Add a grounded voltage source (constant or waveform)."""
+        self._register(name, "vsource")
+        if not isinstance(waveform, Waveform):
+            waveform = Dc(parse_value(waveform))
+        element = VSource(name, node, waveform)
+        self.vsources.append(element)
+        return element
+
+    def add_isource(self, name: str, node_a: str, node_b: str,
+                    waveform: Union[Waveform, Value]) -> ISource:
+        """Add a current source (current flows node_a -> node_b)."""
+        self._register(name, "isource")
+        if not isinstance(waveform, Waveform):
+            waveform = Dc(parse_value(waveform))
+        element = ISource(name, node_a, node_b, waveform)
+        self.isources.append(element)
+        return element
+
+    def add_mosfet(self, name: str, drain: str, gate: str, source: str,
+                   bulk: str, params: MosParams, w_over_l: float,
+                   length: float = 45e-9) -> Mosfet:
+        """Add a MOSFET instance."""
+        self._register(name, "mosfet")
+        element = Mosfet(name, drain, gate, source, bulk, params,
+                         w_over_l, length)
+        self.mosfets.append(element)
+        return element
+
+    # -- introspection ---------------------------------------------------
+
+    def node_names(self) -> List[str]:
+        """All node names (ground excluded), in first-appearance order."""
+        seen: Dict[str, None] = {}
+
+        def visit(node: str) -> None:
+            if not is_ground(node) and node not in seen:
+                seen[node] = None
+
+        for r in self.resistors:
+            visit(r.node_a)
+            visit(r.node_b)
+        for c in self.capacitors:
+            visit(c.node_a)
+            visit(c.node_b)
+        for v in self.vsources:
+            visit(v.node)
+        for i in self.isources:
+            visit(i.node_a)
+            visit(i.node_b)
+        for m in self.mosfets:
+            for node in (m.drain, m.gate, m.source, m.bulk):
+                visit(node)
+        return list(seen)
+
+    def driven_nodes(self) -> List[str]:
+        """Nodes whose voltage is imposed by a grounded source."""
+        return [v.node for v in self.vsources]
+
+    def mosfet_by_name(self, name: str) -> Mosfet:
+        """Look up a MOSFET instance by name."""
+        for m in self.mosfets:
+            if m.name == name:
+                return m
+        raise KeyError(f"no mosfet named {name!r} in circuit {self.name!r}")
+
+    def mosfet_ratios(self) -> Dict[str, float]:
+        """Mapping of MOSFET name -> W/L ratio (for mismatch sampling)."""
+        return {m.name: m.w_over_l for m in self.mosfets}
+
+    def stats(self) -> Dict[str, int]:
+        """Element counts, for reports and sanity tests."""
+        return {
+            "nodes": len(self.node_names()),
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "vsources": len(self.vsources),
+            "isources": len(self.isources),
+            "mosfets": len(self.mosfets),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"Circuit({self.name!r}, nodes={s['nodes']}, "
+                f"mosfets={s['mosfets']}, R={s['resistors']}, "
+                f"C={s['capacitors']}, V={s['vsources']})")

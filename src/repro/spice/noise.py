@@ -1,0 +1,139 @@
+"""Small-signal thermal-noise analysis.
+
+Beyond offset (deterministic per instance), the sense amplifier's
+decision is disturbed by thermal noise — relevant because the paper's
+Eq.-3 budget is about *input-referred disturbances* in general.  This
+module computes stationary thermal noise at a node by propagating each
+noise source through the linearised network:
+
+* resistors: current PSD ``4kT/R``;
+* MOSFETs: drain-current PSD ``4kT * gamma * gm`` (``gamma`` ~ 2/3
+  long-channel, higher for short channels).
+
+For each source the complex transfer to the probe node is solved from
+the same ``(G + j w C)`` system the AC analysis uses; PSDs add in
+power.  Integrating the output PSD over frequency gives the RMS noise,
+which for a single-pole network reproduces the ``kT/C`` limit — the
+validation anchor in the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import BOLTZMANN
+from ..models.mosmodel import mos_current
+from .mna import MnaSystem
+
+#: Channel-noise factor for short-channel devices.
+GAMMA_CHANNEL = 1.0
+
+
+@dataclasses.dataclass
+class NoiseResult:
+    """Output noise PSD and its per-source decomposition.
+
+    Attributes
+    ----------
+    frequencies:
+        Analysis grid [Hz].
+    psd:
+        Total output noise PSD [V^2/Hz] at each frequency.
+    contributions:
+        Source name -> PSD array (same shape); sums to ``psd``.
+    """
+
+    frequencies: np.ndarray
+    psd: np.ndarray
+    contributions: Dict[str, np.ndarray]
+
+    def rms(self) -> float:
+        """RMS output noise [V] — trapezoidal integral of the PSD."""
+        return float(np.sqrt(np.trapezoid(self.psd, self.frequencies)))
+
+    def dominant_source(self) -> str:
+        """Source with the largest integrated contribution."""
+        if not self.contributions:
+            raise ValueError("no noise sources in the circuit")
+        return max(self.contributions,
+                   key=lambda n: float(np.trapezoid(
+                       self.contributions[n], self.frequencies)))
+
+
+def _noise_sources(system: MnaSystem, v_op: np.ndarray,
+                   temperature_k: float,
+                   ) -> List[Tuple[str, int, int, float]]:
+    """(name, node_a, node_b, current PSD) for every thermal source."""
+    sources: List[Tuple[str, int, int, float]] = []
+    four_kt = 4.0 * BOLTZMANN * temperature_k
+    for r in system.circuit.resistors:
+        a = system.node_index.get(r.node_a, 0)
+        b = system.node_index.get(r.node_b, 0)
+        sources.append((f"R:{r.name}", a, b, four_kt / r.resistance))
+    for m in system.circuit.mosfets:
+        d = system.node_index.get(m.drain, 0)
+        s = system.node_index.get(m.source, 0)
+        g = system.node_index.get(m.gate, 0)
+        b = system.node_index.get(m.bulk, 0)
+        _, gm, _, _ = mos_current(
+            v_op[0, g], v_op[0, d], v_op[0, s], v_op[0, b], 0.0,
+            m.params, m.w_over_l, temperature_k)
+        gm_val = abs(float(np.asarray(gm)))
+        if gm_val > 0.0:
+            sources.append((f"M:{m.name}", d, s,
+                            four_kt * GAMMA_CHANNEL * gm_val))
+    return sources
+
+
+def noise_analysis(system: MnaSystem, operating_point: np.ndarray,
+                   probe: str,
+                   frequencies: Sequence[float]) -> NoiseResult:
+    """Thermal-noise PSD at ``probe`` over a frequency grid.
+
+    The operating point fixes the linearisation (sample 0 of the batch
+    is used); each noise source is injected as a unit current between
+    its terminals and the transfer to the probe solved per frequency.
+    """
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if np.any(freqs <= 0.0):
+        raise ValueError("frequencies must be positive")
+    if probe not in system.node_index:
+        raise KeyError(f"unknown node {probe!r}")
+
+    v_op = np.array(operating_point[:1], dtype=float)
+    _, jac = system.static_residual_jacobian(v_op, 0.0)
+    u = system.unknown_idx
+    g_uu = jac[0][np.ix_(u, u)]
+    c_uu = system.c_matrix[np.ix_(u, u)]
+    probe_idx = system.node_index[probe]
+    unknown_pos = {node: k for k, node in enumerate(u)}
+    if probe_idx not in unknown_pos:
+        raise ValueError(f"{probe!r} is source-driven; no noise there")
+
+    sources = _noise_sources(system, v_op, system.temperature_k)
+    contributions = {name: np.zeros(freqs.size)
+                     for name, _, _, _ in sources}
+
+    for k, f in enumerate(freqs):
+        a = g_uu + 2j * np.pi * f * c_uu
+        # Solve the adjoint once per frequency: transfer from a current
+        # injection at node n to the probe voltage equals the (probe,
+        # n) entry of the impedance matrix.
+        z = np.linalg.inv(a)
+        row = z[unknown_pos[probe_idx]]
+        for name, node_a, node_b, psd_i in sources:
+            transfer = 0.0 + 0.0j
+            if node_a in unknown_pos:
+                transfer += row[unknown_pos[node_a]]
+            if node_b in unknown_pos:
+                transfer -= row[unknown_pos[node_b]]
+            contributions[name][k] = psd_i * float(np.abs(transfer)) ** 2
+
+    total = np.zeros(freqs.size)
+    for values in contributions.values():
+        total += values
+    return NoiseResult(frequencies=freqs, psd=total,
+                       contributions=contributions)

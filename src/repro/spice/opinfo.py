@@ -1,0 +1,123 @@
+"""Operating-point reports: per-device bias, current and small-signal
+parameters.
+
+The circuit-debugging view every SPICE ships: after a DC solve (or at
+any transient snapshot), list each MOSFET's terminal biases, drain
+current, transconductance, output conductance and operating region.
+Used by the examples to show *why* the latch regenerates and by tests
+to pin down device conditions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from ..constants import thermal_voltage
+from ..models.mosmodel import mos_current
+from .mna import MnaSystem
+from .netlist import Mosfet
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceOp:
+    """One MOSFET's operating point (per Monte-Carlo sample 0).
+
+    Attributes
+    ----------
+    name:
+        Instance name.
+    vgs, vds, vbs:
+        Terminal biases (source-referenced) [V].
+    i_d:
+        Drain current [A] (NMOS convention; negative for PMOS
+        conducting source->drain).
+    gm, gds:
+        Small-signal transconductance / output conductance [S].
+    region:
+        ``"off"``, ``"saturation"``, ``"triode"`` — the familiar
+        square-law classification evaluated with the effective
+        overdrive.
+    """
+
+    name: str
+    vgs: float
+    vds: float
+    vbs: float
+    i_d: float
+    gm: float
+    gds: float
+    region: str
+
+
+def _classify(params, vgs: float, vds: float, phit: float) -> str:
+    sign = 1.0 if params.is_nmos else -1.0
+    overdrive = sign * vgs - params.vth0
+    if overdrive < 2.0 * phit:
+        return "off"
+    if sign * vds >= overdrive:
+        return "saturation"
+    return "triode"
+
+
+def device_operating_point(system: MnaSystem, mosfet: Mosfet,
+                           v_full: np.ndarray,
+                           sample: int = 0) -> DeviceOp:
+    """Operating point of one device at a solved node vector."""
+    index = system.node_index
+    vg = float(v_full[sample, index.get(mosfet.gate, 0)])
+    vd = float(v_full[sample, index.get(mosfet.drain, 0)])
+    vs = float(v_full[sample, index.get(mosfet.source, 0)])
+    vb = float(v_full[sample, index.get(mosfet.bulk, 0)])
+    i_d, gm, gd, gs = mos_current(vg, vd, vs, vb, 0.0, mosfet.params,
+                                  mosfet.w_over_l, system.temperature_k)
+    phit = thermal_voltage(system.temperature_k)
+    return DeviceOp(
+        name=mosfet.name,
+        vgs=vg - vs, vds=vd - vs, vbs=vb - vs,
+        i_d=float(np.asarray(i_d)),
+        gm=abs(float(np.asarray(gm))),
+        gds=abs(float(np.asarray(gd))),
+        region=_classify(mosfet.params, vg - vs, vd - vs, phit))
+
+
+def operating_point_report(system: MnaSystem,
+                           v_full: np.ndarray,
+                           sample: int = 0) -> List[DeviceOp]:
+    """Operating points of every MOSFET in the circuit."""
+    return [device_operating_point(system, m, v_full, sample)
+            for m in system.circuit.mosfets]
+
+
+def render_op_report(ops: List[DeviceOp]) -> str:
+    """Aligned text rendering of an operating-point report."""
+    from ..analysis.tables import format_table
+    rows = [[op.name, f"{op.vgs:+.3f}", f"{op.vds:+.3f}",
+             f"{op.i_d * 1e6:+.2f}", f"{op.gm * 1e3:.3f}",
+             f"{op.gds * 1e3:.3f}", op.region]
+            for op in ops]
+    return format_table(
+        ["device", "Vgs[V]", "Vds[V]", "Id[uA]", "gm[mS]", "gds[mS]",
+         "region"], rows)
+
+
+def total_supply_current(system: MnaSystem, v_full: np.ndarray,
+                         supply_node: str = "vdd",
+                         sample: int = 0) -> float:
+    """Static current drawn from a supply node [A].
+
+    Sums the drain/source currents of devices attached to the supply —
+    the quantity a leakage/power budget needs.
+    """
+    if supply_node not in system.node_index:
+        raise KeyError(f"unknown node {supply_node!r}")
+    total = 0.0
+    for m in system.circuit.mosfets:
+        op = device_operating_point(system, m, v_full, sample)
+        if m.source == supply_node:
+            total += -op.i_d
+        elif m.drain == supply_node:
+            total += op.i_d
+    return total

@@ -1,0 +1,143 @@
+"""Minimal SPICE netlist parser.
+
+Reads the dialect :func:`repro.spice.export.export_spice` writes —
+R/C/V/I/M element cards with SPICE engineering suffixes, ``*``
+comments, ``.model`` cards mapping to this package's device cards, and
+``.end``.  Enough to round-trip the repository's circuits and to import
+simple externally-authored decks into the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..models.ptm45 import NMOS_45HP, PMOS_45HP
+from ..models.mosmodel import MosParams
+from ..units import parse_value
+from .netlist import Circuit
+
+
+class SpiceParseError(ValueError):
+    """Raised for malformed netlist text."""
+
+
+def _strip(line: str) -> str:
+    """Remove trailing comments and whitespace."""
+    for marker in ("*", ";", "$"):
+        # Leading '*' handled by the caller; inline comments here.
+        index = line.find(marker, 1)
+        if index > 0:
+            line = line[:index]
+    return line.strip()
+
+
+def parse_spice(text: str, name: str = "imported") -> Circuit:
+    """Parse a SPICE deck into a :class:`Circuit`.
+
+    ``.model`` cards are matched by polarity to the built-in 45 nm
+    cards (the numeric card parameters beyond polarity are informative
+    only — the simulator always evaluates its own EKV cards).
+    """
+    circuit = Circuit(name)
+    models: Dict[str, MosParams] = {}
+    pending_mosfets = []
+
+    lines = text.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        if not raw.strip() or raw.lstrip().startswith("*"):
+            continue
+        line = _strip(raw)
+        if not line:
+            continue
+        lower = line.lower()
+        if lower.startswith(".end"):
+            break
+        if lower.startswith(".model"):
+            fields = line.split()
+            if len(fields) < 3:
+                raise SpiceParseError(
+                    f"line {lineno}: malformed .model card")
+            model_name = fields[1].lower()
+            kind = fields[2].split("(")[0].upper()
+            if kind == "NMOS":
+                models[model_name] = NMOS_45HP
+            elif kind == "PMOS":
+                models[model_name] = PMOS_45HP
+            else:
+                raise SpiceParseError(
+                    f"line {lineno}: unsupported model kind {kind!r}")
+            continue
+        if lower.startswith("."):
+            # Other dot-cards (.tran, .ac, ...) are stimulus directives
+            # handled by this package's analyses, not the netlist.
+            continue
+
+        fields = line.split()
+        card = fields[0][0].upper()
+        element_name = fields[0][1:] or fields[0]
+        try:
+            if card == "R":
+                circuit.add_resistor(element_name, fields[1], fields[2],
+                                     parse_value(fields[3]))
+            elif card == "C":
+                circuit.add_capacitor(element_name, fields[1], fields[2],
+                                      parse_value(fields[3]))
+            elif card == "V":
+                value = _source_value(fields[3:])
+                if fields[2] not in ("0", "gnd", "GND"):
+                    raise SpiceParseError(
+                        f"line {lineno}: only grounded sources are "
+                        "supported")
+                circuit.add_vsource(element_name, fields[1], value)
+            elif card == "I":
+                circuit.add_isource(element_name, fields[1], fields[2],
+                                    _source_value(fields[3:]))
+            elif card == "M":
+                pending_mosfets.append((lineno, element_name, fields))
+            else:
+                raise SpiceParseError(
+                    f"line {lineno}: unsupported card {fields[0]!r}")
+        except (IndexError, ValueError) as exc:
+            if isinstance(exc, SpiceParseError):
+                raise
+            raise SpiceParseError(
+                f"line {lineno}: cannot parse {raw.strip()!r}") from exc
+
+    for lineno, element_name, fields in pending_mosfets:
+        if len(fields) < 6:
+            raise SpiceParseError(
+                f"line {lineno}: malformed MOSFET card")
+        model_name = fields[5].lower()
+        params = models.get(model_name)
+        if params is None:
+            raise SpiceParseError(
+                f"line {lineno}: unknown model {fields[5]!r}")
+        width, length = _geometry(fields[6:], lineno)
+        circuit.add_mosfet(element_name, fields[1], fields[2], fields[3],
+                           fields[4], params, width / length, length)
+    return circuit
+
+
+def _source_value(fields) -> float:
+    """Extract the DC value from a source card tail."""
+    tail = [f for f in fields if f.upper() != "DC"]
+    if not tail:
+        raise SpiceParseError("source card missing a value")
+    return parse_value(tail[0])
+
+
+def _geometry(fields, lineno: int):
+    width: Optional[float] = None
+    length: Optional[float] = None
+    for field in fields:
+        key, _, value = field.partition("=")
+        if not value:
+            continue
+        if key.upper() == "W":
+            width = parse_value(value)
+        elif key.upper() == "L":
+            length = parse_value(value)
+    if width is None or length is None:
+        raise SpiceParseError(
+            f"line {lineno}: MOSFET card needs W= and L=")
+    return width, length

@@ -1,0 +1,97 @@
+"""Batched damped Newton-Raphson solver.
+
+Solves ``f(v) = 0`` on the unknown-node subset of a full node-voltage
+vector, for every Monte-Carlo sample simultaneously.  The residual/
+Jacobian callback returns full-node quantities; the solver slices the
+unknown block, performs a batched dense solve, and applies a damped
+(step-clipped) update.  Step clipping is the standard way to keep the
+strongly nonlinear exponential device characteristics from overshooting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Tuple
+
+import numpy as np
+
+#: Default absolute voltage tolerance for convergence [V].
+VTOL_DEFAULT = 1e-7
+#: Default maximum Newton step per iteration [V].
+MAX_STEP_DEFAULT = 0.25
+#: Default iteration limit.
+MAX_ITER_DEFAULT = 100
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton-Raphson fails to converge."""
+
+
+@dataclasses.dataclass(frozen=True)
+class NewtonOptions:
+    """Tuning knobs for the Newton solver."""
+
+    vtol: float = VTOL_DEFAULT
+    max_step: float = MAX_STEP_DEFAULT
+    max_iter: int = MAX_ITER_DEFAULT
+    #: Added to the Jacobian diagonal if a batch member is singular.
+    regularisation: float = 1e-12
+
+
+ResJacFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+def _solve_batched(jac_uu: np.ndarray, rhs: np.ndarray,
+                   regularisation: float) -> np.ndarray:
+    """Batched dense solve with a fallback diagonal regularisation."""
+    try:
+        return np.linalg.solve(jac_uu, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        n = jac_uu.shape[-1]
+        bumped = jac_uu + regularisation * np.eye(n)
+        return np.linalg.solve(bumped, rhs[..., None])[..., 0]
+
+
+def newton_solve(res_jac: ResJacFn, v_full: np.ndarray,
+                 unknown_idx: np.ndarray,
+                 options: NewtonOptions = NewtonOptions(),
+                 ) -> Tuple[np.ndarray, int]:
+    """Drive the unknown nodes of ``v_full`` to a KCL solution in place.
+
+    Parameters
+    ----------
+    res_jac:
+        Callback mapping the full node vector ``(batch, n)`` to the
+        residual ``(batch, n)`` and Jacobian ``(batch, n, n)``.
+    v_full:
+        Full node vector; known/source entries must already be applied.
+        Modified in place and also returned.
+    unknown_idx:
+        Indices of the nodes to solve for.
+    options:
+        Solver tuning.
+
+    Returns
+    -------
+    (v_full, iterations)
+
+    Raises
+    ------
+    ConvergenceError
+        If any batch member fails to converge within ``max_iter``.
+    """
+    u = unknown_idx
+    row = u[:, None]
+    col = u[None, :]
+    for iteration in range(1, options.max_iter + 1):
+        f, jac = res_jac(v_full)
+        delta = _solve_batched(jac[:, row, col], -f[:, u],
+                               options.regularisation)
+        np.clip(delta, -options.max_step, options.max_step, out=delta)
+        v_full[:, u] += delta
+        if np.max(np.abs(delta)) < options.vtol:
+            return v_full, iteration
+    worst = float(np.max(np.abs(delta)))
+    raise ConvergenceError(
+        f"Newton-Raphson did not converge in {options.max_iter} iterations "
+        f"(last max step {worst:.3e} V)")

@@ -1,0 +1,111 @@
+"""Hierarchical subcircuits.
+
+A :class:`SubCircuit` is a reusable circuit template with declared
+ports; :func:`instantiate` flattens an instance into a parent circuit,
+prefixing internal node and element names (``X<inst>.<name>``), exactly
+as SPICE flattens ``X`` cards.  Used to build multi-column sense-
+amplifier arrays that share one control block
+(:func:`repro.circuits.column_array.build_sa_column_array`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from .netlist import Circuit, is_ground
+
+
+class SubCircuit:
+    """A circuit template with named ports.
+
+    Build the internal definition through :attr:`circuit` exactly like
+    a normal :class:`Circuit`; nodes listed in ``ports`` are connected
+    to parent nodes at instantiation, all other nodes are private to
+    each instance.
+    """
+
+    def __init__(self, name: str, ports: Sequence[str]) -> None:
+        if not ports:
+            raise ValueError("a subcircuit needs at least one port")
+        if len(set(ports)) != len(ports):
+            raise ValueError("duplicate port names")
+        for port in ports:
+            if is_ground(port):
+                raise ValueError(
+                    "ground is global; do not declare it as a port")
+        self.name = name
+        self.ports: List[str] = list(ports)
+        self.circuit = Circuit(f"subckt:{name}")
+
+    def validate(self) -> None:
+        """Check that every port is actually used by the definition."""
+        nodes = set(self.circuit.node_names())
+        missing = [p for p in self.ports if p not in nodes]
+        if missing:
+            raise ValueError(
+                f"subcircuit {self.name!r} never uses ports {missing}")
+        if self.circuit.vsources:
+            raise ValueError(
+                f"subcircuit {self.name!r} contains voltage sources; "
+                "sources belong to the top level")
+
+
+def instantiate(parent: Circuit, sub: SubCircuit, instance: str,
+                connections: Mapping[str, str]) -> Dict[str, str]:
+    """Flatten one instance of ``sub`` into ``parent``.
+
+    Parameters
+    ----------
+    parent:
+        The circuit receiving the flattened elements.
+    sub:
+        The template (validated on first use).
+    instance:
+        Instance name; internal nodes/elements become
+        ``X<instance>.<name>``.
+    connections:
+        Port name -> parent node name; every declared port must be
+        mapped.
+
+    Returns
+    -------
+    dict
+        Internal node name -> flattened parent node name (ports map to
+        their connection), useful for probing instance internals.
+    """
+    sub.validate()
+    missing = [p for p in sub.ports if p not in connections]
+    if missing:
+        raise ValueError(f"unconnected ports: {missing}")
+    unknown = [p for p in connections if p not in sub.ports]
+    if unknown:
+        raise ValueError(f"connections to undeclared ports: {unknown}")
+
+    prefix = f"X{instance}."
+
+    def node_of(node: str) -> str:
+        if is_ground(node):
+            return node
+        if node in sub.ports:
+            return connections[node]
+        return prefix + node
+
+    mapping: Dict[str, str] = {}
+    for node in sub.circuit.node_names():
+        mapping[node] = node_of(node)
+
+    for r in sub.circuit.resistors:
+        parent.add_resistor(prefix + r.name, node_of(r.node_a),
+                            node_of(r.node_b), r.resistance)
+    for c in sub.circuit.capacitors:
+        parent.add_capacitor(prefix + c.name, node_of(c.node_a),
+                             node_of(c.node_b), c.capacitance)
+    for i in sub.circuit.isources:
+        parent.add_isource(prefix + i.name, node_of(i.node_a),
+                           node_of(i.node_b), i.waveform)
+    for m in sub.circuit.mosfets:
+        parent.add_mosfet(prefix + m.name, node_of(m.drain),
+                          node_of(m.gate), node_of(m.source),
+                          node_of(m.bulk), m.params, m.w_over_l,
+                          m.length)
+    return mapping

@@ -1,0 +1,149 @@
+"""DC sweep analyses: transfer curves and latch noise margins.
+
+Sweeps a grounded source over a grid, solving the DC operating point at
+each step with the previous solution as the Newton seed (continuation),
+and provides the classic derived metrics:
+
+* **VTC** — the voltage transfer curve of an inverting stage and its
+  switching threshold / small-signal gain;
+* **butterfly curves / static noise margin (SNM)** — the maximum
+  square between the two cross-coupled transfer curves, the standard
+  stability metric of a latch (the SA's regeneration core) and of the
+  6T cell feeding it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dcop import dc_operating_point
+from .mna import MnaSystem
+from .solver import NewtonOptions, newton_solve
+from .waveforms import Dc
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """A DC sweep: input grid and per-probe output curves."""
+
+    inputs: np.ndarray
+    outputs: Dict[str, np.ndarray]
+
+    def curve(self, node: str) -> np.ndarray:
+        try:
+            return self.outputs[node]
+        except KeyError:
+            raise KeyError(f"node {node!r} was not probed") from None
+
+    def switching_threshold(self, node: str) -> float:
+        """Input at which the output crosses the input (VTC midpoint)."""
+        out = self.curve(node)
+        diff = out - self.inputs
+        signs = np.sign(diff)
+        crossings = np.nonzero(np.diff(signs) != 0.0)[0]
+        if crossings.size == 0:
+            raise ValueError("transfer curve never crosses the input")
+        k = crossings[0]
+        frac = diff[k] / (diff[k] - diff[k + 1])
+        return float(self.inputs[k]
+                     + frac * (self.inputs[k + 1] - self.inputs[k]))
+
+    def max_gain(self, node: str) -> float:
+        """Largest |dVout/dVin| along the curve."""
+        out = self.curve(node)
+        gains = np.abs(np.gradient(out, self.inputs))
+        return float(np.max(gains))
+
+
+def dc_sweep(system: MnaSystem, source_node: str,
+             values: Sequence[float], probes: Sequence[str],
+             initial: Optional[Dict[str, float]] = None,
+             options: NewtonOptions = NewtonOptions()) -> SweepResult:
+    """Sweep a grounded source and record probe voltages.
+
+    The source driving ``source_node`` is replaced point by point; the
+    previous solution seeds the next solve, which keeps the sweep on
+    one continuous solution branch (essential for bistable circuits).
+    """
+    sources = [v for v in system.circuit.vsources
+               if v.node == source_node]
+    if not sources:
+        raise KeyError(f"no source drives node {source_node!r}")
+    index = system.circuit.vsources.index(sources[0])
+    grid = np.asarray(list(values), dtype=float)
+    if grid.size < 2:
+        raise ValueError("sweep needs at least two points")
+
+    outputs = {p: np.empty(grid.size) for p in probes}
+    v_full: Optional[np.ndarray] = None
+    original = system.circuit.vsources[index]
+    try:
+        for k, value in enumerate(grid):
+            system.circuit.vsources[index] = dataclasses.replace(
+                original, waveform=Dc(float(value)))
+            if v_full is None:
+                v_full = dc_operating_point(system, initial=initial,
+                                            options=options)
+            else:
+                system.apply_known(v_full, 0.0)
+
+                def res_jac(v):
+                    system.apply_known(v, 0.0)
+                    return system.static_residual_jacobian(v, 0.0)
+
+                v_full, _ = newton_solve(res_jac, v_full,
+                                         system.unknown_idx, options)
+            for p in probes:
+                outputs[p][k] = float(system.voltages_of(v_full, p)[0])
+    finally:
+        system.circuit.vsources[index] = original
+    return SweepResult(inputs=grid, outputs=outputs)
+
+
+def butterfly_curves(forward: SweepResult, node: str,
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Butterfly plot data from one inverter transfer curve.
+
+    For a symmetric cross-coupled pair the second lobe is the first
+    mirrored about the diagonal.  Returns ``(x, vtc, mirrored)`` on the
+    common input grid.
+    """
+    x = forward.inputs
+    vtc = forward.curve(node)
+    mirrored = np.interp(x, np.flip(vtc), np.flip(x))
+    return x, vtc, mirrored
+
+
+def static_noise_margin(forward: SweepResult, node: str) -> float:
+    """Static noise margin [V] from the butterfly curves.
+
+    Seevinck's construction: along every 45-degree line ``y = x + c``
+    the two lobes are intersected; the horizontal distance between the
+    intersection points equals the side of the axis-aligned square that
+    fits there.  The SNM is the smaller eye's maximal square side.
+
+    For an inverting, monotone-decreasing transfer curve the quantity
+    ``f(x) - x`` is strictly decreasing, so each 45-degree line meets
+    each lobe exactly once — the intersections are found by inverse
+    interpolation.
+    """
+    x, vtc, mirrored = butterfly_curves(forward, node)
+    d1 = vtc - x        # strictly decreasing for an inverting stage
+    d2 = mirrored - x   # likewise for the mirrored lobe
+    lo = max(d1.min(), d2.min())
+    hi = min(d1.max(), d2.max())
+    if hi <= lo:
+        return 0.0
+    offsets = np.linspace(lo, hi, 401)
+    # Inverse interpolation needs increasing abscissae: flip.
+    x1 = np.interp(offsets, np.flip(d1), np.flip(x))
+    x2 = np.interp(offsets, np.flip(d2), np.flip(x))
+    sides = x2 - x1
+    upper = float(np.max(sides)) if np.any(sides > 0.0) else 0.0
+    lower = float(np.max(-sides)) if np.any(sides < 0.0) else 0.0
+    if upper == 0.0 or lower == 0.0:
+        return 0.0
+    return min(upper, lower)

@@ -1,0 +1,154 @@
+"""Source waveforms for the circuit simulator.
+
+A waveform maps an absolute time (seconds) to a source voltage.  Levels
+may be scalars or numpy arrays with a leading Monte-Carlo batch axis —
+e.g. a bitline whose differential swing differs per sample during the
+binary-search offset extraction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Union
+
+import numpy as np
+
+Level = Union[float, np.ndarray]
+
+
+class Waveform:
+    """Base class: a time-dependent (possibly batched) voltage."""
+
+    def value(self, time_s: float) -> Level:
+        """Return the source value at ``time_s`` seconds."""
+        raise NotImplementedError
+
+    def batched(self) -> bool:
+        """True if :meth:`value` returns an array with a batch axis."""
+        sample = self.value(0.0)
+        return isinstance(sample, np.ndarray) and sample.ndim > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Dc(Waveform):
+    """A constant level."""
+
+    level: Level
+
+    def value(self, time_s: float) -> Level:
+        return self.level
+
+
+@dataclasses.dataclass(frozen=True)
+class Step(Waveform):
+    """A single transition with a linear ramp.
+
+    Attributes
+    ----------
+    initial, final:
+        Levels before and after the transition.
+    t_step:
+        Time at which the ramp starts [s].
+    t_rise:
+        Ramp duration [s]; zero gives an ideal step.
+    """
+
+    initial: Level
+    final: Level
+    t_step: float
+    t_rise: float = 0.0
+
+    def value(self, time_s: float) -> Level:
+        if time_s <= self.t_step:
+            return self.initial
+        if self.t_rise <= 0.0 or time_s >= self.t_step + self.t_rise:
+            return self.final
+        frac = (time_s - self.t_step) / self.t_rise
+        return self.initial + (np.asarray(self.final)
+                               - np.asarray(self.initial)) * frac
+
+    def cross_time(self, fraction: float = 0.5) -> float:
+        """Time at which the ramp passes ``fraction`` of its transition."""
+        return self.t_step + self.t_rise * fraction
+
+
+@dataclasses.dataclass(frozen=True)
+class Pulse(Waveform):
+    """A SPICE-style periodic pulse.
+
+    Attributes mirror the SPICE ``PULSE`` source: low/high levels, delay,
+    rise and fall times, pulse width, and period.
+    """
+
+    low: Level
+    high: Level
+    delay: float
+    t_rise: float
+    t_fall: float
+    width: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError("pulse period must be positive")
+        if self.t_rise < 0.0 or self.t_fall < 0.0 or self.width < 0.0:
+            raise ValueError("pulse timings must be non-negative")
+        if self.t_rise + self.width + self.t_fall > self.period:
+            raise ValueError("pulse shape does not fit in its period")
+
+    def value(self, time_s: float) -> Level:
+        if time_s < self.delay:
+            return self.low
+        t = (time_s - self.delay) % self.period
+        low = np.asarray(self.low, dtype=float)
+        high = np.asarray(self.high, dtype=float)
+        if t < self.t_rise:
+            frac = t / self.t_rise if self.t_rise > 0 else 1.0
+            out = low + (high - low) * frac
+        elif t < self.t_rise + self.width:
+            out = high
+        elif t < self.t_rise + self.width + self.t_fall:
+            frac = (t - self.t_rise - self.width) / self.t_fall
+            out = high + (low - high) * frac
+        else:
+            out = low
+        return out if out.ndim else float(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class Pwl(Waveform):
+    """Piece-wise-linear waveform.
+
+    ``times`` must be strictly increasing.  ``levels`` entries may be
+    scalars or arrays (batched); the waveform holds its first/last level
+    outside the specified range.
+    """
+
+    times: Sequence[float]
+    levels: Sequence[Level]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.levels):
+            raise ValueError("times and levels must have equal length")
+        if len(self.times) == 0:
+            raise ValueError("PWL needs at least one point")
+        diffs = np.diff(np.asarray(self.times, dtype=float))
+        if np.any(diffs <= 0.0):
+            raise ValueError("PWL times must be strictly increasing")
+
+    def value(self, time_s: float) -> Level:
+        times = self.times
+        if time_s <= times[0]:
+            return self.levels[0]
+        if time_s >= times[-1]:
+            return self.levels[-1]
+        # len(times) is tiny in practice; linear scan keeps levels generic.
+        for index in range(1, len(times)):
+            if time_s <= times[index]:
+                t0, t1 = times[index - 1], times[index]
+                l0 = np.asarray(self.levels[index - 1], dtype=float)
+                l1 = np.asarray(self.levels[index], dtype=float)
+                frac = (time_s - t0) / (t1 - t0)
+                out = l0 + (l1 - l0) * frac
+                return out if out.ndim else float(out)
+        return self.levels[-1]

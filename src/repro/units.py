@@ -1,0 +1,102 @@
+"""SPICE-style engineering-unit helpers.
+
+Netlists and test code frequently express element values with SPICE
+suffixes (``"1f"`` for one femtofarad, ``"10n"`` for ten nanoseconds).
+:func:`parse_value` accepts plain numbers, suffixed strings, and strings
+with trailing unit letters (``"1.5pF"``); :func:`format_si` renders a
+number with the closest engineering prefix for human-readable reports.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: SPICE suffix -> multiplier.  ``meg`` must be matched before ``m``.
+_SUFFIXES = (
+    ("meg", 1e6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+)
+
+# Note: 1e6 renders as SPICE's "Meg", not SI "M" — SPICE suffix parsing
+# is case-insensitive and reserves "m" for milli.
+_PREFIX_TABLE = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "Meg"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+Number = Union[int, float]
+
+
+def parse_value(value: Union[str, Number]) -> float:
+    """Parse a SPICE-style value into a float.
+
+    Accepts numbers (returned as ``float``), plain numeric strings, and
+    strings with an engineering suffix optionally followed by a unit
+    (``"1f"``, ``"1fF"``, ``"4.5k"``, ``"2MEG"``).
+
+    Raises
+    ------
+    ValueError
+        If the string cannot be interpreted as a number.
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    text = value.strip().lower()
+    if not text:
+        raise ValueError("empty value string")
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    # Split the numeric head from the alphabetic tail.
+    head_end = len(text)
+    for index, char in enumerate(text):
+        if char.isalpha():
+            head_end = index
+            break
+    head, tail = text[:head_end], text[head_end:]
+    if not head:
+        raise ValueError(f"cannot parse value {value!r}")
+    try:
+        magnitude = float(head)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse value {value!r}") from exc
+    for suffix, multiplier in _SUFFIXES:
+        if tail.startswith(suffix):
+            return magnitude * multiplier
+    # A tail with no recognised suffix is treated as a bare unit ("5V").
+    return magnitude
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with the closest engineering prefix.
+
+    >>> format_si(1.36e-11, "s")
+    '13.6ps'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _PREFIX_TABLE:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g}{prefix}{unit}"
+    scale, prefix = _PREFIX_TABLE[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"

@@ -1,0 +1,223 @@
+"""Workload descriptions for sense-amplifier stress analysis.
+
+The paper evaluates six workloads named ``<activation><sequence>``:
+
+* the activation rate (80 or 20) is the percentage of time a read
+  operation is being performed;
+* the read sequence is ``r0r1`` (half the reads return 0, half return
+  1), ``r0`` (all reads return 0) or ``r1`` (all reads return 1).
+
+A :class:`Workload` captures the statistical mix; :class:`ReadStream`
+generates concrete Bernoulli read sequences from it for trace-driven
+experiments (e.g. exercising the ISSA control logic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """A statistical read workload.
+
+    Attributes
+    ----------
+    activation_rate:
+        Fraction of time the SA performs reads (0..1).
+    zero_fraction:
+        Fraction of reads that return logic 0 (0..1).
+    name:
+        Display name; defaults to the paper's naming scheme.
+    """
+
+    activation_rate: float
+    zero_fraction: float
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.activation_rate <= 1.0:
+            raise ValueError("activation_rate must be within [0, 1]")
+        if not 0.0 <= self.zero_fraction <= 1.0:
+            raise ValueError("zero_fraction must be within [0, 1]")
+        if self.name is None:
+            object.__setattr__(self, "name", _paper_name(
+                self.activation_rate, self.zero_fraction))
+
+    @property
+    def one_fraction(self) -> float:
+        """Fraction of reads that return logic 1."""
+        return 1.0 - self.zero_fraction
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when reads are split evenly between 0s and 1s."""
+        return abs(self.zero_fraction - 0.5) < 1e-12
+
+    @property
+    def imbalance(self) -> float:
+        """Signed imbalance: +1 all zeros, -1 all ones, 0 balanced."""
+        return 2.0 * self.zero_fraction - 1.0
+
+    def balanced(self) -> "Workload":
+        """The workload the ISSA control scheme effectively produces.
+
+        Input switching equalises the number of 0s and 1s observed at
+        the SA internal nodes while preserving the activation rate; the
+        paper denotes the result by the activation rate alone
+        (e.g. ``"80%"``).
+        """
+        rate_pct = round(self.activation_rate * 100)
+        return Workload(self.activation_rate, 0.5, name=f"{rate_pct}%")
+
+    def __str__(self) -> str:
+        return self.name or _paper_name(self.activation_rate,
+                                        self.zero_fraction)
+
+
+def _paper_name(activation_rate: float, zero_fraction: float) -> str:
+    rate_pct = round(activation_rate * 100)
+    if abs(zero_fraction - 0.5) < 1e-12:
+        seq = "r0r1"
+    elif zero_fraction == 1.0:
+        seq = "r0"
+    elif zero_fraction == 0.0:
+        seq = "r1"
+    else:
+        seq = f"r0({zero_fraction:.2f})"
+    return f"{rate_pct}{seq}"
+
+
+def paper_workload(name: str) -> Workload:
+    """Parse one of the paper's workload names (e.g. ``"80r0"``)."""
+    text = name.strip().lower()
+    for prefix in ("80", "20"):
+        if text.startswith(prefix):
+            rate = int(prefix) / 100.0
+            seq = text[len(prefix):]
+            break
+    else:
+        raise ValueError(f"unrecognised workload name {name!r}")
+    zero_by_seq = {"r0r1": 0.5, "r0": 1.0, "r1": 0.0}
+    if seq not in zero_by_seq:
+        raise ValueError(f"unrecognised read sequence in {name!r}")
+    return Workload(rate, zero_by_seq[seq])
+
+
+#: The six workloads of the paper's evaluation (Table II order).
+PAPER_WORKLOADS = tuple(paper_workload(n) for n in
+                        ("80r0r1", "80r0", "80r1", "20r0r1", "20r0", "20r1"))
+
+
+@dataclasses.dataclass
+class ReadStream:
+    """Concrete read-operation generator for a workload.
+
+    Yields +0/+1 read values interleaved with idle cycles according to
+    the activation rate.  ``None`` marks an idle cycle.
+    """
+
+    workload: Workload
+    seed: int = 0
+
+    def reads(self, count: int) -> np.ndarray:
+        """Generate ``count`` read values (0/1) matching the mix."""
+        rng = np.random.default_rng(self.seed)
+        return (rng.random(count) >= self.workload.zero_fraction
+                ).astype(np.int8)
+
+    def cycles(self, count: int) -> Iterator[Optional[int]]:
+        """Generate ``count`` cycles; idle cycles yield ``None``."""
+        rng = np.random.default_rng(self.seed)
+        for _ in range(count):
+            if rng.random() < self.workload.activation_rate:
+                yield int(rng.random() >= self.workload.zero_fraction)
+            else:
+                yield None
+
+    def observed_mix(self, count: int) -> float:
+        """Empirical zero-fraction of a generated read sequence."""
+        reads = self.reads(count)
+        return float(np.mean(reads == 0))
+
+
+@dataclasses.dataclass
+class MarkovReadStream:
+    """Correlated read-value generator (two-state Markov chain).
+
+    Real access streams are bursty: consecutive reads of the same word
+    return the same value.  ``persistence`` is the probability the next
+    read repeats the previous value; 0.5 recovers the i.i.d. stream,
+    values near 1 produce long same-value runs whose length interacts
+    with the ISSA's switching period (the ablation benchmarks exploit
+    this).  The stationary zero-fraction equals the workload's.
+    """
+
+    workload: Workload
+    persistence: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.persistence < 1.0:
+            raise ValueError("persistence must be within [0, 1)")
+
+    def reads(self, count: int) -> np.ndarray:
+        """Generate ``count`` correlated read values (0/1).
+
+        Transition probabilities are chosen so the stationary
+        distribution matches the workload's zero-fraction while the
+        same-value repeat probability approaches ``persistence`` for a
+        balanced mix.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = np.random.default_rng(self.seed)
+        f0 = self.workload.zero_fraction
+        if count == 0:
+            return np.zeros(0, dtype=np.int8)
+        if f0 in (0.0, 1.0):
+            return np.full(count, 0 if f0 == 1.0 else 1, dtype=np.int8)
+        # Stay probabilities with the required stationary mix:
+        # pi0 * p01 = pi1 * p10 with p00 scaled by persistence.
+        stay0 = self.persistence + (1.0 - self.persistence) * f0
+        stay1 = 1.0 - (1.0 - stay0) * f0 / (1.0 - f0)
+        stay1 = min(max(stay1, 0.0), 1.0)
+        out = np.empty(count, dtype=np.int8)
+        out[0] = 0 if rng.random() < f0 else 1
+        uniform = rng.random(count)
+        for index in range(1, count):
+            stay = stay0 if out[index - 1] == 0 else stay1
+            if uniform[index] < stay:
+                out[index] = out[index - 1]
+            else:
+                out[index] = 1 - out[index - 1]
+        return out
+
+    def mean_run_length(self, count: int = 8192) -> float:
+        """Empirical mean same-value run length of a generated stream."""
+        reads = self.reads(count)
+        if reads.size == 0:
+            return 0.0
+        changes = int(np.count_nonzero(np.diff(reads))) + 1
+        return reads.size / changes
+
+
+def periodic_adversarial_stream(switch_period: int,
+                                count: int) -> np.ndarray:
+    """The worst case for input switching: values locked to the swap.
+
+    Alternates blocks of 0s and 1s exactly at the controller's swap
+    period, so every swap is cancelled by the value change and the
+    internal nodes stay maximally unbalanced.
+    """
+    if switch_period < 1:
+        raise ValueError("switch period must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    pattern = np.concatenate([np.zeros(switch_period, dtype=np.int8),
+                              np.ones(switch_period, dtype=np.int8)])
+    repeats = count // pattern.size + 1
+    return np.tile(pattern, repeats)[:count]

@@ -1,0 +1,163 @@
+"""Tests for the atomistic BTI sampler."""
+
+import numpy as np
+import pytest
+
+from repro.aging.bti import AtomisticBti, BtiParams
+from repro.aging.stress import StressCondition, StressSegment
+from repro.core.calibration import PBTI_PARAMS
+from repro.models import Environment
+
+#: A mid-sized device for statistics (larger area = tighter stats).
+AREA = 2e-13
+
+
+@pytest.fixture(scope="module")
+def model() -> AtomisticBti:
+    return AtomisticBti(PBTI_PARAMS)
+
+
+def nominal_stress(duty=0.8, t=1e8) -> StressCondition:
+    return StressCondition(t, duty, Environment.nominal())
+
+
+class TestAnalyticMoments:
+    def test_sample_mean_matches_expected(self, model):
+        rng = np.random.default_rng(3)
+        stress = nominal_stress()
+        samples = model.sample_shift(AREA, stress, 4000, rng)
+        expected = model.expected_shift(AREA, stress)
+        assert np.mean(samples) == pytest.approx(expected, rel=0.05)
+
+    def test_sample_sigma_matches_expected(self, model):
+        rng = np.random.default_rng(4)
+        stress = nominal_stress()
+        samples = model.sample_shift(AREA, stress, 4000, rng)
+        expected = model.expected_sigma(AREA, stress)
+        assert np.std(samples) == pytest.approx(expected, rel=0.10)
+
+    def test_variance_relation(self, model):
+        """Compound-Poisson identity: var = 2 * mean * eta_mean."""
+        stress = nominal_stress()
+        mean = model.expected_shift(AREA, stress)
+        sigma = model.expected_sigma(AREA, stress)
+        eta = model.eta_mean(AREA, stress.env)
+        assert sigma ** 2 == pytest.approx(2.0 * mean * eta, rel=1e-9)
+
+
+class TestScalingLaws:
+    def test_monotone_in_duty(self, model):
+        shifts = [model.expected_shift(AREA, nominal_stress(duty=d))
+                  for d in (0.1, 0.4, 0.8, 1.0)]
+        assert all(a < b for a, b in zip(shifts, shifts[1:]))
+
+    def test_monotone_in_time(self, model):
+        shifts = [model.expected_shift(AREA, nominal_stress(t=t))
+                  for t in (1e2, 1e5, 1e8)]
+        assert all(a < b for a, b in zip(shifts, shifts[1:]))
+
+    def test_temperature_acceleration(self, model):
+        cold = model.expected_shift(AREA, nominal_stress())
+        hot = model.expected_shift(
+            AREA, StressCondition(1e8, 0.8, Environment.from_celsius(125)))
+        assert 3.0 < hot / cold < 6.0  # paper Table IV: ~4.6x
+
+    def test_voltage_acceleration(self, model):
+        nom = model.expected_shift(AREA, nominal_stress())
+        high = model.expected_shift(
+            AREA, StressCondition(1e8, 0.8,
+                                  Environment.from_celsius(25, 1.1)))
+        low = model.expected_shift(
+            AREA, StressCondition(1e8, 0.8,
+                                  Environment.from_celsius(25, 0.9)))
+        assert 1.3 < high / nom < 2.0   # paper Table III: ~1.6x
+        assert 0.45 < low / nom < 0.8   # paper Table III: ~0.6x
+
+    def test_mean_is_area_independent(self, model):
+        """density * area and eta / area cancel in the mean."""
+        stress = nominal_stress()
+        small = model.expected_shift(AREA / 4.0, stress)
+        large = model.expected_shift(AREA, stress)
+        assert small == pytest.approx(large, rel=1e-9)
+
+    def test_small_devices_age_more_variably(self, model):
+        stress = nominal_stress()
+        assert (model.expected_sigma(AREA / 4.0, stress)
+                > model.expected_sigma(AREA, stress))
+
+    def test_variance_tempering_limits_sigma_growth(self, model):
+        """Sigma grows far slower with T than the mean (Table IV)."""
+        stress_hot = StressCondition(1e8, 0.8,
+                                     Environment.from_celsius(125))
+        mean_ratio = (model.expected_shift(AREA, stress_hot)
+                      / model.expected_shift(AREA, nominal_stress()))
+        sigma_ratio = (model.expected_sigma(AREA, stress_hot)
+                       / model.expected_sigma(AREA, nominal_stress()))
+        assert sigma_ratio < 0.5 * mean_ratio
+
+
+class TestEdgeCases:
+    def test_zero_time_zero_shift(self, model):
+        rng = np.random.default_rng(0)
+        samples = model.sample_shift(AREA, nominal_stress(t=0.0), 16, rng)
+        assert np.all(samples == 0.0)
+
+    def test_zero_duty_zero_shift(self, model):
+        rng = np.random.default_rng(0)
+        samples = model.sample_shift(AREA, nominal_stress(duty=0.0), 16,
+                                     rng)
+        assert np.all(samples == 0.0)
+
+    def test_shifts_non_negative(self, model):
+        rng = np.random.default_rng(5)
+        samples = model.sample_shift(AREA, nominal_stress(), 500, rng)
+        assert np.all(samples >= 0.0)
+
+    def test_deterministic_with_seed(self, model):
+        a = model.sample_shift(AREA, nominal_stress(), 32,
+                               np.random.default_rng(7))
+        b = model.sample_shift(AREA, nominal_stress(), 32,
+                               np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_area(self, model):
+        with pytest.raises(ValueError):
+            model.poisson_mean(0.0, 0.5, Environment.nominal())
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            BtiParams(density0=-1.0, eta0=1e-17)
+        with pytest.raises(ValueError):
+            BtiParams(density0=1.0, eta0=1e-17, duty_exponent=-0.1)
+
+    def test_scaled_params(self):
+        doubled = PBTI_PARAMS.scaled(2.0)
+        assert doubled.density0 == pytest.approx(2.0 * PBTI_PARAMS.density0)
+
+
+class TestSchedules:
+    def test_single_segment_matches_condition(self, model):
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        env = Environment.nominal()
+        cond = model.sample_shift(AREA, StressCondition(1e8, 0.8, env),
+                                  2000, rng_a)
+        sched = model.sample_shift_schedule(
+            AREA, [StressSegment(1e8, 0.8, env)], 2000, rng_b)
+        assert np.mean(sched) == pytest.approx(np.mean(cond), rel=0.1)
+
+    def test_recovery_segment_reduces_shift(self, model):
+        rng_a = np.random.default_rng(13)
+        rng_b = np.random.default_rng(13)
+        env = Environment.nominal()
+        stressed = model.sample_shift_schedule(
+            AREA, [StressSegment(1e8, 0.8, env)], 2000, rng_a)
+        relaxed = model.sample_shift_schedule(
+            AREA, [StressSegment(1e8, 0.8, env),
+                   StressSegment(1e8, 0.0, env)], 2000, rng_b)
+        assert np.mean(relaxed) < np.mean(stressed)
+
+    def test_empty_schedule(self, model):
+        out = model.sample_shift_schedule(AREA, [], 8,
+                                          np.random.default_rng(0))
+        assert np.all(out == 0.0)

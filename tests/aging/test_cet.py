@@ -1,0 +1,70 @@
+"""Tests for the capture/emission-time map."""
+
+import numpy as np
+import pytest
+
+from repro.aging.cet import CetMap, DEFAULT_CET_MAP
+
+
+class TestSampling:
+    def test_ranges(self, rng):
+        cet = CetMap(log_tau_c_min=-6.0, log_tau_c_max=6.0,
+                     correlation=0.0, log_tau_e_offset=0.0,
+                     log_tau_e_spread=1.0)
+        tau_c, tau_e = cet.sample(5000, rng)
+        assert np.all((tau_c >= 1e-6) & (tau_c <= 1e6))
+        assert np.all((tau_e >= 1e-1) & (tau_e <= 1e1))
+
+    def test_correlation(self, rng):
+        cet = CetMap(correlation=1.0, log_tau_e_offset=2.0,
+                     log_tau_e_spread=0.0)
+        tau_c, tau_e = cet.sample(100, rng)
+        np.testing.assert_allclose(tau_e, 100.0 * tau_c, rtol=1e-9)
+
+    def test_acceleration_shifts_capture_only(self, rng):
+        cet = DEFAULT_CET_MAP
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        tc_slow, te_slow = cet.sample(100, rng1, capture_acceleration=1.0)
+        tc_fast, te_fast = cet.sample(100, rng2, capture_acceleration=10.0)
+        np.testing.assert_allclose(tc_fast, tc_slow / 10.0, rtol=1e-9)
+        np.testing.assert_allclose(te_fast, te_slow, rtol=1e-9)
+
+    def test_zero_count(self, rng):
+        tau_c, tau_e = DEFAULT_CET_MAP.sample(0, rng)
+        assert tau_c.size == 0 and tau_e.size == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CetMap(log_tau_c_min=2.0, log_tau_c_max=1.0)
+        with pytest.raises(ValueError):
+            CetMap(log_tau_e_spread=-1.0)
+        with pytest.raises(ValueError):
+            DEFAULT_CET_MAP.sample(-1, rng)
+        with pytest.raises(ValueError):
+            DEFAULT_CET_MAP.sample(10, rng, capture_acceleration=0.0)
+
+
+class TestMeanOccupancy:
+    def test_monotone_in_time(self):
+        cet = DEFAULT_CET_MAP
+        values = [cet.mean_occupancy(t, 0.8) for t in (1e2, 1e5, 1e8)]
+        assert values[0] < values[1] < values[2]
+
+    def test_monotone_in_duty(self):
+        cet = DEFAULT_CET_MAP
+        values = [cet.mean_occupancy(1e8, d) for d in (0.1, 0.5, 1.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_acceleration_increases_occupancy(self):
+        cet = DEFAULT_CET_MAP
+        assert (cet.mean_occupancy(1e8, 0.8, capture_acceleration=10.0)
+                > cet.mean_occupancy(1e8, 0.8))
+
+    def test_deterministic(self):
+        cet = DEFAULT_CET_MAP
+        assert (cet.mean_occupancy(1e8, 0.8)
+                == cet.mean_occupancy(1e8, 0.8))
+
+    def test_decades(self):
+        assert DEFAULT_CET_MAP.decades() == pytest.approx(18.0)

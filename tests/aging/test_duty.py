@@ -1,0 +1,90 @@
+"""Tests for workload -> per-transistor duty extraction."""
+
+import pytest
+
+from repro.aging.duty import (AMPLIFY_FRACTION, inverter_duties,
+                              issa_duties, latch_duties, nssa_duties,
+                              shared_duties)
+from repro.workloads import PAPER_WORKLOADS, Workload, paper_workload
+
+
+class TestNssaDuties:
+    def test_paper_claim_read_zeros(self):
+        """Reading 0s stresses Mdown and MupBar most (paper Sec. III)."""
+        duties = nssa_duties(paper_workload("80r0"))
+        assert duties["Mdown"] == pytest.approx(0.8)
+        assert duties["MupBar"] == pytest.approx(0.8)
+        assert duties["MdownBar"] == 0.0
+        assert duties["Mup"] == 0.0
+
+    def test_paper_claim_read_ones(self):
+        duties = nssa_duties(paper_workload("80r1"))
+        assert duties["MdownBar"] == pytest.approx(0.8)
+        assert duties["Mup"] == pytest.approx(0.8)
+        assert duties["Mdown"] == 0.0
+
+    def test_balanced_symmetric(self):
+        duties = nssa_duties(paper_workload("80r0r1"))
+        assert duties["Mdown"] == duties["MdownBar"] == pytest.approx(0.4)
+        assert duties["Mup"] == duties["MupBar"] == pytest.approx(0.4)
+
+    def test_activation_rate_scales(self):
+        high = nssa_duties(paper_workload("80r0"))
+        low = nssa_duties(paper_workload("20r0"))
+        assert low["Mdown"] == pytest.approx(high["Mdown"] * 0.25)
+
+    def test_all_duties_valid(self):
+        for workload in PAPER_WORKLOADS:
+            for name, duty in nssa_duties(workload).items():
+                assert 0.0 <= duty <= 1.0, (str(workload), name)
+
+    def test_shared_devices_value_independent(self):
+        r0 = nssa_duties(paper_workload("80r0"))
+        r1 = nssa_duties(paper_workload("80r1"))
+        for name in ("Mpass", "MpassBar", "Mtop", "Mbottom"):
+            assert r0[name] == r1[name]
+
+    def test_enable_devices_follow_amplify_fraction(self):
+        duties = shared_duties(0.8)
+        assert duties["Mtop"] == pytest.approx(0.8 * AMPLIFY_FRACTION)
+        assert duties["Mbottom"] == pytest.approx(0.8 * AMPLIFY_FRACTION)
+
+    def test_inverter_sides(self):
+        duties = inverter_duties(0.8, 1.0)  # all reads 0
+        assert duties["MinvOutN"] == pytest.approx(0.8)
+        assert duties["MinvOutbarN"] == 0.0
+
+
+class TestIssaDuties:
+    @pytest.mark.parametrize("name", ["80r0", "80r1", "80r0r1"])
+    def test_balances_any_mix(self, name):
+        """The core claim: ISSA internal duties are mix-independent."""
+        duties = issa_duties(paper_workload(name))
+        assert duties["Mdown"] == pytest.approx(0.4)
+        assert duties["MdownBar"] == pytest.approx(0.4)
+        assert duties["Mup"] == pytest.approx(0.4)
+        assert duties["MupBar"] == pytest.approx(0.4)
+
+    def test_four_pass_gates_share_reads(self):
+        nssa_pass = nssa_duties(paper_workload("80r0"))["Mpass"]
+        issa = issa_duties(paper_workload("80r0"))
+        for name in ("M1", "M2", "M3", "M4"):
+            assert issa[name] == pytest.approx(0.5 * nssa_pass)
+
+    def test_no_legacy_pass_names(self):
+        duties = issa_duties(paper_workload("80r0"))
+        assert "Mpass" not in duties
+        assert "MpassBar" not in duties
+
+    def test_residual_imbalance(self):
+        duties = issa_duties(paper_workload("80r0"),
+                             residual_imbalance=0.2)
+        assert duties["Mdown"] > duties["MdownBar"]
+
+    def test_residual_imbalance_validation(self):
+        with pytest.raises(ValueError):
+            issa_duties(paper_workload("80r0"), residual_imbalance=1.5)
+
+    def test_activation_rate_preserved(self):
+        duties = issa_duties(paper_workload("20r0"))
+        assert duties["Mdown"] == pytest.approx(0.1)

@@ -1,0 +1,108 @@
+"""Tests for stress descriptions and the circuit-level aging engine."""
+
+import numpy as np
+import pytest
+
+from repro.aging.engine import age_circuit, age_circuit_schedule, \
+    expected_shifts
+from repro.aging.stress import (StressCondition, StressSegment,
+                                equivalent_condition, total_time)
+from repro.aging.duty import nssa_duties
+from repro.circuits.sense_amp import build_nssa
+from repro.core.calibration import default_aging_model
+from repro.models import Environment
+from repro.workloads import paper_workload
+
+
+class TestStressCondition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StressCondition(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            StressCondition(1.0, 1.5)
+
+    def test_with_duty(self):
+        cond = StressCondition(1e8, 0.8).with_duty(0.2)
+        assert cond.duty == 0.2
+        assert cond.time_s == 1e8
+
+    def test_total_time(self):
+        segments = [StressSegment(10.0, 0.5), StressSegment(20.0, 0.1)]
+        assert total_time(segments) == 30.0
+
+    def test_equivalent_condition_weighted_duty(self):
+        segments = [StressSegment(10.0, 1.0), StressSegment(30.0, 0.0)]
+        cond = equivalent_condition(segments)
+        assert cond.time_s == 40.0
+        assert cond.duty == pytest.approx(0.25)
+
+    def test_equivalent_condition_empty(self):
+        with pytest.raises(ValueError):
+            equivalent_condition([])
+
+
+class TestAgeCircuit:
+    def setup_method(self):
+        self.design = build_nssa()
+        self.aging = default_aging_model()
+        self.env = Environment.nominal()
+
+    def test_shapes_and_coverage(self):
+        duties = nssa_duties(paper_workload("80r0"))
+        shifts = age_circuit(self.design.circuit, self.aging, duties,
+                             1e8, self.env, 16, np.random.default_rng(0))
+        assert set(shifts) == {m.name for m in self.design.circuit.mosfets}
+        for arr in shifts.values():
+            assert arr.shape == (16,)
+            assert np.all(arr >= 0.0)
+
+    def test_unstressed_devices_zero(self):
+        duties = nssa_duties(paper_workload("80r0"))
+        shifts = age_circuit(self.design.circuit, self.aging, duties,
+                             1e8, self.env, 16, np.random.default_rng(0))
+        assert np.all(shifts["MdownBar"] == 0.0)  # duty 0 under 80r0
+        assert np.any(shifts["Mdown"] > 0.0)
+
+    def test_zero_time_all_zero(self):
+        duties = nssa_duties(paper_workload("80r0"))
+        shifts = age_circuit(self.design.circuit, self.aging, duties,
+                             0.0, self.env, 8, np.random.default_rng(0))
+        assert all(np.all(arr == 0.0) for arr in shifts.values())
+
+    def test_deterministic(self):
+        duties = nssa_duties(paper_workload("80r0"))
+        a = age_circuit(self.design.circuit, self.aging, duties, 1e8,
+                        self.env, 8, np.random.default_rng(42))
+        b = age_circuit(self.design.circuit, self.aging, duties, 1e8,
+                        self.env, 8, np.random.default_rng(42))
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_expected_shifts_consistent(self):
+        duties = nssa_duties(paper_workload("80r0"))
+        means = expected_shifts(self.design.circuit, self.aging, duties,
+                                1e8, self.env)
+        assert means["MdownBar"] == 0.0
+        assert means["Mdown"] > 0.005  # ~17 mV at the nominal corner
+        shifts = age_circuit(self.design.circuit, self.aging, duties,
+                             1e8, self.env, 3000,
+                             np.random.default_rng(1))
+        assert np.mean(shifts["Mdown"]) == pytest.approx(means["Mdown"],
+                                                         rel=0.08)
+
+    def test_schedule_engine(self):
+        env = self.env
+        segments = {"Mdown": [StressSegment(1e7, 0.8, env),
+                              StressSegment(1e7, 0.0, env)]}
+        shifts = age_circuit_schedule(self.design.circuit, self.aging,
+                                      segments, 16,
+                                      np.random.default_rng(0))
+        assert np.any(shifts["Mdown"] >= 0.0)
+        assert np.all(shifts["MdownBar"] == 0.0)
+
+    def test_nbti_applies_to_pmos(self):
+        """PMOS devices age through the NBTI model (1.2x density)."""
+        duties = {"Mup": 0.8, "Mdown": 0.8}
+        means = expected_shifts(self.design.circuit, self.aging, duties,
+                                1e8, self.env)
+        assert means["Mup"] > means["Mdown"]  # same duty, higher density

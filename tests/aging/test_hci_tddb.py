@@ -1,0 +1,138 @@
+"""Tests for the HCI and TDDB extension models."""
+
+import math
+
+import pytest
+
+from repro.aging.hci import (HCI_DEFAULT, HciModel, HciParams,
+                             SA_EVENTS_PER_READ, bti_to_hci_ratio,
+                             reads_from_lifetime)
+from repro.aging.stress import StressCondition
+from repro.aging.tddb import (TDDB_DEFAULT, TddbModel, TddbParams,
+                              tddb_vs_offset_budget)
+from repro.core.calibration import PBTI_PARAMS
+from repro.aging.bti import AtomisticBti
+from repro.models import Environment
+
+
+class TestHciModel:
+    def test_zero_events_zero_shift(self):
+        assert HciModel().shift(0.0, Environment.nominal()) == 0.0
+
+    def test_power_law(self):
+        model = HciModel(HciParams(time_exponent=0.5))
+        env = Environment.nominal()
+        assert model.shift(4e14, env) == pytest.approx(
+            2.0 * model.shift(1e14, env))
+
+    def test_voltage_acceleration(self):
+        model = HciModel()
+        high = model.shift(1e14, Environment.from_celsius(25.0, 1.1))
+        low = model.shift(1e14, Environment.from_celsius(25.0, 0.9))
+        assert high > 2.0 * low
+
+    def test_worse_cold(self):
+        """HCI's signature: negative activation energy."""
+        model = HciModel()
+        cold = model.shift(1e14, Environment.from_celsius(-25.0))
+        hot = model.shift(1e14, Environment.from_celsius(125.0))
+        assert cold > hot
+
+    def test_circuit_shifts_cover_sa_devices(self):
+        shifts = HciModel().circuit_shifts(1e12, Environment.nominal())
+        assert "Mdown" in shifts and "Mpass" in shifts
+        assert shifts["Mpass"] > shifts["Mdown"]  # two events per read
+
+    def test_reads_from_lifetime(self):
+        # 1e8 s at 80 % activation and 1 ns cycles: 8e16 reads.
+        assert reads_from_lifetime(1e8, 0.8) == pytest.approx(8e16)
+        with pytest.raises(ValueError):
+            reads_from_lifetime(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            reads_from_lifetime(1.0, 1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HciParams(prefactor=-1.0)
+        with pytest.raises(ValueError):
+            HciParams(time_exponent=0.0)
+        with pytest.raises(ValueError):
+            HciModel().shift(-1.0, Environment.nominal())
+
+    def test_bti_dominates_at_paper_conditions(self):
+        """The paper analyses BTI only; check HCI is second order for
+        its stress profile (1e8 s, 80 % activation, 1 GHz)."""
+        env = Environment.nominal()
+        bti = AtomisticBti(PBTI_PARAMS)
+        area = 17.8 * 45e-9 * 45e-9
+        bti_shift = bti.expected_shift(area,
+                                       StressCondition(1e8, 0.8, env))
+        reads = reads_from_lifetime(1e8, 0.8)
+        hci_shift = HciModel().shift_for_reads(reads, 1.0, env)
+        assert bti_to_hci_ratio(bti_shift, hci_shift) > 3.0
+
+    def test_ratio_infinite_for_zero_hci(self):
+        assert math.isinf(bti_to_hci_ratio(0.01, 0.0))
+
+
+class TestTddbModel:
+    ENV = Environment.nominal()
+    AREA = 17.8 * 45e-9 * 45e-9
+
+    def test_zero_time_no_failure(self):
+        assert TddbModel().failure_probability(0.0, self.ENV,
+                                               self.AREA) == 0.0
+
+    def test_monotone_in_time(self):
+        model = TddbModel()
+        p1 = model.failure_probability(1e7, self.ENV, self.AREA)
+        p2 = model.failure_probability(1e8, self.ENV, self.AREA)
+        assert 0.0 <= p1 < p2 <= 1.0
+
+    def test_field_acceleration(self):
+        model = TddbModel()
+        high = model.failure_probability(
+            1e8, Environment.from_celsius(25.0, 1.1), self.AREA)
+        low = model.failure_probability(
+            1e8, Environment.from_celsius(25.0, 0.9), self.AREA)
+        assert high > low
+
+    def test_thermal_acceleration(self):
+        model = TddbModel()
+        hot = model.failure_probability(
+            1e8, Environment.from_celsius(125.0), self.AREA)
+        cold = model.failure_probability(1e8, self.ENV, self.AREA)
+        assert hot > cold
+
+    def test_area_scaling(self):
+        """Bigger oxide area breaks earlier (Poisson defects)."""
+        model = TddbModel()
+        small = model.characteristic_life(self.ENV, self.AREA)
+        large = model.characteristic_life(self.ENV, 10.0 * self.AREA)
+        assert large < small
+
+    def test_circuit_aggregation(self):
+        model = TddbModel()
+        single = model.failure_probability(1e8, self.ENV, self.AREA)
+        many = model.circuit_failure_probability(
+            1e8, self.ENV, [self.AREA] * 12)
+        assert many == pytest.approx(1.0 - (1.0 - single) ** 12,
+                                     rel=1e-9)
+
+    def test_offset_budget_comparison(self):
+        """At nominal conditions TDDB risk over 1e8 s should not swamp
+        the paper's 1e-9 offset budget by orders of magnitude."""
+        model = TddbModel()
+        sa_areas = [self.AREA] * 12
+        p = model.circuit_failure_probability(1e8, self.ENV, sa_areas)
+        assert tddb_vs_offset_budget(p) < 1e3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TddbParams(eta0=0.0)
+        with pytest.raises(ValueError):
+            TddbModel().failure_probability(-1.0, self.ENV, self.AREA)
+        with pytest.raises(ValueError):
+            TddbModel().characteristic_life(self.ENV, 0.0)
+        with pytest.raises(ValueError):
+            tddb_vs_offset_budget(0.1, 0.0)

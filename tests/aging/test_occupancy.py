@@ -1,0 +1,120 @@
+"""Tests for trap occupancy — the paper's Eq. (1)/(2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aging.occupancy import (ac_occupancy, ac_rates, ac_steady_state,
+                                   capture_probability,
+                                   emission_probability)
+
+taus = st.floats(min_value=1e-9, max_value=1e9)
+times = st.floats(min_value=0.0, max_value=1e10)
+
+
+class TestEquation1:
+    def test_zero_time(self):
+        assert capture_probability(0.0, 1.0, 1.0) == 0.0
+
+    def test_asymptote(self):
+        """P_C(inf) = tau_e / (tau_c + tau_e)."""
+        p = capture_probability(1e12, 2.0, 6.0)
+        assert float(p) == pytest.approx(0.75)
+
+    def test_fast_capture_slow_emission_saturates_high(self):
+        p = capture_probability(1e6, 1e-3, 1e6)
+        assert float(p) > 0.999
+
+    @settings(max_examples=50, deadline=None)
+    @given(tau_c=taus, tau_e=taus, t1=times, t2=times)
+    def test_monotone_in_time(self, tau_c, tau_e, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert (capture_probability(lo, tau_c, tau_e)
+                <= capture_probability(hi, tau_c, tau_e) + 1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(tau_c=taus, tau_e=taus, t=times)
+    def test_probability_bounds(self, tau_c, tau_e, t):
+        p = capture_probability(t, tau_c, tau_e)
+        assert 0.0 <= float(p) <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            capture_probability(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            capture_probability(-1.0, 1.0, 1.0)
+
+
+class TestEquation2:
+    def test_complementary_asymptotes(self):
+        """P_C(inf) + P_E(inf) = 1 (shared rate structure)."""
+        p_c = capture_probability(1e12, 3.0, 5.0)
+        p_e = emission_probability(1e12, 3.0, 5.0)
+        assert float(p_c) + float(p_e) == pytest.approx(1.0)
+
+    def test_zero_time(self):
+        assert emission_probability(0.0, 1.0, 1.0) == 0.0
+
+    def test_same_relaxation_rate(self):
+        """Both equations share exponent (1/tau_c + 1/tau_e)."""
+        tau_c, tau_e, t = 2.0, 4.0, 1.5
+        ratio_c = (capture_probability(t, tau_c, tau_e)
+                   / capture_probability(1e12, tau_c, tau_e))
+        ratio_e = (emission_probability(t, tau_c, tau_e)
+                   / emission_probability(1e12, tau_c, tau_e))
+        assert float(ratio_c) == pytest.approx(float(ratio_e))
+
+
+class TestAcOccupancy:
+    def test_reduces_to_eq1_at_full_duty(self):
+        tau_c, tau_e = 1e2, 1e3
+        for t in (1e1, 1e2, 1e4):
+            ac = ac_occupancy(t, 1.0, tau_c, tau_e)
+            dc = capture_probability(t, tau_c, tau_e)
+            assert float(ac) == pytest.approx(float(dc), rel=1e-9)
+
+    def test_zero_duty_never_captures(self):
+        assert float(ac_occupancy(1e8, 0.0, 1.0, 1.0)) == 0.0
+
+    def test_steady_state_increases_with_duty(self):
+        duties = np.linspace(0.0, 1.0, 11)
+        p = ac_steady_state(duties, 1e2, 1e3)
+        assert np.all(np.diff(p) > 0.0)
+
+    def test_occupancy_increases_with_duty(self):
+        p_low = ac_occupancy(1e6, 0.2, 1e2, 1e3)
+        p_high = ac_occupancy(1e6, 0.8, 1e2, 1e3)
+        assert float(p_high) > float(p_low)
+
+    def test_initial_condition_relaxes(self):
+        """A captured trap under zero duty emits toward 0."""
+        p = ac_occupancy(1e3, 0.0, 1e2, 1e2, p_initial=1.0)
+        assert float(p) == pytest.approx(np.exp(-10.0), rel=1e-6)
+
+    def test_chaining_segments_equals_single_run(self):
+        """Occupancy propagation is consistent under time splitting."""
+        tau_c, tau_e, duty = 50.0, 500.0, 0.6
+        p_direct = ac_occupancy(1000.0, duty, tau_c, tau_e)
+        p_half = ac_occupancy(500.0, duty, tau_c, tau_e)
+        p_chained = ac_occupancy(500.0, duty, tau_c, tau_e,
+                                 p_initial=p_half)
+        assert float(p_chained) == pytest.approx(float(p_direct), rel=1e-9)
+
+    def test_recovery_after_stress(self):
+        """The ISSA's trap-level mechanism: relaxation phases recover."""
+        stressed = ac_occupancy(1e4, 1.0, 1e2, 1e3)
+        recovered = ac_occupancy(1e4, 0.0, 1e2, 1e3, p_initial=stressed)
+        assert float(recovered) < float(stressed)
+
+    def test_duty_validation(self):
+        with pytest.raises(ValueError):
+            ac_rates(1.5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ac_occupancy(-1.0, 0.5, 1.0, 1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(duty=st.floats(min_value=0.0, max_value=1.0), tau_c=taus,
+           tau_e=taus, t=times)
+    def test_bounded(self, duty, tau_c, tau_e, t):
+        p = ac_occupancy(t, duty, tau_c, tau_e)
+        assert -1e-12 <= float(p) <= 1.0 + 1e-12

@@ -1,0 +1,89 @@
+"""Tests for ASCII histograms and normality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import (Histogram, check_normality,
+                                      histogram, render_histogram)
+
+
+class TestHistogram:
+    def test_counts_sum_to_samples(self, rng):
+        samples = rng.normal(0.0, 1.0, 500)
+        hist = histogram(samples, bins=15)
+        assert hist.total == 500
+        assert hist.counts.size == 15
+        assert hist.edges.size == 16
+
+    def test_nan_dropped(self):
+        hist = histogram(np.array([0.0, 1.0, np.nan, 2.0]), bins=2)
+        assert hist.total == 3
+
+    def test_mode_bin(self, rng):
+        samples = np.concatenate([rng.normal(0.0, 0.1, 900),
+                                  rng.uniform(-3, 3, 100)])
+        low, high = histogram(samples, bins=12).mode_bin()
+        assert low < 0.0 < high or abs(low) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([np.nan]))
+        with pytest.raises(ValueError):
+            histogram(np.array([1.0, 2.0]), bins=0)
+
+
+class TestRender:
+    def test_render_contains_bars_and_counts(self, rng):
+        samples = rng.normal(0.0, 0.015, 300)
+        text = render_histogram(samples, bins=10)
+        assert text.count("\n") == 9
+        assert "#" in text and "mV" in text
+
+    def test_width_validation(self, rng):
+        with pytest.raises(ValueError):
+            render_histogram(rng.normal(0, 1, 10), width=2)
+
+
+class TestNormality:
+    def test_gaussian_passes(self, rng):
+        check = check_normality(rng.normal(0.0, 1.0, 400))
+        assert check.looks_normal
+        assert check.quantile_correlation > 0.995
+
+    def test_uniform_fails(self, rng):
+        check = check_normality(rng.uniform(-1.0, 1.0, 400))
+        assert not check.looks_normal
+
+    def test_bimodal_fails(self, rng):
+        samples = np.concatenate([rng.normal(-3, 0.2, 200),
+                                  rng.normal(3, 0.2, 200)])
+        check = check_normality(samples)
+        assert not check.looks_normal
+
+    def test_minimum_samples(self):
+        with pytest.raises(ValueError):
+            check_normality(np.zeros(4))
+
+    def test_extracted_offsets_are_normal(self, nssa_bench):
+        """The paper's normality assumption holds for the simulated
+        offset population (mismatch-driven, through the real binary
+        search)."""
+        from repro.core.montecarlo import McSettings, \
+            sample_total_shifts
+        from repro.core.offset import extract_offsets
+        from repro.models import Environment, MismatchModel
+
+        # The shared bench has batch 8 — too small; spin a local one.
+        from repro.circuits.sense_amp import build_nssa, ReadTiming
+        from repro.core.testbench import SenseAmpTestbench
+        settings = McSettings(size=120, seed=4,
+                              mismatch=MismatchModel())
+        bench = SenseAmpTestbench(build_nssa(), Environment.nominal(),
+                                  batch_size=120,
+                                  timing=ReadTiming(dt=1e-12))
+        bench.set_vth_shifts(sample_total_shifts(
+            bench.design, None, None, 0.0, Environment.nominal(),
+            settings))
+        offsets = extract_offsets(bench, iterations=12)
+        check = check_normality(offsets)
+        assert check.looks_normal

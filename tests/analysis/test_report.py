@@ -1,0 +1,67 @@
+"""Tests for the reproduction-report assembler."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import (ARTIFACT_SECTIONS, assemble_report,
+                                   write_report)
+
+
+@pytest.fixture()
+def results_dir(tmp_path) -> pathlib.Path:
+    (tmp_path / "table2.txt").write_text("Table II content\nrow row\n")
+    (tmp_path / "fig7.txt").write_text("Figure 7 content\n")
+    return tmp_path
+
+
+class TestAssemble:
+    def test_includes_present_artifacts(self, results_dir):
+        text, status = assemble_report(results_dir)
+        assert "Table II content" in text
+        assert "Figure 7 content" in text
+        assert "table2.txt" in status.included
+        assert not status.complete
+
+    def test_marks_missing(self, results_dir):
+        text, status = assemble_report(results_dir)
+        assert "artefact missing" in text
+        assert "table4.txt" in status.missing
+
+    def test_all_sections_have_headings(self, results_dir):
+        text, _ = assemble_report(results_dir)
+        for _, heading in ARTIFACT_SECTIONS:
+            assert f"## {heading}" in text
+
+    def test_complete_when_all_present(self, tmp_path):
+        for filename, _ in ARTIFACT_SECTIONS:
+            (tmp_path / filename).write_text("x\n")
+        _, status = assemble_report(tmp_path)
+        assert status.complete
+
+
+class TestWrite:
+    def test_writes_default_location(self, results_dir):
+        path, _ = write_report(results_dir)
+        assert path == results_dir / "REPORT.md"
+        assert path.read_text().startswith("# ISSA reproduction report")
+
+    def test_custom_output(self, results_dir, tmp_path):
+        out = tmp_path / "custom.md"
+        path, _ = write_report(results_dir, out)
+        assert path == out and out.is_file()
+
+
+class TestCli:
+    def test_report_command(self, results_dir, capsys):
+        from repro.cli import main
+        code = main(["report", "--results", str(results_dir)])
+        out = capsys.readouterr().out
+        assert "report written" in out
+        assert code == 1  # incomplete artefacts -> nonzero
+
+    def test_report_command_complete(self, tmp_path, capsys):
+        for filename, _ in ARTIFACT_SECTIONS:
+            (tmp_path / filename).write_text("x\n")
+        from repro.cli import main
+        assert main(["report", "--results", str(tmp_path)]) == 0

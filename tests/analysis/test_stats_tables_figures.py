@@ -1,0 +1,145 @@
+"""Tests for statistics, table formatting and figure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (DelaySeries, DistributionBar,
+                                    crossover_time, render_bars,
+                                    render_delay_series)
+from repro.analysis.reference import (TABLE2, TABLE3, TABLE4, all_rows,
+                                      lookup)
+from repro.analysis.stats import NormalFit, fit_normal, valid_fraction
+from repro.analysis.tables import (comparison_row, format_table,
+                                   relative_error, render_comparison)
+
+
+class TestStats:
+    def test_fit_basic(self):
+        fit = fit_normal(np.array([1.0, 2.0, 3.0]))
+        assert fit.mu == pytest.approx(2.0)
+        assert fit.sigma == pytest.approx(1.0)
+        assert fit.count == 3
+
+    def test_fit_ignores_nan(self):
+        fit = fit_normal(np.array([1.0, np.nan, 3.0]))
+        assert fit.count == 2
+        assert fit.mu == pytest.approx(2.0)
+
+    def test_fit_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_normal(np.array([1.0, np.nan]))
+
+    def test_stderr(self):
+        fit = NormalFit(mu=0.0, sigma=2.0, count=400)
+        assert fit.mu_stderr == pytest.approx(0.1)
+        assert fit.sigma_stderr == pytest.approx(2.0 / np.sqrt(798.0))
+
+    def test_six_sigma_interval(self):
+        low, high = NormalFit(1.0, 0.5, 10).six_sigma_interval()
+        assert low == pytest.approx(-2.0)
+        assert high == pytest.approx(4.0)
+
+    def test_valid_fraction(self):
+        assert valid_fraction(np.array([1.0, np.nan])) == 0.5
+        assert valid_fraction(np.array([])) == 0.0
+
+
+class TestTables:
+    def test_format_alignment(self):
+        table = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len))
+                   for line in lines)
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_comparison_row_with_paper(self):
+        row = comparison_row("nssa", 1e8, "80r0", "25C",
+                             (17.2, 15.6, 111.0, 14.3),
+                             (17.3, 15.7, 111.5, 14.3))
+        assert row[0] == "NSSA"
+        assert row[-4:] == ["17.30", "15.70", "111.5", "14.30"]
+
+    def test_comparison_row_without_paper(self):
+        row = comparison_row("nssa", 0.0, "-", "25C",
+                             (0.1, 14.8, 90.2, 13.6), None)
+        assert row[-1] == "-"
+
+    def test_render_comparison(self):
+        text = render_comparison([comparison_row(
+            "issa", 1e8, "80%", "125C", (0.2, 18.6, 113.9, 26.0),
+            (0.2, 18.6, 113.9, 26.0))])
+        assert "ISSA" in text and "113.9" in text
+
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestFigures:
+    def test_bar_extents(self):
+        bar = DistributionBar("x", mu_mv=10.0, sigma_mv=15.0)
+        assert bar.low_mv == pytest.approx(-80.0)
+        assert bar.high_mv == pytest.approx(100.0)
+
+    def test_render_bars_contains_labels(self):
+        bars = [DistributionBar("80r0", 17.3, 15.7),
+                DistributionBar("80r1", -17.2, 15.6)]
+        text = render_bars(bars)
+        assert "80r0" in text and "x" in text
+
+    def test_render_bars_width_validation(self):
+        with pytest.raises(ValueError):
+            render_bars([], width=10)
+
+    def test_delay_series_validation(self):
+        with pytest.raises(ValueError):
+            DelaySeries("a", (0.0, 1.0), (1.0,))
+
+    def test_delay_series_at(self):
+        series = DelaySeries("a", (0.0, 1e8), (13.6, 14.3))
+        assert series.at(1e8) == 14.3
+        with pytest.raises(KeyError):
+            series.at(5.0)
+
+    def test_render_delay_series(self):
+        a = DelaySeries("NSSA 80r0", (0.0, 1e8), (21.3, 29.0))
+        b = DelaySeries("ISSA 80%", (0.0, 1e8), (21.7, 26.0))
+        text = render_delay_series([a, b])
+        assert "NSSA 80r0" in text and "29.00" in text
+
+    def test_crossover(self):
+        ref = DelaySeries("nssa", (0.0, 1e7, 1e8), (21.3, 25.0, 29.0))
+        other = DelaySeries("issa", (0.0, 1e7, 1e8), (21.7, 24.0, 26.0))
+        assert crossover_time(ref, other) == 1e7
+
+    def test_no_crossover(self):
+        ref = DelaySeries("a", (0.0, 1.0), (10.0, 11.0))
+        other = DelaySeries("b", (0.0, 1.0), (12.0, 13.0))
+        assert crossover_time(ref, other) is None
+
+
+class TestReference:
+    def test_table_sizes(self):
+        assert len(TABLE2) == 10
+        assert len(TABLE3) == 12
+        assert len(TABLE4) == 12
+
+    def test_lookup(self):
+        row = lookup(TABLE2, "nssa", 1e8, "80r0")
+        assert row == (17.3, 15.7, 111.5, 14.3)
+        assert lookup(TABLE2, "nssa", 1e8, "nope") is None
+
+    def test_all_rows_merged(self):
+        assert len(all_rows()) == 34
+
+    def test_headline_reduction_consistent_with_tables(self):
+        """The ~40 % claim follows from Table IV's own numbers."""
+        nssa = lookup(TABLE4, "nssa", 1e8, "80r0", (125.0, 1.0))[2]
+        issa = lookup(TABLE4, "issa", 1e8, "80%", (125.0, 1.0))[2]
+        assert 1.0 - issa / nssa == pytest.approx(0.39, abs=0.02)

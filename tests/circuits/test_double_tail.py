@@ -1,0 +1,98 @@
+"""Tests for the double-tail SA extension."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.double_tail import (build_double_tail,
+                                        build_double_tail_switching,
+                                        double_tail_duties)
+from repro.core.testbench import SenseAmpTestbench
+from repro.models import Environment
+
+from ..conftest import FAST_TIMING
+
+
+@pytest.fixture(scope="module")
+def dt_bench():
+    return SenseAmpTestbench(build_double_tail(), Environment.nominal(),
+                             batch_size=4, timing=FAST_TIMING)
+
+
+@pytest.fixture(scope="module")
+def dtsw_bench():
+    return SenseAmpTestbench(build_double_tail_switching(),
+                             Environment.nominal(), batch_size=4,
+                             timing=FAST_TIMING)
+
+
+class TestTopology:
+    def test_output_nodes_are_latch(self):
+        assert build_double_tail().output_nodes == ("s", "sbar")
+
+    def test_switching_variant_duplicates_input_stage(self):
+        base = build_double_tail().circuit.stats()["mosfets"]
+        switching = build_double_tail_switching().circuit.stats()["mosfets"]
+        assert switching == base + 3  # extra tail + input pair
+
+    def test_kinds(self):
+        assert not build_double_tail().is_switching
+        assert build_double_tail_switching().is_switching
+
+
+class TestBehaviour:
+    def test_resolution(self, dt_bench):
+        vin = np.array([0.05, -0.05, 0.15, -0.15])
+        np.testing.assert_array_equal(dt_bench.resolve_sign(vin),
+                                      np.sign(vin))
+
+    def test_switching_straight(self, dtsw_bench):
+        vin = np.array([0.05, -0.05, 0.15, -0.15])
+        np.testing.assert_array_equal(dtsw_bench.resolve_sign(vin),
+                                      np.sign(vin))
+
+    def test_switching_swapped_inverts(self, dtsw_bench):
+        vin = np.array([0.05, -0.05, 0.15, -0.15])
+        np.testing.assert_array_equal(
+            dtsw_bench.resolve_sign(vin, swapped=True), -np.sign(vin))
+
+    def test_base_rejects_swapped(self, dt_bench):
+        with pytest.raises(ValueError):
+            dt_bench.resolve_sign(np.full(4, 0.05), swapped=True)
+
+    def test_delay_measurable(self, dt_bench):
+        delay = dt_bench.sensing_delay(np.full(4, -0.2))
+        assert np.all(np.isfinite(delay))
+        assert np.all((delay > 1e-12) & (delay < 100e-12))
+
+    def test_input_pair_mismatch_shifts_offset(self, dt_bench):
+        """The double tail's offset is set by its input pair.
+
+        A weaker Min slows the DiBar discharge, so the coupling device
+        keeps pulling S low — the SA is biased toward reading 0 and
+        the signed offset (extra input demanded) goes negative.
+        """
+        from repro.core.offset import extract_offsets
+        dt_bench.set_vth_shifts(
+            {"Min": np.array([0.0, 0.02, 0.0, -0.02])})
+        offsets = extract_offsets(dt_bench, iterations=14)
+        dt_bench.clear_vth_shifts()
+        assert offsets[1] < offsets[0]
+        assert offsets[3] > offsets[0]
+
+
+class TestDuties:
+    def test_base_latch_mix(self):
+        duties = double_tail_duties(0.8, 1.0, switching=False)
+        assert duties["Mdown"] == pytest.approx(0.8)
+        assert duties["MdownBar"] == 0.0
+
+    def test_switching_balances(self):
+        for zero_fraction in (0.0, 0.5, 1.0):
+            duties = double_tail_duties(0.8, zero_fraction,
+                                        switching=True)
+            assert duties["Mdown"] == duties["MdownBar"]
+
+    def test_switching_halves_input_stage_usage(self):
+        base = double_tail_duties(0.8, 1.0, switching=False)
+        sw = double_tail_duties(0.8, 1.0, switching=True)
+        assert sw["MinA"] == pytest.approx(0.5 * base["Min"])

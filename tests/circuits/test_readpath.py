@@ -1,0 +1,66 @@
+"""Tests for the transistor-level memory read path."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.readpath import (ReadPathTiming, build_read_path,
+                                     simulate_read)
+
+
+class TestTopology:
+    def test_cell_on_correct_side(self):
+        zero = build_read_path(0)
+        one = build_read_path(1)
+        assert zero.mosfet_by_name("Maccess").drain == "bl"
+        assert one.mosfet_by_name("Maccess").drain == "blbar"
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            build_read_path(2)
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            ReadPathTiming(t_wordline=100e-12, t_enable=50e-12)
+
+    def test_develop_time(self):
+        timing = ReadPathTiming(t_wordline=20e-12, t_enable=120e-12)
+        assert timing.develop_time == pytest.approx(100e-12)
+
+
+class TestReads:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_correct_read(self, bit):
+        result = simulate_read(bit)
+        assert result.success_rate == 1.0
+
+    def test_longer_develop_larger_swing(self):
+        short = simulate_read(0, ReadPathTiming(t_enable=80e-12,
+                                                t_window=200e-12))
+        long = simulate_read(0, ReadPathTiming(t_enable=220e-12,
+                                               t_window=320e-12))
+        assert long.swing_at_enable[0] > short.swing_at_enable[0]
+
+    def test_offset_failure_with_short_develop(self):
+        """A heavily skewed SA misreads when the swing is too small —
+        the paper's 'failing to provision for sufficient swing results
+        in failures in the field' scenario."""
+        # Bias the latch against reading 0 (S-side pull-down weak).
+        shifts = {"Mdown": np.array([0.12]),
+                  "MdownBar": np.array([-0.06])}
+        short = simulate_read(
+            0, ReadPathTiming(t_wordline=20e-12, t_enable=45e-12,
+                              t_window=160e-12), vth_shifts=shifts)
+        long = simulate_read(0, vth_shifts=shifts)
+        assert short.success_rate < 1.0
+        assert long.success_rate == 1.0
+
+    def test_batched_population(self):
+        shifts = {"Mdown": np.array([0.0, 0.12, 0.0]),
+                  "MdownBar": np.array([0.0, -0.06, 0.0])}
+        result = simulate_read(
+            0, ReadPathTiming(t_wordline=20e-12, t_enable=45e-12,
+                              t_window=160e-12),
+            vth_shifts=shifts, batch_size=3)
+        assert result.correct.shape == (3,)
+        assert bool(result.correct[0]) and bool(result.correct[2])
+        assert not bool(result.correct[1])

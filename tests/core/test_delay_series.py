@@ -1,0 +1,54 @@
+"""Additional coverage for the delay-versus-aging sweeps."""
+
+import pytest
+
+from repro.core.delay import FIG7_TIMES, delay_vs_aging
+from repro.core.montecarlo import McSettings
+from repro.models import Environment, MismatchModel
+from repro.workloads import paper_workload
+
+from ..conftest import FAST_TIMING
+
+SMALL = McSettings(size=8, seed=5, mismatch=MismatchModel())
+
+
+class TestDelaySweep:
+    @pytest.fixture(scope="class")
+    def nominal_series(self):
+        return delay_vs_aging("nssa", paper_workload("80r0"),
+                              Environment.nominal(),
+                              times_s=(0.0, 1e4, 1e8),
+                              settings=SMALL, timing=FAST_TIMING)
+
+    def test_monotone_at_nominal_corner(self, nominal_series):
+        delays = nominal_series.delays_ps
+        assert delays[0] < delays[1] < delays[2]
+
+    def test_growth_magnitude_nominal(self, nominal_series):
+        """Table II class: well under 10 % delay growth at 25 C."""
+        growth = nominal_series.delays_ps[-1] / nominal_series.delays_ps[0]
+        assert 1.0 < growth < 1.12
+
+    def test_custom_label(self):
+        series = delay_vs_aging("nssa", paper_workload("80r0"),
+                                Environment.nominal(),
+                                times_s=(0.0, 1e8), settings=SMALL,
+                                timing=FAST_TIMING, label="custom")
+        assert series.label == "custom"
+
+    def test_fig7_default_grid(self):
+        assert FIG7_TIMES[0] == 0.0
+        assert FIG7_TIMES[-1] == 1e8
+        assert list(FIG7_TIMES) == sorted(FIG7_TIMES)
+
+    def test_time_zero_matches_fresh_delay(self, nominal_series):
+        """The t = 0 point of the sweep is the fresh population's
+        delay (mismatch only, common random numbers)."""
+        from repro.core.experiment import ExperimentCell, run_cell
+        fresh = run_cell(ExperimentCell("nssa", None, 0.0,
+                                        Environment.nominal()),
+                         settings=SMALL, timing=FAST_TIMING,
+                         measure_offset=False)
+        # Sweep t=0 uses both read directions averaged, like run_cell.
+        assert nominal_series.delays_ps[0] == pytest.approx(
+            fresh.delay_ps, rel=1e-6)

@@ -1,0 +1,78 @@
+"""Tests for the experiment (table-cell) runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import CellResult, ExperimentCell, run_cell
+from repro.core.montecarlo import McSettings
+from repro.models import Environment, MismatchModel
+from repro.workloads import paper_workload
+
+from ..conftest import FAST_TIMING
+
+SMALL = McSettings(size=16, seed=11, mismatch=MismatchModel())
+
+
+def quick_cell(**kwargs):
+    defaults = dict(settings=SMALL, timing=FAST_TIMING,
+                    offset_iterations=10)
+    defaults.update(kwargs)
+    return defaults
+
+
+class TestExperimentCell:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentCell("foo", None, 0.0)
+        with pytest.raises(ValueError):
+            ExperimentCell("nssa", None, -1.0)
+
+    def test_workload_labels(self):
+        fresh = ExperimentCell("nssa", None, 0.0)
+        assert fresh.workload_label == "-"
+        aged = ExperimentCell("nssa", paper_workload("80r0"), 1e8)
+        assert aged.workload_label == "80r0"
+        issa = ExperimentCell("issa", paper_workload("80r0"), 1e8)
+        assert issa.workload_label == "80%"
+
+
+class TestRunCell:
+    def test_fresh_row_sane(self):
+        result = run_cell(ExperimentCell("nssa", None, 0.0),
+                          **quick_cell())
+        row = result.row()
+        assert row["scheme"] == "NSSA"
+        assert abs(row["mu_mV"]) < 10.0
+        assert 5.0 < row["sigma_mV"] < 30.0
+        assert row["spec_mV"] > 6.0 * row["sigma_mV"] - 10.0
+        assert 8.0 < row["delay_ps"] < 25.0
+
+    def test_aged_unbalanced_shifts_mu_positive(self):
+        result = run_cell(
+            ExperimentCell("nssa", paper_workload("80r0"), 1e8),
+            **quick_cell())
+        assert result.mu_mv > 5.0
+
+    def test_delay_only_mode(self):
+        result = run_cell(ExperimentCell("nssa", None, 0.0),
+                          measure_offset=False, **quick_cell())
+        assert result.offset is None
+        assert np.isnan(result.mu_mv)
+        assert result.delay_ps > 0.0
+
+    def test_offset_only_mode(self):
+        result = run_cell(ExperimentCell("nssa", None, 0.0),
+                          measure_delay=False, **quick_cell())
+        assert np.isnan(result.delay_ps)
+        assert result.offset is not None
+
+    def test_unbalanced_workload_reads_dominant_direction(self):
+        """80r0 is timed reading 0s: the aged read is slower than the
+        fresh one; 80r1 ages the mirror but reads 1s, giving a similar
+        slowdown — both must exceed fresh."""
+        fresh = run_cell(ExperimentCell("nssa", None, 0.0),
+                         measure_offset=False, **quick_cell())
+        aged0 = run_cell(
+            ExperimentCell("nssa", paper_workload("80r0"), 1e8),
+            measure_offset=False, **quick_cell())
+        assert aged0.delay_ps > fresh.delay_ps

@@ -1,0 +1,70 @@
+"""Tests for the guardbanding-versus-mitigation comparison."""
+
+import pytest
+
+from repro.core.guardband import (PAPER_CONDITION_SET, GuardbandReport,
+                                  guardband_report, worst_case_spec)
+from repro.models import Environment
+from repro.workloads import paper_workload
+
+
+class TestConditionSet:
+    def test_full_cross_product(self):
+        assert len(PAPER_CONDITION_SET) == 6 * 3 * 3
+
+    def test_contains_extreme_corner(self):
+        labels = {(str(w), e.label()) for w, e in PAPER_CONDITION_SET}
+        assert ("80r0", "125C/+10%Vdd") in labels
+
+
+class TestWorstCase:
+    def test_binding_condition_is_hot_unbalanced_high_v(self):
+        worst = worst_case_spec("nssa", PAPER_CONDITION_SET, 1e8)
+        assert not worst.workload.is_balanced
+        assert worst.env.temperature_c == 125.0
+        assert worst.env.vdd == pytest.approx(1.1)
+
+    def test_issa_worst_case_insensitive_to_mix(self):
+        """The ISSA's binding spec is set by sigma growth only, so the
+        read mix of the binding workload is irrelevant — the balanced
+        and unbalanced externals give the same internal stress."""
+        subset_unbalanced = [
+            (paper_workload("80r0"), Environment.from_celsius(125.0))]
+        subset_balanced = [
+            (paper_workload("80r0r1"), Environment.from_celsius(125.0))]
+        a = worst_case_spec("issa", subset_unbalanced, 1e8)
+        b = worst_case_spec("issa", subset_balanced, 1e8)
+        assert a.spec_v == pytest.approx(b.spec_v, rel=1e-9)
+
+    def test_lifetime_grows_guardband(self):
+        short = worst_case_spec("nssa", PAPER_CONDITION_SET, 1e4)
+        long = worst_case_spec("nssa", PAPER_CONDITION_SET, 1e8)
+        assert long.spec_v > short.spec_v
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_spec("nssa", [], 1e8)
+        with pytest.raises(ValueError):
+            worst_case_spec("nssa", PAPER_CONDITION_SET, -1.0)
+
+
+class TestGuardbandReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> GuardbandReport:
+        return guardband_report(lifetime_s=1e8)
+
+    def test_mitigation_shrinks_guardband(self, report):
+        """The paper's thesis, quantified over its own condition set."""
+        assert report.issa.spec_v < report.nssa.spec_v
+        assert 0.15 < report.margin_reduction < 0.60
+
+    def test_latency_gain_positive(self, report):
+        assert report.read_latency_gain > 0.05
+
+    def test_summary_text(self, report):
+        text = report.summary()
+        assert "NSSA must provision" in text
+        assert "margin reduction" in text
+
+    def test_describe(self, report):
+        assert "mV under" in report.nssa.describe()

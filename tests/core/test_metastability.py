@@ -1,0 +1,91 @@
+"""Tests for the metastability / regeneration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import ReadTiming, build_nssa
+from repro.core.metastability import (measure_regeneration_tau,
+                                      resolution_failure_probability,
+                                      window_for_failure_target)
+from repro.core.testbench import SenseAmpTestbench
+from repro.models import Environment
+
+TIMING = ReadTiming(dt=0.5e-12)
+
+
+@pytest.fixture(scope="module")
+def fresh_bench():
+    return SenseAmpTestbench(build_nssa(), Environment.nominal(),
+                             batch_size=4, timing=TIMING)
+
+
+class TestRegenerationFit:
+    def test_tau_plausible(self, fresh_bench):
+        fit = measure_regeneration_tau(fresh_bench)
+        # Latch regeneration at 45 nm: single-digit picoseconds.
+        assert 0.2e-12 < fit.mean_tau_s < 20e-12
+        assert np.all(np.isfinite(fit.tau_s))
+
+    def test_fit_quality(self, fresh_bench):
+        fit = measure_regeneration_tau(fresh_bench)
+        assert np.all(fit.r_squared > 0.95)
+
+    def test_aged_latch_regenerates_slower(self, fresh_bench):
+        fresh = measure_regeneration_tau(fresh_bench)
+        fresh_bench.set_vth_shifts({"Mdown": np.full(4, 0.06),
+                                    "MdownBar": np.full(4, 0.06)})
+        aged = measure_regeneration_tau(fresh_bench)
+        fresh_bench.clear_vth_shifts()
+        assert aged.mean_tau_s > fresh.mean_tau_s
+
+    def test_hot_latch_regenerates_slower(self):
+        hot_bench = SenseAmpTestbench(build_nssa(),
+                                      Environment.from_celsius(125.0),
+                                      batch_size=2, timing=TIMING)
+        cold_bench = SenseAmpTestbench(build_nssa(),
+                                       Environment.nominal(),
+                                       batch_size=2, timing=TIMING)
+        hot = measure_regeneration_tau(hot_bench)
+        cold = measure_regeneration_tau(cold_bench)
+        assert hot.mean_tau_s > cold.mean_tau_s
+
+    def test_window_validation(self, fresh_bench):
+        with pytest.raises(ValueError):
+            measure_regeneration_tau(fresh_bench, fit_low_v=0.3,
+                                     fit_high_v=0.2)
+
+
+class TestFailureModel:
+    def test_longer_window_fewer_failures(self):
+        p1 = resolution_failure_probability(2e-12, 10e-12, 0.015, 0.2)
+        p2 = resolution_failure_probability(2e-12, 20e-12, 0.015, 0.2)
+        assert p2 < p1
+
+    def test_slower_tau_more_failures(self):
+        p_fast = resolution_failure_probability(2e-12, 15e-12, 0.015,
+                                                0.2)
+        p_slow = resolution_failure_probability(3e-12, 15e-12, 0.015,
+                                                0.2)
+        assert p_slow > p_fast
+
+    def test_probability_capped(self):
+        assert resolution_failure_probability(2e-12, 0.0, 0.2, 0.2) \
+            == 1.0
+
+    def test_window_solver_roundtrip(self):
+        tau, band, swing, target = 2e-12, 0.015, 0.2, 1e-9
+        window = window_for_failure_target(tau, band, swing, target)
+        achieved = resolution_failure_probability(tau, window, band,
+                                                  swing)
+        assert achieved == pytest.approx(target, rel=1e-6)
+
+    def test_window_zero_when_target_easy(self):
+        assert window_for_failure_target(2e-12, 0.001, 0.2, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resolution_failure_probability(-1.0, 1.0, 0.01, 0.2)
+        with pytest.raises(ValueError):
+            resolution_failure_probability(1e-12, 1.0, 0.3, 0.2)
+        with pytest.raises(ValueError):
+            window_for_failure_target(1e-12, 0.01, 0.2, target=2.0)

@@ -1,0 +1,96 @@
+"""Tests for the system-level mitigation analyses."""
+
+import math
+
+import pytest
+
+from repro.core.mitigation import (lifetime_extension, lifetime_to_spec,
+                                   predicted_offset_spec, stream_balance)
+from repro.models import Environment
+from repro.workloads import paper_workload
+
+
+class TestStreamBalance:
+    def test_unbalanced_stream_balanced_internally(self):
+        report = stream_balance(paper_workload("80r0"), reads=1 << 13)
+        assert abs(report.external_imbalance) == pytest.approx(1.0)
+        assert abs(report.internal_imbalance) < 0.05
+        assert report.imbalance_reduction > 0.95
+
+    def test_balanced_stream_stays_balanced(self):
+        report = stream_balance(paper_workload("80r0r1"), reads=1 << 13)
+        assert abs(report.internal_imbalance) < 0.1
+
+    def test_switch_period(self):
+        report = stream_balance(paper_workload("80r0"), reads=512,
+                                counter_bits=6)
+        assert report.switch_period_reads == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream_balance(paper_workload("80r0"), reads=0)
+
+
+class TestPredictedSpec:
+    def test_fresh_matches_paper_scale(self):
+        spec = predicted_offset_spec("nssa", None, 0.0,
+                                     Environment.nominal())
+        assert spec * 1e3 == pytest.approx(90.0, abs=8.0)
+
+    def test_aged_unbalanced_grows(self):
+        env = Environment.nominal()
+        fresh = predicted_offset_spec("nssa", None, 0.0, env)
+        aged = predicted_offset_spec("nssa", paper_workload("80r0"),
+                                     1e8, env)
+        assert aged > fresh * 1.1
+
+    def test_issa_beats_nssa_on_unbalanced(self):
+        env = Environment.nominal()
+        workload = paper_workload("80r0")
+        nssa = predicted_offset_spec("nssa", workload, 1e8, env)
+        issa = predicted_offset_spec("issa", workload, 1e8, env)
+        assert issa < nssa
+
+    def test_temperature_widens_gap(self):
+        workload = paper_workload("80r0")
+        hot = Environment.from_celsius(125.0)
+        nom = Environment.nominal()
+        gap_hot = (predicted_offset_spec("nssa", workload, 1e8, hot)
+                   - predicted_offset_spec("issa", workload, 1e8, hot))
+        gap_nom = (predicted_offset_spec("nssa", workload, 1e8, nom)
+                   - predicted_offset_spec("issa", workload, 1e8, nom))
+        assert gap_hot > 2.0 * gap_nom
+
+    def test_scheme_validation(self):
+        with pytest.raises(ValueError):
+            predicted_offset_spec("foo", None, 0.0, Environment.nominal())
+
+
+class TestLifetime:
+    ENV = Environment.from_celsius(125.0)
+    WORKLOAD = paper_workload("80r0")
+
+    def test_lifetime_monotone_in_budget(self):
+        tight = lifetime_to_spec("nssa", self.WORKLOAD, self.ENV, 0.120)
+        loose = lifetime_to_spec("nssa", self.WORKLOAD, self.ENV, 0.160)
+        assert tight < loose
+
+    def test_lifetime_at_budget_hits_spec(self):
+        budget = 0.140
+        t = lifetime_to_spec("nssa", self.WORKLOAD, self.ENV, budget)
+        spec = predicted_offset_spec("nssa", self.WORKLOAD, t, self.ENV)
+        assert spec == pytest.approx(budget, rel=0.02)
+
+    def test_issa_extends_lifetime(self):
+        """The paper's conclusion: switching extends device lifetime."""
+        extension = lifetime_extension(self.WORKLOAD, self.ENV, 0.130)
+        assert extension > 3.0
+
+    def test_infinite_when_budget_never_reached(self):
+        t = lifetime_to_spec("issa", self.WORKLOAD,
+                             Environment.nominal(), 0.500)
+        assert math.isinf(t)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            lifetime_to_spec("nssa", self.WORKLOAD, self.ENV, -1.0)

@@ -1,0 +1,111 @@
+"""Tests for Monte-Carlo population assembly."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import build_issa, build_nssa
+from repro.core.calibration import default_aging_model
+from repro.core.montecarlo import (McSettings, duties_for, sample_mismatch,
+                                   sample_total_shifts)
+from repro.models import Environment, MismatchModel
+from repro.workloads import paper_workload
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return McSettings(size=64, seed=5, mismatch=MismatchModel())
+
+
+@pytest.fixture(scope="module")
+def aging():
+    return default_aging_model()
+
+
+class TestSettings:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            McSettings(size=1)
+
+
+class TestDutiesFor:
+    def test_dispatch_by_kind(self):
+        workload = paper_workload("80r0")
+        nssa = duties_for(build_nssa(), workload)
+        issa = duties_for(build_issa(), workload)
+        assert nssa["Mdown"] == pytest.approx(0.8)
+        assert issa["Mdown"] == pytest.approx(0.4)
+        assert "M3" in issa and "M3" not in nssa
+
+
+class TestMismatchPopulation:
+    def test_covers_all_devices(self, settings):
+        design = build_nssa()
+        shifts = sample_mismatch(design, settings)
+        assert set(shifts) == set(design.circuit.mosfet_ratios())
+        for arr in shifts.values():
+            assert arr.shape == (64,)
+
+    def test_common_random_numbers(self, settings):
+        """Same seed -> identical time-zero population (paper-style)."""
+        design = build_nssa()
+        a = sample_mismatch(design, settings)
+        b = sample_mismatch(design, settings)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_seed_changes_population(self, settings):
+        design = build_nssa()
+        other = McSettings(size=64, seed=6, mismatch=settings.mismatch)
+        a = sample_mismatch(design, settings)
+        b = sample_mismatch(design, other)
+        assert not np.allclose(a["Mdown"], b["Mdown"])
+
+
+class TestTotalShifts:
+    def test_fresh_equals_mismatch(self, settings, aging):
+        design = build_nssa()
+        env = Environment.nominal()
+        fresh = sample_total_shifts(design, aging, None, 0.0, env,
+                                    settings)
+        mismatch = sample_mismatch(design, settings)
+        for name in fresh:
+            np.testing.assert_array_equal(fresh[name], mismatch[name])
+
+    def test_aging_adds_positive_shift(self, settings, aging):
+        design = build_nssa()
+        env = Environment.nominal()
+        workload = paper_workload("80r0")
+        fresh = sample_total_shifts(design, aging, None, 0.0, env,
+                                    settings)
+        aged = sample_total_shifts(design, aging, workload, 1e8, env,
+                                   settings)
+        delta = aged["Mdown"] - fresh["Mdown"]
+        assert np.all(delta >= 0.0)
+        assert np.mean(delta) > 0.005
+        # The un-stressed mirror device keeps its fresh population.
+        np.testing.assert_array_equal(aged["MdownBar"],
+                                      fresh["MdownBar"])
+
+    def test_time_zero_population_shared_across_cells(self, settings,
+                                                      aging):
+        """Aged and fresh cells share the mismatch draw (CRN)."""
+        design = build_nssa()
+        env = Environment.nominal()
+        aged_a = sample_total_shifts(design, aging,
+                                     paper_workload("80r0"), 1e8, env,
+                                     settings)
+        aged_b = sample_total_shifts(design, aging,
+                                     paper_workload("20r0"), 1e8, env,
+                                     settings)
+        # Devices unstressed in both workloads carry identical values.
+        np.testing.assert_array_equal(aged_a["MdownBar"],
+                                      aged_b["MdownBar"])
+
+    def test_issa_ages_all_latch_devices(self, settings, aging):
+        design = build_issa()
+        env = Environment.nominal()
+        aged = sample_total_shifts(design, aging, paper_workload("80r0"),
+                                   1e8, env, settings)
+        fresh = sample_mismatch(design, settings)
+        for name in ("Mdown", "MdownBar", "Mup", "MupBar"):
+            assert np.mean(aged[name] - fresh[name]) > 0.0

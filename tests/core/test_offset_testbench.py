@@ -1,0 +1,100 @@
+"""Tests for the testbench and binary-search offset extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.failure import offset_spec
+from repro.core.offset import (OffsetDistribution, extract_offsets,
+                               offset_distribution)
+from repro.analysis.stats import fit_normal
+
+
+class TestTestbench:
+    def test_batch_size(self, nssa_bench):
+        assert nssa_bench.batch_size == 8
+
+    def test_resolution_monotone_in_vin(self, nssa_bench):
+        """More positive input never flips the decision downward."""
+        vins = np.linspace(-0.06, 0.06, 8)
+        signs = [float(nssa_bench.resolve_sign(np.full(8, v))[0])
+                 for v in (-0.06, -0.01, 0.01, 0.06)]
+        assert signs == sorted(signs)
+
+    def test_delay_positive_and_plausible(self, nssa_bench):
+        delays = nssa_bench.sensing_delay(np.full(8, -0.2))
+        assert np.all((delays > 5e-12) & (delays < 40e-12))
+
+    def test_shift_install_and_clear(self, nssa_bench):
+        base = nssa_bench.sensing_delay(np.full(8, -0.2))
+        nssa_bench.set_vth_shifts({"Mdown": np.full(8, 0.05)})
+        aged = nssa_bench.sensing_delay(np.full(8, -0.2))
+        nssa_bench.clear_vth_shifts()
+        back = nssa_bench.sensing_delay(np.full(8, -0.2))
+        assert np.all(aged > base)
+        np.testing.assert_allclose(back, base, rtol=1e-9)
+
+
+class TestExtractOffsets:
+    def test_fresh_nominal_near_zero(self, nssa_bench):
+        offsets = extract_offsets(nssa_bench, iterations=16)
+        np.testing.assert_allclose(offsets, 0.0, atol=2e-3)
+
+    def test_injected_pair_skew_recovered(self, nssa_bench):
+        """Known Vth skew must come back at the measured sensitivity
+        (~1.04 mV offset per mV of Mdown shift at this corner)."""
+        skew = np.linspace(-0.03, 0.04, 8)
+        nssa_bench.set_vth_shifts({"Mdown": skew})
+        offsets = extract_offsets(nssa_bench, iterations=16)
+        np.testing.assert_allclose(offsets, 1.04 * skew, atol=2.5e-3)
+
+    def test_opposite_device_opposite_sign(self, nssa_bench):
+        nssa_bench.set_vth_shifts({"MdownBar": np.full(8, 0.02)})
+        offsets = extract_offsets(nssa_bench, iterations=14)
+        assert np.all(offsets < -0.01)
+
+    def test_out_of_range_is_nan(self, nssa_bench):
+        nssa_bench.set_vth_shifts({"Mdown": np.full(8, 0.5)})
+        offsets = extract_offsets(nssa_bench, search_range=0.1,
+                                  iterations=6)
+        assert np.all(np.isnan(offsets))
+
+    def test_swapped_extraction_negates(self, issa_bench):
+        """Offsets through the swapped pair mirror the straight pair
+        for a symmetric skew source."""
+        issa_bench.set_vth_shifts({"Mdown": np.full(8, 0.02)})
+        straight = extract_offsets(issa_bench, iterations=14)
+        swapped = extract_offsets(issa_bench, iterations=14,
+                                  swapped=True)
+        np.testing.assert_allclose(straight, -swapped, atol=2e-3)
+
+    def test_validation(self, nssa_bench):
+        with pytest.raises(ValueError):
+            extract_offsets(nssa_bench, iterations=0)
+        with pytest.raises(ValueError):
+            extract_offsets(nssa_bench, search_range=-0.1)
+
+    def test_resolution_scales_with_iterations(self, nssa_bench):
+        """Each bisection halves the bracket: 6 vs 14 iterations must
+        agree within the coarse resolution."""
+        coarse = extract_offsets(nssa_bench, iterations=6)
+        fine = extract_offsets(nssa_bench, iterations=14)
+        np.testing.assert_allclose(coarse, fine,
+                                   atol=2 * 0.5 / 2.0 ** 6)
+
+
+class TestOffsetDistribution:
+    def test_spec_consistent_with_solver(self, nssa_bench):
+        rng = np.random.default_rng(8)
+        nssa_bench.set_vth_shifts(
+            {"Mdown": rng.normal(0, 0.013, 8),
+             "MdownBar": rng.normal(0, 0.013, 8)})
+        dist = offset_distribution(nssa_bench, iterations=12)
+        assert dist.spec == pytest.approx(
+            offset_spec(dist.mu, dist.sigma), rel=1e-9)
+        assert dist.fit.count == 8
+
+    def test_spec_at_alternative_rate(self):
+        dist = OffsetDistribution(
+            offsets=np.array([0.0, 0.01, -0.01, 0.005]),
+            fit=fit_normal(np.array([0.0, 0.01, -0.01, 0.005])))
+        assert dist.spec_at(1e-6) < dist.spec_at(1e-12)

@@ -1,0 +1,73 @@
+"""Tests for the canonical paper experiment grids."""
+
+import pytest
+
+from repro.core.montecarlo import McSettings
+from repro.core.paper import (GRIDS, REFERENCES, GridRow, TABLE2_GRID,
+                              TABLE3_GRID, TABLE4_GRID, run_grid,
+                              shape_deviations)
+from repro.models import MismatchModel
+
+from ..conftest import FAST_TIMING
+
+
+class TestGridDefinitions:
+    def test_sizes_match_paper_tables(self):
+        assert len(TABLE2_GRID) == 10
+        assert len(TABLE3_GRID) == 12
+        assert len(TABLE4_GRID) == 12
+
+    def test_every_grid_cell_has_reference(self):
+        """Each grid row must map to one published paper row."""
+        from repro.analysis.reference import lookup
+        from repro.workloads import paper_workload
+        for which, grid in GRIDS.items():
+            reference = REFERENCES[which]
+            for scheme, workload_name, time_s, temp_c, vdd in grid:
+                if workload_name and scheme == "issa":
+                    label = str(paper_workload(workload_name).balanced())
+                elif workload_name and time_s > 0.0:
+                    label = workload_name
+                else:
+                    label = "-"
+                assert lookup(reference, scheme, time_s, label,
+                              (temp_c, vdd)) is not None, (which, label)
+
+    def test_unknown_table(self):
+        with pytest.raises(ValueError):
+            run_grid("5")
+
+
+class TestRunGrid:
+    def test_small_run_with_progress(self):
+        calls = []
+        settings = McSettings(size=12, seed=3,
+                              mismatch=MismatchModel())
+        rows = run_grid("2", settings=settings, timing=FAST_TIMING,
+                        offset_iterations=8,
+                        progress=lambda i, n, cell: calls.append(i))
+        assert len(rows) == 10
+        assert calls == list(range(10))
+        assert all(isinstance(row, GridRow) for row in rows)
+        assert all(row.paper is not None for row in rows)
+
+    def test_shape_deviation_reporting(self):
+        from repro.core.experiment import CellResult, ExperimentCell
+        from repro.core.offset import OffsetDistribution
+        from repro.analysis.stats import NormalFit
+        import numpy as np
+
+        def fake_row(spec_mv, paper_spec):
+            fit = NormalFit(mu=0.0, sigma=spec_mv / 6.1 / 1e3, count=10)
+            dist = OffsetDistribution(offsets=np.zeros(10), fit=fit)
+            result = CellResult(
+                cell=ExperimentCell("nssa", None, 0.0),
+                offset=dist, delay_s=14e-12)
+            return GridRow(result=result,
+                           paper=(0.0, 14.8, paper_spec, 13.6))
+
+        good = fake_row(90.0, 90.2)
+        bad = fake_row(150.0, 90.2)
+        assert shape_deviations([good]) == []
+        messages = shape_deviations([good, bad])
+        assert len(messages) == 1 and "150" in messages[0]

@@ -1,0 +1,105 @@
+"""Tests for lifetime stress schedules (workload phases)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import build_issa, build_nssa
+from repro.core.montecarlo import McSettings
+from repro.core.schedule import (WorkloadPhase, device_segments,
+                                 equivalent_workload_phase,
+                                 sample_schedule_shifts)
+from repro.models import Environment, MismatchModel
+from repro.workloads import Workload, paper_workload
+
+SETTINGS = McSettings(size=400, seed=21, mismatch=MismatchModel())
+
+
+class TestWorkloadPhase:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(-1.0, paper_workload("80r0"))
+
+
+class TestDeviceSegments:
+    def test_segments_per_phase(self):
+        design = build_nssa()
+        phases = [WorkloadPhase(1e7, paper_workload("80r0")),
+                  WorkloadPhase(1e7, paper_workload("80r1"))]
+        segments = device_segments(design, phases)
+        assert len(segments["Mdown"]) == 2
+        # Phase 1 stresses Mdown, phase 2 relaxes it.
+        assert segments["Mdown"][0].duty == pytest.approx(0.8)
+        assert segments["Mdown"][1].duty == 0.0
+
+    def test_issa_segments_balanced(self):
+        design = build_issa()
+        phases = [WorkloadPhase(1e7, paper_workload("80r0"))]
+        segments = device_segments(design, phases)
+        assert segments["Mdown"][0].duty == pytest.approx(0.4)
+
+
+class TestEquivalentPhase:
+    def test_weighted_mix(self):
+        phases = [WorkloadPhase(3e7, paper_workload("80r0")),
+                  WorkloadPhase(1e7, paper_workload("80r1"))]
+        eq = equivalent_workload_phase(phases)
+        assert eq.duration_s == pytest.approx(4e7)
+        assert eq.workload.activation_rate == pytest.approx(0.8)
+        assert eq.workload.zero_fraction == pytest.approx(0.75)
+
+    def test_idle_heavy_schedule(self):
+        phases = [WorkloadPhase(1e7, paper_workload("80r0")),
+                  WorkloadPhase(3e7, Workload(0.0, 0.5))]
+        eq = equivalent_workload_phase(phases)
+        assert eq.workload.activation_rate == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            equivalent_workload_phase([])
+
+
+class TestScheduleShifts:
+    def test_alternating_phases_track_the_last_phase(self):
+        """With the strongly recoverable CET map, traps whose time
+        constants are short against a phase track the *current* phase
+        rather than the time average — so an 80r0/80r1 alternation
+        leaves the device stressed in the final phase carrying most of
+        the shift, and the asymmetry flips polarity phase by phase.
+        This is exactly why the ISSA balances every 2^(N-1) *reads*
+        (microseconds), far inside the trap timescales, instead of
+        relying on coarse workload alternation."""
+        design = build_nssa()
+        n_pairs = 10
+        phase = 1e8 / (2 * n_pairs)
+        alternating = [WorkloadPhase(phase, paper_workload(w))
+                       for _ in range(n_pairs) for w in ("80r0", "80r1")]
+        sustained = [WorkloadPhase(1e8, paper_workload("80r0"))]
+        alt = sample_schedule_shifts(design, alternating, SETTINGS)
+        sus = sample_schedule_shifts(design, sustained, SETTINGS)
+        # The 80r1 phase ends the schedule: MdownBar dominates.
+        assert np.mean(alt["MdownBar"]) > 3.0 * np.mean(alt["Mdown"])
+        # Recovery still buys something versus sustained stress.
+        asym_alt = abs(np.mean(alt["Mdown"]) - np.mean(alt["MdownBar"]))
+        asym_sus = abs(np.mean(sus["Mdown"]) - np.mean(sus["MdownBar"]))
+        assert asym_alt < asym_sus
+
+    def test_recovery_phase_reduces_shift(self):
+        design = build_nssa()
+        stressed = [WorkloadPhase(1e8, paper_workload("80r0"))]
+        with_recovery = [WorkloadPhase(1e8, paper_workload("80r0")),
+                         WorkloadPhase(1e8, Workload(0.0, 0.5))]
+        s = sample_schedule_shifts(design, stressed, SETTINGS)
+        r = sample_schedule_shifts(design, with_recovery, SETTINGS)
+        assert np.mean(r["Mdown"]) < np.mean(s["Mdown"])
+
+    def test_mismatch_included(self):
+        design = build_nssa()
+        shifts = sample_schedule_shifts(
+            design, [WorkloadPhase(0.0, paper_workload("80r0"))],
+            SETTINGS)
+        # Zero-duration schedule: pure mismatch, signed.
+        assert np.any(shifts["Mdown"] < 0.0)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            sample_schedule_shifts(build_nssa(), [], SETTINGS)

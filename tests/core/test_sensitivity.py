@@ -1,0 +1,72 @@
+"""Tests for the per-device sensitivity analysis."""
+
+import pytest
+
+from repro.circuits.sense_amp import build_nssa
+from repro.core.sensitivity import (PERTURBATION_DEFAULT,
+                                    SensitivityReport,
+                                    measure_sensitivities)
+from repro.models import Environment
+
+from ..conftest import FAST_TIMING
+
+
+@pytest.fixture(scope="module")
+def report() -> SensitivityReport:
+    return measure_sensitivities(build_nssa(), Environment.nominal(),
+                                 timing=FAST_TIMING)
+
+
+class TestOffsetSensitivities:
+    def test_latch_nmos_pair_dominates(self, report):
+        """The calibration's central measurement: ~1.04 per mV on the
+        latch NMOS pair, symmetric, opposite signs.  A weaker Mdown
+        biases the SA against reading 0, i.e. the signed offset (extra
+        input demanded, paper convention) grows positive."""
+        down = report.offset_per_volt["Mdown"]
+        down_bar = report.offset_per_volt["MdownBar"]
+        assert 0.8 < down < 1.3
+        assert down == pytest.approx(-down_bar, abs=0.1)
+
+    def test_pmos_pair_second_order(self, report):
+        assert abs(report.offset_per_volt["Mup"]) < 0.1
+        assert abs(report.offset_per_volt["MupBar"]) < 0.1
+
+    def test_symmetric_devices_have_no_offset_effect(self, report):
+        for name in ("Mtop", "Mbottom"):
+            assert abs(report.offset_per_volt[name]) < 0.05
+
+    def test_dominant_ranking(self, report):
+        dominant = set(report.dominant_offset_devices(2))
+        assert dominant == {"Mdown", "MdownBar"}
+
+
+class TestDelaySensitivities:
+    def test_read0_pulldown_dominates_delay(self, report):
+        """For a read-0 delay measurement the S-side pull-down (gate
+        held high by SBar) is the critical device."""
+        assert report.delay_per_volt["Mdown"] > 0.0
+        assert (report.delay_per_volt["Mdown"]
+                > 3.0 * abs(report.delay_per_volt["MdownBar"]))
+
+    def test_footer_slows_everything(self, report):
+        assert report.delay_per_volt["Mbottom"] > 0.0
+
+    def test_dominant_delay_device(self, report):
+        assert "Mdown" in report.dominant_delay_devices(2)
+
+
+class TestValidation:
+    def test_perturbation_positive(self):
+        with pytest.raises(ValueError):
+            measure_sensitivities(build_nssa(), Environment.nominal(),
+                                  perturbation=0.0)
+
+    def test_device_subset(self):
+        report = measure_sensitivities(
+            build_nssa(), Environment.nominal(),
+            devices=["Mdown", "Mbottom"], timing=FAST_TIMING)
+        assert set(report.offset_per_volt) == {"Mdown", "Mbottom"}
+
+    def test_default_perturbation(self, report):
+        assert report.perturbation == PERTURBATION_DEFAULT

@@ -1,0 +1,91 @@
+"""Tests for the offset-trimming baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.trimming import (TrimScheme, compare_trimming,
+                                 quantisation_floor_spec, trimmed_offsets,
+                                 trimmed_spec)
+
+
+class TestTrimScheme:
+    def test_dac_levels(self):
+        scheme = TrimScheme(step_v=0.004, range_v=0.048)
+        assert scheme.dac_levels == 25
+
+    def test_corrections_quantised(self):
+        scheme = TrimScheme(step_v=0.004, range_v=0.048)
+        corrections = scheme.corrections(np.array([0.0101, -0.0059]))
+        np.testing.assert_allclose(corrections, [-0.012, 0.004])
+
+    def test_corrections_clipped_to_range(self):
+        scheme = TrimScheme(step_v=0.004, range_v=0.012)
+        corrections = scheme.corrections(np.array([0.1, -0.2]))
+        np.testing.assert_allclose(corrections, [-0.012, 0.012])
+
+    def test_nan_measurement_untouched(self):
+        scheme = TrimScheme()
+        assert scheme.corrections(np.array([np.nan]))[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrimScheme(step_v=0.0)
+        with pytest.raises(ValueError):
+            TrimScheme(step_v=0.01, range_v=0.005)
+
+
+class TestTrimmedOffsets:
+    def test_perfect_trim_leaves_quantisation(self, rng):
+        scheme = TrimScheme(step_v=0.002, range_v=0.06)
+        offsets = rng.normal(0.0, 0.015, 2000)
+        residual = trimmed_offsets(offsets, offsets, scheme)
+        assert np.max(np.abs(residual)) <= 0.001 + 1e-12
+        assert np.std(residual) == pytest.approx(0.002 / np.sqrt(12.0),
+                                                 rel=0.1)
+
+    def test_drift_survives_one_time_trim(self, rng):
+        scheme = TrimScheme(step_v=0.002, range_v=0.06)
+        fresh = rng.normal(0.0, 0.015, 2000)
+        aged = fresh + 0.080  # uniform drift
+        residual = trimmed_offsets(fresh, aged, scheme)
+        assert np.mean(residual) == pytest.approx(0.080, abs=0.001)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            trimmed_offsets(np.zeros(3), np.zeros(4), TrimScheme())
+
+
+class TestSpecs:
+    def test_quantisation_floor(self):
+        scheme = TrimScheme(step_v=0.004, range_v=0.048)
+        floor = quantisation_floor_spec(scheme)
+        assert floor == pytest.approx(6.1 * 0.004 / np.sqrt(12.0),
+                                      rel=0.01)
+
+    def test_retrim_approaches_floor(self, rng):
+        scheme = TrimScheme(step_v=0.004, range_v=0.080)
+        offsets = rng.normal(0.0, 0.015, 4000)
+        spec = trimmed_spec(offsets, offsets, scheme)
+        assert spec <= 1.3 * quantisation_floor_spec(scheme)
+
+    def test_comparison_ordering(self, rng):
+        """The headline ranking: retrim < once-trimmed < untrimmed aged;
+        one-time trimming still helps but drift eats most of it."""
+        scheme = TrimScheme(step_v=0.004, range_v=0.080)
+        fresh = rng.normal(0.0, 0.0148, 4000)
+        drift = rng.normal(0.080, 0.010, 4000)  # hot unbalanced aging
+        aged = fresh + drift
+        comparison = compare_trimming(fresh, aged, scheme)
+        assert (comparison.retrimmed < comparison.trimmed_once
+                < comparison.untrimmed_aged)
+        assert comparison.drift_penalty_v > 0.05
+        assert comparison.trim_gain_aged_v > 0.0
+
+    def test_range_limited_trim(self, rng):
+        """A DAC range below the offset spread leaves outliers
+        uncorrected and the spec high."""
+        wide = TrimScheme(step_v=0.002, range_v=0.080)
+        narrow = TrimScheme(step_v=0.002, range_v=0.010)
+        offsets = rng.normal(0.0, 0.0148, 4000)
+        assert (trimmed_spec(offsets, offsets, narrow)
+                > 2.0 * trimmed_spec(offsets, offsets, wide))

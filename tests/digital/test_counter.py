@@ -1,0 +1,64 @@
+"""Tests for the N-bit ripple counter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.digital.counter import RippleCounter
+
+
+class TestRippleCounter:
+    def test_counts_sequentially(self):
+        counter = RippleCounter(4)
+        seen = []
+        for _ in range(16):
+            seen.append(counter.value())
+            counter.clock_reads(1)
+        assert seen == list(range(16))
+
+    def test_wraps_around(self):
+        counter = RippleCounter(3)
+        counter.clock_reads(8)
+        assert counter.value() == 0
+        counter.clock_reads(3)
+        assert counter.value() == 3
+
+    def test_msb_is_switch_signal(self):
+        """MSB toggles every 2^(N-1) reads — the ISSA swap period."""
+        counter = RippleCounter(4)
+        assert counter.switch_period_reads == 8
+        counter.clock_reads(7)
+        assert counter.msb() == 0
+        counter.clock_reads(1)
+        assert counter.msb() == 1
+        counter.clock_reads(8)
+        assert counter.msb() == 0
+
+    def test_enable_gating(self):
+        """Counter only advances during reads (read_enable high)."""
+        counter = RippleCounter(4)
+        counter.clock_reads(3)
+        counter.clock_reads(5, enabled=False)
+        assert counter.value() == 3
+
+    def test_single_bit(self):
+        counter = RippleCounter(1)
+        assert counter.switch_period_reads == 1
+        counter.clock_reads(1)
+        assert counter.value() == 1
+        counter.clock_reads(1)
+        assert counter.value() == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            RippleCounter(0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RippleCounter(2).clock_reads(-1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=40))
+    def test_value_equals_read_count_mod_2n(self, reads):
+        counter = RippleCounter(3)
+        counter.clock_reads(reads)
+        assert counter.value() == reads % 8

@@ -1,0 +1,87 @@
+"""Tests for logic values and gate primitives."""
+
+import pytest
+
+from repro.digital.gates import Dff, Gate, Tff
+from repro.digital.signals import (HIGH, LOW, UNKNOWN, is_valid, logic_and,
+                                   logic_nand, logic_nor, logic_not,
+                                   logic_or, logic_xor)
+
+
+class TestLogicFunctions:
+    def test_not_truth_table(self):
+        assert logic_not(LOW) == HIGH
+        assert logic_not(HIGH) == LOW
+        assert logic_not(UNKNOWN) == UNKNOWN
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1),
+        (UNKNOWN, 0, 0), (UNKNOWN, 1, UNKNOWN),
+    ])
+    def test_and(self, a, b, expected):
+        assert logic_and(a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1),
+        (UNKNOWN, 1, 1), (UNKNOWN, 0, UNKNOWN),
+    ])
+    def test_or(self, a, b, expected):
+        assert logic_or(a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0),
+        (UNKNOWN, 0, 1), (UNKNOWN, 1, UNKNOWN),
+    ])
+    def test_nand(self, a, b, expected):
+        """Table-I building block: 0 on any input forces 1."""
+        assert logic_nand(a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0),
+        (UNKNOWN, 1, UNKNOWN),
+    ])
+    def test_xor(self, a, b, expected):
+        assert logic_xor(a, b) == expected
+
+    def test_nor(self):
+        assert logic_nor(0, 0) == 1
+        assert logic_nor(1, 0) == 0
+
+    def test_multi_input(self):
+        assert logic_and(1, 1, 1, 0) == 0
+        assert logic_nand(1, 1, 1) == 0
+
+    def test_is_valid(self):
+        assert is_valid(0) and is_valid(1)
+        assert not is_valid(UNKNOWN)
+
+
+class TestGateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Gate("g", "xnor3", ("a", "b"), "y")
+
+    def test_not_arity(self):
+        with pytest.raises(ValueError):
+            Gate("g", "not", ("a", "b"), "y")
+
+    def test_xor_arity(self):
+        with pytest.raises(ValueError):
+            Gate("g", "xor", ("a",), "y")
+
+    def test_no_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("g", "and", (), "y")
+
+    def test_negative_delay(self):
+        with pytest.raises(ValueError):
+            Gate("g", "not", ("a",), "y", delay=-1)
+        with pytest.raises(ValueError):
+            Dff("f", "d", "clk", "q", delay=-1)
+        with pytest.raises(ValueError):
+            Tff("f", "clk", "q", delay=-1)
+
+    def test_evaluate(self):
+        gate = Gate("g", "nand", ("a", "b"), "y")
+        assert gate.evaluate([1, 1]) == 0
+        assert gate.evaluate([0, 1]) == 1

@@ -1,0 +1,163 @@
+"""Tests for the event-driven logic simulator."""
+
+import pytest
+
+from repro.digital.signals import HIGH, LOW, UNKNOWN
+from repro.digital.simulator import LogicCircuit, LogicSimulator
+
+
+def drive(sim: LogicSimulator, **nets) -> None:
+    for net, value in nets.items():
+        sim.set_input(net, value)
+    sim.run()
+
+
+class TestCombinational:
+    def test_inverter_chain(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        c.add_gate("not", "i1", ["a"], "b")
+        c.add_gate("not", "i2", ["b"], "y")
+        sim = LogicSimulator(c)
+        drive(sim, a=HIGH)
+        assert sim.value("y") == HIGH
+        drive(sim, a=LOW)
+        assert sim.value("y") == LOW
+
+    def test_nand_gate(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("nand", "g", ["a", "b"], "y")
+        sim = LogicSimulator(c)
+        for a, b, y in ((0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)):
+            drive(sim, a=a, b=b)
+            assert sim.value("y") == y
+
+    def test_delays_accumulate(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        c.add_gate("not", "i1", ["a"], "b", delay=3)
+        c.add_gate("not", "i2", ["b"], "y", delay=4)
+        sim = LogicSimulator(c)
+        drive(sim, a=LOW)
+        start = sim.now
+        drive(sim, a=HIGH)
+        # y settles 7 units after the input event.
+        assert sim.now - start >= 7
+
+    def test_unknown_propagates_until_driven(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("and", "g", ["a", "b"], "y")
+        sim = LogicSimulator(c)
+        drive(sim, a=HIGH)  # b still X
+        assert sim.value("y") == UNKNOWN
+        drive(sim, b=LOW)
+        assert sim.value("y") == LOW
+
+    def test_duplicate_driver_rejected(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        c.add_gate("not", "i1", ["a"], "y")
+        with pytest.raises(ValueError, match="driven by both"):
+            c.add_gate("not", "i2", ["a"], "y")
+
+    def test_oscillator_detected(self):
+        c = LogicCircuit()
+        c.add_input("en")
+        c.add_gate("nand", "g", ["en", "y"], "y2")
+        c.add_gate("buf", "b", ["y2"], "y")
+        sim = LogicSimulator(c)
+        sim.set_input("en", HIGH)
+        sim.schedule("y", LOW, 0)
+        with pytest.raises(RuntimeError, match="event limit"):
+            sim.run(max_events=500)
+
+    def test_unknown_net_rejected(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        sim = LogicSimulator(c)
+        with pytest.raises(KeyError):
+            sim.set_input("zz", HIGH)
+        with pytest.raises(KeyError):
+            sim.set_input("a2", HIGH)
+
+    def test_non_input_rejected(self):
+        c = LogicCircuit()
+        c.add_input("a")
+        c.add_gate("not", "i", ["a"], "y")
+        sim = LogicSimulator(c)
+        with pytest.raises(KeyError, match="not a primary input"):
+            sim.set_input("y", HIGH)
+
+
+class TestSequential:
+    def make_dff(self):
+        c = LogicCircuit()
+        for net in ("d", "clk", "rst"):
+            c.add_input(net)
+        c.add_dff("ff", "d", "clk", "q", reset="rst")
+        return c, LogicSimulator(c)
+
+    def test_dff_captures_on_rising_edge(self):
+        _, sim = self.make_dff()
+        drive(sim, rst=HIGH, clk=LOW)
+        drive(sim, rst=LOW, d=HIGH)
+        assert sim.value("q") == LOW      # not clocked yet
+        drive(sim, clk=HIGH)
+        assert sim.value("q") == HIGH
+
+    def test_dff_ignores_falling_edge(self):
+        _, sim = self.make_dff()
+        drive(sim, rst=HIGH, clk=HIGH)
+        drive(sim, rst=LOW, d=HIGH)
+        drive(sim, clk=LOW)
+        assert sim.value("q") == LOW
+
+    def test_async_reset(self):
+        _, sim = self.make_dff()
+        drive(sim, rst=HIGH, clk=LOW)
+        drive(sim, rst=LOW, d=HIGH)
+        drive(sim, clk=HIGH)
+        assert sim.value("q") == HIGH
+        drive(sim, rst=HIGH)
+        assert sim.value("q") == LOW
+
+    def test_tff_toggles(self):
+        c = LogicCircuit()
+        for net in ("clk", "rst"):
+            c.add_input(net)
+        c.add_tff("t", "clk", "q", reset="rst")
+        sim = LogicSimulator(c)
+        drive(sim, rst=HIGH, clk=LOW)
+        drive(sim, rst=LOW)
+        values = []
+        for _ in range(4):
+            drive(sim, clk=HIGH)
+            values.append(sim.value("q"))
+            drive(sim, clk=LOW)
+        assert values == [HIGH, LOW, HIGH, LOW]
+
+    def test_enable_gates_clock(self):
+        c = LogicCircuit()
+        for net in ("clk", "rst", "en"):
+            c.add_input(net)
+        c.add_tff("t", "clk", "q", enable="en", reset="rst")
+        sim = LogicSimulator(c)
+        drive(sim, rst=HIGH, clk=LOW, en=HIGH)
+        drive(sim, rst=LOW)
+        drive(sim, en=LOW)
+        drive(sim, clk=HIGH)
+        assert sim.value("q") == LOW  # disabled: no toggle
+        drive(sim, clk=LOW, en=HIGH)
+        drive(sim, clk=HIGH)
+        assert sim.value("q") == HIGH
+
+    def test_history_records_transitions(self):
+        _, sim = self.make_dff()
+        drive(sim, rst=HIGH, clk=LOW)
+        drive(sim, rst=LOW, d=HIGH)
+        drive(sim, clk=HIGH)
+        assert any(v == HIGH for _, v in sim.history.get("q", []))

@@ -1,0 +1,66 @@
+"""Tests for the synchronous counter and its ripple equivalence."""
+
+import pytest
+
+from repro.digital.counter import RippleCounter
+from repro.digital.sync_counter import SyncCounter
+
+
+class TestSyncCounter:
+    def test_counts_sequentially(self):
+        counter = SyncCounter(4)
+        seen = []
+        for _ in range(16):
+            seen.append(counter.value())
+            counter.clock_reads(1)
+        assert seen == list(range(16))
+
+    def test_wraps(self):
+        counter = SyncCounter(3)
+        counter.clock_reads(9)
+        assert counter.value() == 1
+
+    def test_enable_gating(self):
+        counter = SyncCounter(3)
+        counter.clock_reads(3)
+        counter.clock_reads(4, enabled=False)
+        assert counter.value() == 3
+
+    def test_msb_switch_period(self):
+        counter = SyncCounter(4)
+        counter.clock_reads(7)
+        assert counter.msb() == 0
+        counter.clock_reads(1)
+        assert counter.msb() == 1
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            SyncCounter(0)
+        with pytest.raises(ValueError):
+            SyncCounter(2).clock_reads(-1)
+
+
+class TestEquivalence:
+    def test_matches_ripple_counter_step_by_step(self):
+        """Both implementations realise the same abstract counter."""
+        ripple = RippleCounter(4)
+        sync = SyncCounter(4)
+        for _ in range(40):
+            assert ripple.value() == sync.value()
+            assert ripple.msb() == sync.msb()
+            ripple.clock_reads(1)
+            sync.clock_reads(1)
+
+    def test_same_toggle_count(self):
+        """Identical sequences imply identical flip-flop energy."""
+        sync = SyncCounter(4)
+        sync.clock_reads(32)
+        # Counting 0..31 toggles bit k a total of 2^(4-k) times... i.e.
+        # sum over bits of floor-based transitions = 2^5 - 2 + ... ;
+        # simply: total transitions = 32 + 16 + 8 + 4 = 60 plus the
+        # reset-driven initial events recorded per net.
+        toggles = sync.flipflop_toggles()
+        assert 60 <= toggles <= 68
+
+    def test_settle_delay_constant(self):
+        assert SyncCounter(8).settle_delay_units() == 1

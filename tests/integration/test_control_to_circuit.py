@@ -1,0 +1,85 @@
+"""Digital/analog co-verification of the full ISSA read loop.
+
+Drives a short read stream through the *gate-level* control logic and,
+for every read, fires the *transistor-level* ISSA with the pass pair
+the controller selected; the architectural read value is recovered by
+the output inversion the paper prescribes ("the final read value needs
+to be inverted" when swapped).  The recovered stream must equal the
+stored values bit for bit — the whole scheme, end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.control import ControlLogicGateLevel
+from repro.circuits.sense_amp import ReadTiming, build_issa
+from repro.core.testbench import SenseAmpTestbench
+from repro.models import Environment
+
+from ..conftest import FAST_TIMING
+
+#: Bitline differential for a stored 1 / 0 [V].
+SWING = 0.1
+
+
+@pytest.fixture(scope="module")
+def issa_bench_single():
+    return SenseAmpTestbench(build_issa(), Environment.nominal(),
+                             batch_size=1, timing=FAST_TIMING)
+
+
+class TestFullReadLoop:
+    def test_stream_recovered_across_swap_boundary(self,
+                                                   issa_bench_single):
+        """Reads straddling a swap still return the stored values."""
+        control = ControlLogicGateLevel(bits=2)  # swap every 2 reads
+        stored = [1, 0, 1, 1, 0, 0]
+        recovered = []
+        swap_trace = []
+        for value in stored:
+            # The controller's state decides which pass pair conducts:
+            # during the develop phase SAenablebar is high; the pair
+            # whose enable is LOW is selected (active-low).
+            enable_a, enable_b = control.enables_for(saenablebar=1)
+            assert (enable_a, enable_b) in ((0, 1), (1, 0))
+            swapped = enable_b == 0
+            swap_trace.append(swapped)
+
+            vin = SWING if value == 1 else -SWING
+            sign = issa_bench_single.resolve_sign(
+                np.array([vin]), swapped=swapped, t_window=60e-12)
+            latch_value = 1 if sign[0] > 0 else 0
+            # Paper Sec. III-A: invert the output when swapped.
+            recovered.append(latch_value ^ int(swapped))
+            control.pulse_reads(1)
+
+        assert recovered == stored
+        # The stream really did cross swap phases.
+        assert True in swap_trace and False in swap_trace
+
+    def test_internal_latch_sees_complement_when_swapped(
+            self, issa_bench_single):
+        """While swapped, the latch itself resolves the complement —
+        the mechanism that balances the internal stress."""
+        control = ControlLogicGateLevel(bits=2)
+        latch_values = []
+        for _ in range(4):
+            enable_a, enable_b = control.enables_for(saenablebar=1)
+            swapped = enable_b == 0
+            sign = issa_bench_single.resolve_sign(
+                np.array([SWING]), swapped=swapped, t_window=60e-12)
+            latch_values.append(1 if sign[0] > 0 else 0)
+            control.pulse_reads(1)
+        # Constant external 1s: internally 1,1 then 0,0 (swap at read 2).
+        assert latch_values == [1, 1, 0, 0]
+
+    def test_exactly_one_pair_selected_every_phase(self):
+        control = ControlLogicGateLevel(bits=3)
+        for _ in range(16):
+            develop = control.enables_for(saenablebar=1)
+            amplify = control.enables_for(saenablebar=0)
+            # Develop phase: exactly one enable low.
+            assert sorted(develop) == [0, 1]
+            # Amplify phase: both pairs off (latch isolated).
+            assert amplify == (1, 1)
+            control.pulse_reads(1)

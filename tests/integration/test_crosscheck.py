@@ -1,0 +1,81 @@
+"""Cross-validation: analytic predictor vs full Monte-Carlo flow,
+and delay-versus-aging behaviour (Figure 7 shape)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import crossover_time
+from repro.core.delay import delay_vs_aging
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.core.mitigation import predicted_offset_spec
+from repro.core.montecarlo import McSettings
+from repro.models import Environment, MismatchModel
+from repro.workloads import paper_workload
+
+from ..conftest import FAST_TIMING
+
+SETTINGS = McSettings(size=160, seed=31, mismatch=MismatchModel())
+
+
+class TestAnalyticVsMonteCarlo:
+    @pytest.mark.parametrize("scheme,workload,time_s", [
+        ("nssa", None, 0.0),
+        ("nssa", "80r0", 1e8),
+        ("issa", "80r0", 1e8),
+    ])
+    def test_predictor_tracks_simulation(self, scheme, workload, time_s):
+        """The fast analytic spec predictor agrees with the simulated
+        Monte-Carlo spec within estimator noise (N = 160)."""
+        env = Environment.nominal()
+        wl = paper_workload(workload) if workload else None
+        mc = run_cell(ExperimentCell(scheme, wl, time_s, env),
+                      settings=SETTINGS, timing=FAST_TIMING,
+                      offset_iterations=12, measure_delay=False)
+        analytic = predicted_offset_spec(scheme, wl, time_s, env) * 1e3
+        assert analytic == pytest.approx(mc.spec_mv, rel=0.15)
+
+
+class TestDelayVersusAging:
+    @pytest.fixture(scope="class")
+    def series(self):
+        env = Environment.from_celsius(125.0)
+        times = (0.0, 1e6, 1e8)
+        settings = McSettings(size=12, seed=7,
+                              mismatch=MismatchModel())
+        kwargs = dict(times_s=times, settings=settings,
+                      timing=FAST_TIMING)
+        return {
+            "nssa_80r0": delay_vs_aging("nssa", paper_workload("80r0"),
+                                        env, **kwargs),
+            "nssa_bal": delay_vs_aging("nssa", paper_workload("80r0r1"),
+                                       env, **kwargs),
+            "issa": delay_vs_aging("issa", paper_workload("80r0"), env,
+                                   **kwargs),
+        }
+
+    def test_delay_grows_with_stress(self, series):
+        for s in series.values():
+            assert s.delays_ps[-1] > s.delays_ps[0]
+
+    def test_unbalanced_nssa_degrades_fastest(self, series):
+        growth_unbal = (series["nssa_80r0"].delays_ps[-1]
+                        - series["nssa_80r0"].delays_ps[0])
+        growth_issa = (series["issa"].delays_ps[-1]
+                       - series["issa"].delays_ps[0])
+        assert growth_unbal > growth_issa
+
+    def test_issa_starts_slower_ends_faster(self, series):
+        """Figure 7: the curves cross before the 1e8 s lifetime."""
+        nssa, issa = series["nssa_80r0"], series["issa"]
+        assert issa.delays_ps[0] > nssa.delays_ps[0]
+        assert issa.delays_ps[-1] < nssa.delays_ps[-1]
+        assert crossover_time(nssa, issa) is not None
+
+    def test_labels(self, series):
+        assert series["issa"].label == "ISSA 80%"
+        assert series["nssa_80r0"].label == "NSSA 80r0"
+
+    def test_time_grid_validation(self):
+        with pytest.raises(ValueError):
+            delay_vs_aging("nssa", paper_workload("80r0"),
+                           Environment.nominal(), times_s=(1e8, 0.0))

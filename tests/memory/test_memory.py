@@ -1,0 +1,130 @@
+"""Tests for the memory-level bitline/array/overhead models."""
+
+import math
+
+import pytest
+
+from repro.memory.array import (ArrayTiming, ReadLatency, latency_gain,
+                                read_latency)
+from repro.memory.bitline import BitlineModel, SwingBudget, develop_time
+from repro.memory.energy import (EnergyModel, MemoryOrganisation,
+                                 control_logic_transistors,
+                                 counter_toggles_per_read,
+                                 issa_area_overhead,
+                                 issa_energy_overhead_per_read)
+
+
+class TestBitline:
+    def test_linear_swing(self):
+        bitline = BitlineModel(capacitance=100e-15, cell_current=20e-6)
+        # 20 uA into 100 fF: 0.2 V/ns.
+        assert bitline.swing_at(1e-9) == pytest.approx(0.2)
+
+    def test_time_to_swing_inverse(self):
+        bitline = BitlineModel()
+        swing = 0.111
+        assert bitline.swing_at(bitline.time_to_swing(swing)) == \
+            pytest.approx(swing)
+
+    def test_leakage_erodes_differential(self):
+        clean = BitlineModel(leakage_current=0.0)
+        leaky = BitlineModel(leakage_current=5e-6)
+        assert leaky.time_to_swing(0.1) > clean.time_to_swing(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitlineModel(capacitance=0.0)
+        with pytest.raises(ValueError):
+            BitlineModel(leakage_current=30e-6)  # above cell current
+        with pytest.raises(ValueError):
+            BitlineModel().swing_at(-1.0)
+
+    def test_swing_budget(self):
+        budget = SwingBudget(offset_spec_v=0.1115, noise_margin_v=0.02)
+        assert budget.required_swing_v == pytest.approx(0.1315)
+        with pytest.raises(ValueError):
+            SwingBudget(-0.1)
+
+    def test_develop_time_scales_with_spec(self):
+        bitline = BitlineModel()
+        fresh = develop_time(bitline, SwingBudget(0.0902))
+        aged = develop_time(bitline, SwingBudget(0.1115))
+        assert aged > fresh
+
+
+class TestArray:
+    def test_latency_decomposition(self):
+        latency = read_latency(0.09, 14e-12)
+        assert latency.total_s == pytest.approx(
+            latency.decode_s + latency.develop_s + latency.sense_s
+            + latency.output_s)
+        assert latency.total_ps == pytest.approx(latency.total_s * 1e12)
+
+    def test_offset_spec_dominates_develop(self):
+        small = read_latency(0.09, 14e-12)
+        large = read_latency(0.186, 14e-12)
+        assert large.develop_s > 1.8 * small.develop_s
+
+    def test_gain_positive_when_issa_wins(self):
+        """Aged 125 C numbers: ISSA memory is measurably faster."""
+        gain = latency_gain(nssa_spec_v=0.1865, nssa_delay_s=29e-12,
+                            issa_spec_v=0.1139, issa_delay_s=26e-12)
+        assert 0.02 < gain < 0.5
+
+    def test_gain_zero_for_identical(self):
+        gain = latency_gain(0.09, 14e-12, 0.09, 14e-12)
+        assert gain == pytest.approx(0.0)
+
+    def test_timing_validation(self):
+        with pytest.raises(ValueError):
+            ArrayTiming(decode_s=-1.0)
+        with pytest.raises(ValueError):
+            read_latency(0.09, -1.0)
+
+
+class TestOverheads:
+    def test_area_overhead_is_marginal(self):
+        """The paper's Sec. IV-C claim: 'very marginal' area overhead."""
+        overhead = issa_area_overhead(MemoryOrganisation())
+        assert 0.0 < overhead < 0.02
+
+    def test_sharing_reduces_overhead(self):
+        shared = issa_area_overhead(
+            MemoryOrganisation(columns_per_control=128))
+        unshared = issa_area_overhead(
+            MemoryOrganisation(columns_per_control=1))
+        assert shared < unshared
+
+    def test_control_logic_transistor_count(self):
+        org = MemoryOrganisation(counter_bits=8)
+        count = control_logic_transistors(org)
+        # 8 TFFs + 7 ripple inverters + 2 NANDs + 1 inverter.
+        assert count == 8 * 12 + 7 * 2 + 2 * 4 + 2
+
+    def test_counter_toggles_bounded(self):
+        """Average toggles per read < 2 regardless of width."""
+        for bits in (1, 4, 8, 16):
+            assert counter_toggles_per_read(bits) < 2.0
+        assert counter_toggles_per_read(8) == pytest.approx(
+            sum(2.0 ** -k for k in range(8)))
+
+    def test_energy_overhead_small(self):
+        overhead = issa_energy_overhead_per_read(MemoryOrganisation())
+        assert 0.0 < overhead < 0.02
+
+    def test_energy_model_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(node_capacitance=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel().switching_energy(-1.0)
+        with pytest.raises(ValueError):
+            counter_toggles_per_read(0)
+        with pytest.raises(ValueError):
+            issa_energy_overhead_per_read(MemoryOrganisation(),
+                                          read_energy_baseline=0.0)
+
+    def test_organisation_validation(self):
+        with pytest.raises(ValueError):
+            MemoryOrganisation(rows=0)
+        with pytest.raises(ValueError):
+            MemoryOrganisation(cell_area_fraction=1.5)

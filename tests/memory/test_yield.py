@@ -1,0 +1,80 @@
+"""Tests for the memory yield model."""
+
+import math
+
+import pytest
+
+from repro.memory.yield_model import (YieldModel, array_yield,
+                                      sa_failure_probability,
+                                      swing_for_yield, yield_loss_ppm)
+
+
+class TestSaFailure:
+    def test_wide_swing_never_fails(self):
+        assert sa_failure_probability(0.0, 0.015, 0.5) < 1e-12
+
+    def test_shifted_distribution_fails_more(self):
+        centred = sa_failure_probability(0.0, 0.015, 0.11)
+        shifted = sa_failure_probability(0.079, 0.018, 0.11)
+        assert shifted > 1e3 * centred
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sa_failure_probability(0.0, 0.015, 0.0)
+
+
+class TestArrayYield:
+    def test_zero_failure_full_yield(self):
+        assert array_yield(0.0) == 1.0
+
+    def test_certain_failure_zero_yield(self):
+        assert array_yield(1.0) == 0.0
+
+    def test_paper_budget_gives_high_yield(self):
+        """fr = 1e-9 per SA over 8192 SAs: ~8e-6 chip loss."""
+        model = YieldModel(columns_per_macro=128, macros_per_chip=64)
+        chip_yield = array_yield(1e-9, model)
+        assert chip_yield == pytest.approx(
+            math.exp(8192 * math.log1p(-1e-9)), rel=1e-12)
+        assert yield_loss_ppm(1e-9, model) == pytest.approx(8.192,
+                                                            rel=1e-3)
+
+    def test_more_sense_amps_lower_yield(self):
+        small = YieldModel(columns_per_macro=64, macros_per_chip=8)
+        large = YieldModel(columns_per_macro=256, macros_per_chip=64)
+        assert array_yield(1e-6, large) < array_yield(1e-6, small)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YieldModel(columns_per_macro=0)
+        with pytest.raises(ValueError):
+            array_yield(1.5)
+
+
+class TestSwingForYield:
+    def test_meets_target(self):
+        swing = swing_for_yield(0.0, 0.0148, target_yield=0.999)
+        chip_yield = array_yield(
+            sa_failure_probability(0.0, 0.0148, swing))
+        assert chip_yield >= 0.999
+        # And not grossly over-provisioned.
+        tighter = array_yield(
+            sa_failure_probability(0.0, 0.0148, swing * 0.95))
+        assert tighter < 0.999
+
+    def test_aged_distribution_needs_more_swing(self):
+        """The system-level version of Table II: aging inflates the
+        swing a yield target demands; ISSA-style recentring recovers
+        most of it."""
+        fresh = swing_for_yield(0.0001, 0.0148, 0.999)
+        aged_nssa = swing_for_yield(0.0791, 0.0179, 0.999)  # 125C 80r0
+        aged_issa = swing_for_yield(0.0002, 0.0186, 0.999)  # 125C 80%
+        assert aged_nssa > aged_issa > fresh
+
+    def test_unreachable_target(self):
+        with pytest.raises(ValueError):
+            swing_for_yield(0.9, 0.5, 0.999, upper_v=0.1)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            swing_for_yield(0.0, 0.015, 1.5)

@@ -1,0 +1,74 @@
+"""Tests for global process corners."""
+
+import numpy as np
+import pytest
+
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.models.corners import (CORNER_FF, CORNER_SS, CORNER_TT,
+                                  CORNERS, ProcessCorner, corner,
+                                  cornered_cards, sample_global_corner)
+from repro.models.mosmodel import saturation_current
+
+
+class TestCornerCards:
+    def test_tt_is_identity(self):
+        assert CORNER_TT.apply(NMOS_45HP) == NMOS_45HP
+
+    def test_ss_slows_both(self):
+        n, p = cornered_cards(NMOS_45HP, PMOS_45HP, CORNER_SS)
+        assert n.vth0 > NMOS_45HP.vth0
+        assert p.vth0 > PMOS_45HP.vth0
+        assert n.u0 < NMOS_45HP.u0
+
+    def test_ff_speeds_both(self):
+        n, p = cornered_cards(NMOS_45HP, PMOS_45HP, CORNER_FF)
+        assert saturation_current(n, 5.0, 1.0) > saturation_current(
+            NMOS_45HP, 5.0, 1.0)
+        assert saturation_current(p, 5.0, 1.0) > saturation_current(
+            PMOS_45HP, 5.0, 1.0)
+
+    def test_skew_corners_split_polarities(self):
+        sf = corner("sf")
+        n, p = cornered_cards(NMOS_45HP, PMOS_45HP, sf)
+        assert n.vth0 > NMOS_45HP.vth0   # slow NMOS
+        assert p.vth0 < PMOS_45HP.vth0   # fast PMOS
+
+    def test_all_five_defined(self):
+        assert set(CORNERS) == {"TT", "SS", "FF", "SF", "FS"}
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            corner("XX")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessCorner("bad", mobility_factor_nmos=0.0)
+
+
+class TestSampledCorners:
+    def test_deterministic_by_seed(self):
+        a = sample_global_corner(np.random.default_rng(3))
+        b = sample_global_corner(np.random.default_rng(3))
+        assert a == b
+
+    def test_distribution_scale(self):
+        rng = np.random.default_rng(5)
+        shifts = [sample_global_corner(rng).vth_shift_nmos
+                  for _ in range(2000)]
+        assert np.std(shifts) == pytest.approx(0.015, rel=0.1)
+
+    def test_corner_delay_ordering(self):
+        """SS is slower, FF faster than TT on the actual SA."""
+        from repro.circuits.sense_amp import build_nssa, ReadTiming
+        from repro.core.testbench import SenseAmpTestbench
+        from repro.models import Environment
+
+        delays = {}
+        for process in (CORNER_SS, CORNER_TT, CORNER_FF):
+            n, p = cornered_cards(NMOS_45HP, PMOS_45HP, process)
+            bench = SenseAmpTestbench(build_nssa(n, p),
+                                      Environment.nominal(),
+                                      batch_size=1,
+                                      timing=ReadTiming(dt=1e-12))
+            delays[process.name] = float(bench.sensing_delay(-0.2)[0])
+        assert delays["SS"] > delays["TT"] > delays["FF"]

@@ -1,0 +1,164 @@
+"""Tests for the EKV-style MOSFET compact model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import T0
+from repro.models.mosmodel import (MosParams, ekv_f, logistic, mos_current,
+                                   saturation_current, softplus,
+                                   transconductance)
+from repro.models.ptm45 import NMOS_45HP, PMOS_45HP
+
+voltages = st.floats(min_value=-0.2, max_value=1.3, allow_nan=False)
+
+
+def _drive(params, shift: float) -> float:
+    """|Id| at full gate and drain bias with a Vth shift applied."""
+    if params.is_nmos:
+        i, *_ = mos_current(1.0, 1.0, 0.0, 0.0, shift, params, 5.0, T0)
+    else:
+        i, *_ = mos_current(0.0, 0.0, 1.0, 1.0, shift, params, 5.0, T0)
+    return abs(float(np.asarray(i)))
+
+
+class TestHelpers:
+    def test_softplus_limits(self):
+        assert softplus(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-9)
+        assert softplus(np.array([100.0]))[0] == pytest.approx(100.0)
+
+    def test_softplus_at_zero(self):
+        assert softplus(np.array([0.0]))[0] == pytest.approx(np.log(2.0))
+
+    def test_logistic_range(self):
+        x = np.linspace(-200, 200, 101)
+        y = logistic(x)
+        assert np.all((y >= 0.0) & (y <= 1.0))
+
+    def test_ekv_f_strong_inversion(self):
+        """F(x) -> (x/2)^2 for large x."""
+        f, _ = ekv_f(np.array([60.0]))
+        assert f[0] == pytest.approx(900.0, rel=1e-6)
+
+    def test_ekv_f_weak_inversion(self):
+        """F(x) -> exp(x) for very negative x."""
+        f, _ = ekv_f(np.array([-20.0]))
+        assert f[0] == pytest.approx(np.exp(-20.0), rel=1e-3)
+
+    def test_ekv_f_derivative_fd(self):
+        x = np.linspace(-10.0, 10.0, 41)
+        h = 1e-6
+        f0, df = ekv_f(x)
+        f1, _ = ekv_f(x + h)
+        np.testing.assert_allclose((f1 - f0) / h, df, rtol=1e-4, atol=1e-12)
+
+
+class TestParamsValidation:
+    def test_polarity(self):
+        with pytest.raises(ValueError):
+            MosParams(polarity=0, vth0=0.4, n=1.2, u0=0.04, theta=1.0,
+                      lambda_clm=0.1, cox=0.03)
+
+    def test_vth_magnitude(self):
+        with pytest.raises(ValueError):
+            MosParams(polarity=1, vth0=-0.4, n=1.2, u0=0.04, theta=1.0,
+                      lambda_clm=0.1, cox=0.03)
+
+    def test_subthreshold_factor(self):
+        with pytest.raises(ValueError):
+            MosParams(polarity=1, vth0=0.4, n=0.9, u0=0.04, theta=1.0,
+                      lambda_clm=0.1, cox=0.03)
+
+    def test_is_nmos(self):
+        assert NMOS_45HP.is_nmos
+        assert not PMOS_45HP.is_nmos
+
+
+class TestTemperatureScaling:
+    def test_vth_decreases_when_hot(self):
+        assert NMOS_45HP.vth_at(398.15) < NMOS_45HP.vth_at(T0)
+
+    def test_mobility_decreases_when_hot(self):
+        assert NMOS_45HP.mobility_at(398.15) < NMOS_45HP.mobility_at(T0)
+
+    def test_reference_point(self):
+        assert NMOS_45HP.vth_at(T0) == pytest.approx(NMOS_45HP.vth0)
+        assert NMOS_45HP.mobility_at(T0) == pytest.approx(NMOS_45HP.u0)
+
+
+class TestDerivatives:
+    @settings(max_examples=60, deadline=None)
+    @given(vg=voltages, vd=voltages, vs=voltages,
+           shift=st.floats(min_value=-0.05, max_value=0.1),
+           nmos=st.booleans())
+    def test_partials_match_finite_differences(self, vg, vd, vs, shift,
+                                               nmos):
+        params = NMOS_45HP if nmos else PMOS_45HP
+        vb = 0.0 if nmos else 1.0
+        h = 1e-7
+        i0, gm, gd, gs = mos_current(vg, vd, vs, vb, shift, params, 5.0, T0)
+        for grad, dvg, dvd, dvs in ((gm, h, 0, 0), (gd, 0, h, 0),
+                                    (gs, 0, 0, h)):
+            i1, *_ = mos_current(vg + dvg, vd + dvd, vs + dvs, vb, shift,
+                                 params, 5.0, T0)
+            fd = (i1 - i0) / h
+            assert fd == pytest.approx(float(np.asarray(grad)),
+                                       rel=1e-3, abs=1e-9)
+
+
+class TestPhysicalBehaviour:
+    def test_off_device_leaks_little(self):
+        i, *_ = mos_current(0.0, 1.0, 0.0, 0.0, 0.0, NMOS_45HP, 10.0, T0)
+        assert abs(float(np.asarray(i))) < 1e-6
+
+    def test_on_current_magnitude(self):
+        """PTM 45HP class drive: around 1 mA/um at Vdd = 1 V."""
+        ion = saturation_current(NMOS_45HP, 17.8, 1.0)
+        width_um = 17.8 * 0.045
+        assert 0.5 < ion / width_um * 1e-3 / 1e-3 * 1e3 < 4.0
+
+    def test_nmos_stronger_than_pmos(self):
+        assert (saturation_current(NMOS_45HP, 5.0, 1.0)
+                > 1.5 * saturation_current(PMOS_45HP, 5.0, 1.0))
+
+    def test_vth_shift_weakens_both_polarities(self):
+        for params in (NMOS_45HP, PMOS_45HP):
+            fresh = _drive(params, 0.0)
+            aged = _drive(params, 0.05)
+            assert aged < fresh
+
+    def test_current_scales_with_geometry(self):
+        i1 = saturation_current(NMOS_45HP, 5.0, 1.0)
+        i2 = saturation_current(NMOS_45HP, 10.0, 1.0)
+        assert i2 == pytest.approx(2.0 * i1, rel=1e-9)
+
+    def test_drain_source_symmetry(self):
+        """Swapping D and S negates the current (pass-gate property)."""
+        i_fwd, *_ = mos_current(1.0, 0.7, 0.3, 0.0, 0.0, NMOS_45HP, 5.0, T0)
+        i_rev, *_ = mos_current(1.0, 0.3, 0.7, 0.0, 0.0, NMOS_45HP, 5.0, T0)
+        assert float(np.asarray(i_fwd)) == pytest.approx(
+            -float(np.asarray(i_rev)), rel=1e-9)
+
+    def test_zero_vds_zero_current(self):
+        i, *_ = mos_current(1.0, 0.5, 0.5, 0.0, 0.0, NMOS_45HP, 5.0, T0)
+        assert float(np.asarray(i)) == pytest.approx(0.0, abs=1e-15)
+
+    def test_gm_positive_in_saturation(self):
+        assert transconductance(NMOS_45HP, 5.0, 0.8, 0.8) > 0.0
+
+    def test_hot_device_slower(self):
+        cold = saturation_current(NMOS_45HP, 5.0, 1.0, T0)
+        hot = saturation_current(NMOS_45HP, 5.0, 1.0, 398.15)
+        assert hot < cold
+
+    def test_batched_evaluation(self):
+        vg = np.linspace(0.0, 1.0, 16)
+        i, gm, gd, gs = mos_current(vg, 1.0, 0.0, 0.0, 0.0, NMOS_45HP,
+                                    5.0, T0)
+        assert i.shape == (16,)
+        assert np.all(np.diff(i) > 0.0)  # monotone in gate drive
+
+    def test_batched_vth_shift(self):
+        shift = np.array([0.0, 0.02, 0.04])
+        i, *_ = mos_current(1.0, 1.0, 0.0, 0.0, shift, NMOS_45HP, 5.0, T0)
+        assert np.all(np.diff(i) < 0.0)

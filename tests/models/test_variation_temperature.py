@@ -1,0 +1,106 @@
+"""Tests for mismatch sampling, PTM cards, and environment corners."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import T0, VDD_NOM
+from repro.models.ptm45 import (COX, L_NOMINAL, NMOS_45HP, PMOS_45HP,
+                                gate_area, width_from_ratio)
+from repro.models.temperature import (Environment, PAPER_TEMPERATURES_C,
+                                      PAPER_VDD_FACTORS)
+from repro.models.variation import (AVT_DEFAULT, MismatchModel,
+                                    pair_offset_sigma)
+
+
+class TestPtm45:
+    def test_geometry_helpers(self):
+        assert width_from_ratio(17.8) == pytest.approx(17.8 * 45e-9)
+        assert gate_area(17.8) == pytest.approx(17.8 * 45e-9 * 45e-9)
+        with pytest.raises(ValueError):
+            width_from_ratio(-1.0)
+
+    def test_card_polarity(self):
+        assert NMOS_45HP.polarity == 1
+        assert PMOS_45HP.polarity == -1
+
+    def test_vth_magnitudes(self):
+        assert 0.3 < NMOS_45HP.vth0 < 0.6
+        assert 0.3 < PMOS_45HP.vth0 < 0.6
+
+    def test_oxide_capacitance(self):
+        assert 0.01 < COX < 0.06  # ~1 nm EOT class
+
+    def test_nominal_length(self):
+        assert L_NOMINAL == 45e-9
+
+
+class TestMismatchModel:
+    def test_pelgrom_scaling(self):
+        model = MismatchModel()
+        # 4x area -> half the sigma.
+        assert model.sigma_vth(4.0) == pytest.approx(
+            model.sigma_vth(16.0) * 2.0)
+
+    def test_magnitude(self):
+        """Latch NMOS (W/L = 17.8) mismatch should be ~10 mV class."""
+        sigma = MismatchModel().sigma_vth(17.8)
+        assert 0.005 < sigma < 0.02
+
+    def test_sample_statistics(self, rng):
+        model = MismatchModel()
+        samples = model.sample(5.0, 20000, rng)
+        assert np.mean(samples) == pytest.approx(0.0, abs=3e-4)
+        assert np.std(samples) == pytest.approx(model.sigma_vth(5.0),
+                                                rel=0.03)
+
+    def test_sample_circuit_keys_and_independence(self, rng):
+        model = MismatchModel()
+        out = model.sample_circuit({"a": 5.0, "b": 5.0}, 5000, rng)
+        assert set(out) == {"a", "b"}
+        corr = np.corrcoef(out["a"], out["b"])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_sample_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            MismatchModel().sample(5.0, 0, rng)
+
+    def test_pair_offset_sigma(self):
+        model = MismatchModel()
+        assert pair_offset_sigma(model, 5.0) == pytest.approx(
+            math.sqrt(2.0) * model.sigma_vth(5.0))
+
+    def test_calibrated_avt_in_published_range(self):
+        assert 1.0e-9 < AVT_DEFAULT < 3.5e-9
+
+
+class TestEnvironment:
+    def test_nominal(self):
+        env = Environment.nominal()
+        assert env.temperature_k == T0
+        assert env.vdd == VDD_NOM
+
+    def test_from_celsius(self):
+        env = Environment.from_celsius(125.0, 0.9)
+        assert env.temperature_c == pytest.approx(125.0)
+        assert env.vdd == 0.9
+
+    def test_vdd_percent(self):
+        assert Environment.from_celsius(25.0, 1.1).vdd_percent == \
+            pytest.approx(10.0)
+
+    def test_labels(self):
+        assert Environment.from_celsius(125.0).label() == "125C/nom.Vdd"
+        assert "+10%Vdd" in Environment.from_celsius(25.0, 1.1).label()
+        assert "-10%Vdd" in Environment.from_celsius(25.0, 0.9).label()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Environment(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            Environment(300.0, 0.0)
+
+    def test_paper_corners(self):
+        assert PAPER_TEMPERATURES_C == (25.0, 75.0, 125.0)
+        assert PAPER_VDD_FACTORS == (0.9, 1.0, 1.1)

@@ -1,0 +1,107 @@
+"""Tests for small-signal AC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.spice.ac import AcResult, ac_sweep, logspace_frequencies
+from repro.spice.dcop import dc_operating_point
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Dc
+
+
+def rc_lowpass(r=1e3, c=1e-12):
+    circuit = Circuit("lp")
+    circuit.add_vsource("vin", "in", Dc(0.0))
+    circuit.add_resistor("r", "in", "out", r)
+    circuit.add_capacitor("c", "out", "0", c)
+    return MnaSystem(circuit, 300.0)
+
+
+class TestRcTransfer:
+    def test_matches_analytic(self):
+        r, c = 1e3, 1e-12
+        system = rc_lowpass(r, c)
+        op = system.initial_full_vector(0.0)
+        freqs = logspace_frequencies(1e6, 1e12, 5)
+        result = ac_sweep(system, op, "in", freqs, probes=["out"])
+        expected = 1.0 / (1.0 + 2j * np.pi * freqs * r * c)
+        np.testing.assert_allclose(result.transfers["out"][:, 0],
+                                   expected, rtol=2e-3)
+
+    def test_corner_frequency(self):
+        r, c = 1e3, 1e-12  # f_c = 1/(2 pi R C) ~ 159 MHz
+        system = rc_lowpass(r, c)
+        op = system.initial_full_vector(0.0)
+        result = ac_sweep(system, op,
+                          "in", logspace_frequencies(1e6, 1e12, 40),
+                          probes=["out"])
+        assert result.corner_frequency("out") == pytest.approx(
+            1.0 / (2.0 * np.pi * r * c), rel=0.02)
+
+    def test_magnitude_db(self):
+        system = rc_lowpass()
+        op = system.initial_full_vector(0.0)
+        result = ac_sweep(system, op, "in", [1e3], probes=["out"])
+        assert result.magnitude_db("out")[0, 0] == pytest.approx(0.0,
+                                                                 abs=0.1)
+
+    def test_phase(self):
+        r, c = 1e3, 1e-12
+        system = rc_lowpass(r, c)
+        op = system.initial_full_vector(0.0)
+        f_c = 1.0 / (2.0 * np.pi * r * c)
+        result = ac_sweep(system, op, "in", [f_c], probes=["out"])
+        assert result.phase_deg("out")[0, 0] == pytest.approx(-45.0,
+                                                              abs=1.0)
+
+
+class TestAmplifier:
+    def test_common_source_gain(self):
+        """A diode-loaded common-source stage has |gain| = gm1/gm2."""
+        circuit = Circuit("cs")
+        circuit.add_vsource("vdd", "vdd", Dc(1.0))
+        circuit.add_vsource("vin", "in", Dc(0.6))
+        # Diode-connected PMOS load.
+        circuit.add_mosfet("mload", "out", "out", "vdd", "vdd",
+                           PMOS_45HP, 4.0)
+        circuit.add_mosfet("mdrv", "out", "in", "0", "0", NMOS_45HP,
+                           8.0)
+        system = MnaSystem(circuit, 298.15)
+        op = dc_operating_point(system, initial={"out": 0.5})
+        result = ac_sweep(system, op, "in", [1e3], probes=["out"])
+        gain = abs(result.transfers["out"][0, 0])
+        assert 1.0 < gain < 20.0
+        # Inverting stage.
+        assert np.real(result.transfers["out"][0, 0]) < 0.0
+
+
+class TestValidation:
+    def test_positive_frequencies(self):
+        system = rc_lowpass()
+        op = system.initial_full_vector(0.0)
+        with pytest.raises(ValueError):
+            ac_sweep(system, op, "in", [0.0], probes=["out"])
+
+    def test_input_must_be_driven(self):
+        system = rc_lowpass()
+        op = system.initial_full_vector(0.0)
+        with pytest.raises(ValueError):
+            ac_sweep(system, op, "out", [1e3], probes=["out"])
+        with pytest.raises(KeyError):
+            ac_sweep(system, op, "zz", [1e3], probes=["out"])
+
+    def test_logspace_validation(self):
+        with pytest.raises(ValueError):
+            logspace_frequencies(0.0, 1e3)
+        with pytest.raises(ValueError):
+            logspace_frequencies(1e3, 1e2)
+        with pytest.raises(ValueError):
+            logspace_frequencies(1.0, 10.0, points_per_decade=0)
+
+    def test_no_corner_found(self):
+        system = rc_lowpass()
+        op = system.initial_full_vector(0.0)
+        result = ac_sweep(system, op, "in", [1.0, 10.0], probes=["out"])
+        assert np.isnan(result.corner_frequency("out"))

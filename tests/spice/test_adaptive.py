@@ -1,0 +1,114 @@
+"""Tests for the adaptive-timestep transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.spice.adaptive import (AdaptiveOptions, run_adaptive_transient,
+                                  waveform_breakpoints)
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.transient import run_transient
+from repro.spice.waveforms import Dc, Pulse, Pwl, Step
+
+
+class TestBreakpoints:
+    def test_step(self):
+        points = waveform_breakpoints(Step(0.0, 1.0, 1e-9, 1e-10), 1e-8)
+        assert points == pytest.approx([1e-9, 1.1e-9])
+
+    def test_pwl(self):
+        wave = Pwl([0.0, 1e-9, 2e-9], [0.0, 1.0, 0.0])
+        assert waveform_breakpoints(wave, 1.5e-9) == [1e-9]
+
+    def test_pulse_periodic(self):
+        wave = Pulse(0.0, 1.0, delay=0.0, t_rise=1e-10, t_fall=1e-10,
+                     width=3e-10, period=1e-9)
+        points = waveform_breakpoints(wave, 2.5e-9)
+        assert 1e-10 in points
+        # Second-period edges present (shifted by the 1 ns period).
+        assert any(p == pytest.approx(1.1e-9) for p in points)
+        assert any(p == pytest.approx(2.4e-9) for p in points)
+
+    def test_dc_none(self):
+        assert waveform_breakpoints(Dc(1.0), 1e-6) == []
+
+    def test_outside_window_dropped(self):
+        assert waveform_breakpoints(Step(0.0, 1.0, 1e-6, 0.0),
+                                    1e-9) == []
+
+
+def rc_circuit():
+    c = Circuit("rc")
+    c.add_vsource("vin", "in", Step(0.0, 1.0, t_step=2e-9, t_rise=1e-10))
+    c.add_resistor("r", "in", "out", 1e3)
+    c.add_capacitor("c", "out", "0", 1e-12)
+    return c
+
+
+class TestAdaptiveRc:
+    def test_matches_fixed_step(self):
+        sys_a = MnaSystem(rc_circuit(), 300.0)
+        adaptive = run_adaptive_transient(
+            sys_a, 8e-9, probes=["out"],
+            options=AdaptiveOptions(dt_initial=1e-12, dt_max=0.5e-9,
+                                    lte_tol=2e-4))
+        sys_f = MnaSystem(rc_circuit(), 300.0)
+        fixed = run_transient(sys_f, 8e-9, 2e-12, probes=["out"])
+        # Compare at the adaptive grid via interpolation of the fixed run.
+        reference = np.interp(adaptive.times, fixed.times,
+                              fixed.probe("out")[:, 0])
+        np.testing.assert_allclose(adaptive.probe("out")[:, 0],
+                                   reference, atol=4e-3)
+
+    def test_fewer_steps_than_fixed(self):
+        """The point of adaptivity: long quiet stretches take big steps."""
+        system = MnaSystem(rc_circuit(), 300.0)
+        result = run_adaptive_transient(
+            system, 8e-9, probes=["out"],
+            options=AdaptiveOptions(dt_initial=1e-12, dt_max=1e-9))
+        assert len(result.times) < 8e-9 / 2e-12 / 4
+
+    def test_steps_hit_source_edges(self):
+        system = MnaSystem(rc_circuit(), 300.0)
+        result = run_adaptive_transient(system, 8e-9, probes=["out"])
+        assert np.any(np.isclose(result.times, 2e-9))
+        assert np.any(np.isclose(result.times, 2.1e-9))
+
+    def test_times_strictly_increasing(self):
+        system = MnaSystem(rc_circuit(), 300.0)
+        result = run_adaptive_transient(system, 5e-9, probes=["out"])
+        assert np.all(np.diff(result.times) > 0.0)
+        assert result.times[-1] == pytest.approx(5e-9)
+
+
+class TestAdaptiveNonlinear:
+    def test_inverter_transition(self):
+        c = Circuit("inv")
+        c.add_vsource("vdd", "vdd", Dc(1.0))
+        c.add_vsource("vin", "in", Step(0.0, 1.0, 50e-12, 5e-12))
+        c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45HP, 5.0)
+        c.add_mosfet("mn", "out", "in", "0", "0", NMOS_45HP, 2.5)
+        c.add_capacitor("cl", "out", "0", 2e-15)
+        system = MnaSystem(c, 298.15)
+        result = run_adaptive_transient(
+            system, 200e-12, probes=["out"], initial={"out": 1.0},
+            options=AdaptiveOptions(dt_initial=0.5e-12, dt_max=20e-12,
+                                    lte_tol=5e-3))
+        out = result.probe("out")[:, 0]
+        assert out[0] > 0.95 and out[-1] < 0.05
+
+
+class TestValidation:
+    def test_options(self):
+        with pytest.raises(ValueError):
+            AdaptiveOptions(dt_initial=1e-12, dt_min=1e-11)
+        with pytest.raises(ValueError):
+            AdaptiveOptions(lte_tol=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveOptions(grow=0.9)
+
+    def test_window(self):
+        system = MnaSystem(rc_circuit(), 300.0)
+        with pytest.raises(ValueError):
+            run_adaptive_transient(system, 0.0, probes=["out"])

@@ -1,0 +1,68 @@
+"""Batched-versus-scalar consistency of the simulator.
+
+The whole methodology rests on one property: simulating N Monte-Carlo
+samples in one batch is *identical* to simulating them one at a time.
+These tests pin that down on the actual SA circuit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.sense_amp import ReadTiming, build_nssa
+from repro.core.testbench import SenseAmpTestbench
+from repro.models import Environment
+
+TIMING = ReadTiming(dt=1e-12)
+
+
+def make_bench(batch: int) -> SenseAmpTestbench:
+    return SenseAmpTestbench(build_nssa(), Environment.nominal(),
+                             batch_size=batch, timing=TIMING)
+
+
+class TestBatchedEqualsScalar:
+    def test_read_waveforms_match(self):
+        rng = np.random.default_rng(1)
+        shifts = {"Mdown": rng.normal(0, 0.01, 3),
+                  "MupBar": rng.normal(0, 0.01, 3)}
+        batched = make_bench(3)
+        batched.set_vth_shifts(shifts)
+        result_b = batched.run_read(np.array([0.03, -0.02, 0.01]))
+        for sample in range(3):
+            single = make_bench(1)
+            single.set_vth_shifts({k: v[sample:sample + 1]
+                                   for k, v in shifts.items()})
+            vin = [0.03, -0.02, 0.01][sample]
+            result_s = single.run_read(np.array([vin]))
+            np.testing.assert_allclose(
+                result_b.probe("s")[:, sample],
+                result_s.probe("s")[:, 0], atol=1e-9)
+
+    def test_delays_match(self):
+        batched = make_bench(2)
+        batched.set_vth_shifts({"Mdown": np.array([0.0, 0.03])})
+        delays_b = batched.sensing_delay(np.full(2, -0.2))
+        for sample in range(2):
+            single = make_bench(1)
+            single.set_vth_shifts(
+                {"Mdown": np.array([[0.0], [0.03]][sample])})
+            delay_s = single.sensing_delay(np.array([-0.2]))
+            assert delays_b[sample] == pytest.approx(delay_s[0],
+                                                     rel=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(vin=st.floats(min_value=-0.1, max_value=0.1),
+           shift=st.floats(min_value=-0.03, max_value=0.03))
+    def test_resolution_batch_position_independent(self, vin, shift):
+        """A sample's resolution must not depend on its batch slot or
+        on what the other slots contain."""
+        bench = make_bench(3)
+        bench.set_vth_shifts({"Mdown": np.array([shift, 0.0, -shift])})
+        signs = bench.resolve_sign(np.array([vin, 0.05, -0.05]),
+                                   t_window=60e-12)
+        solo = make_bench(1)
+        solo.set_vth_shifts({"Mdown": np.array([shift])})
+        sign_solo = solo.resolve_sign(np.array([vin]),
+                                      t_window=60e-12)
+        assert signs[0] == sign_solo[0]

@@ -1,0 +1,117 @@
+"""Tests for SPICE export and parsing (round trip)."""
+
+import pytest
+
+from repro.circuits.sense_amp import build_issa, build_nssa
+from repro.spice.export import export_spice
+from repro.spice.netlist import Circuit
+from repro.spice.parser import SpiceParseError, parse_spice
+from repro.spice.waveforms import Dc, Step
+from repro.models import NMOS_45HP
+
+
+class TestExport:
+    def test_contains_all_elements(self):
+        deck = export_spice(build_nssa().circuit)
+        assert deck.count("\nM") == 12
+        assert ".model nmos_45hp NMOS" in deck
+        assert ".model pmos_45hp PMOS" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_geometry_exported(self):
+        deck = export_spice(build_nssa().circuit)
+        line = next(l for l in deck.splitlines()
+                    if l.startswith("MMdown "))
+        assert "W=8.01e-07" in line and "L=4.5e-08" in line
+
+    def test_time_varying_source_flagged(self):
+        circuit = Circuit("t")
+        circuit.add_vsource("v", "a", Step(0.0, 1.0, 1e-9, 1e-10))
+        circuit.add_resistor("r", "a", "0", 1e3)
+        deck = export_spice(circuit)
+        assert "time-varying" in deck
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("build", [build_nssa, build_issa])
+    def test_sense_amp_round_trip(self, build):
+        original = build().circuit
+        recovered = parse_spice(export_spice(original))
+        assert recovered.stats() == original.stats()
+        assert recovered.mosfet_ratios() == pytest.approx(
+            original.mosfet_ratios())
+        for m_orig in original.mosfets:
+            m_new = recovered.mosfet_by_name(m_orig.name)
+            assert (m_new.drain, m_new.gate, m_new.source,
+                    m_new.bulk) == (m_orig.drain, m_orig.gate,
+                                    m_orig.source, m_orig.bulk)
+            assert m_new.params.polarity == m_orig.params.polarity
+
+    def test_rc_round_trip_values(self):
+        circuit = Circuit("rc")
+        circuit.add_vsource("vin", "a", Dc(1.5))
+        circuit.add_resistor("r1", "a", "b", 4.7e3)
+        circuit.add_capacitor("c1", "b", "0", 2.2e-12)
+        recovered = parse_spice(export_spice(circuit))
+        assert recovered.resistors[0].resistance == pytest.approx(4.7e3)
+        assert recovered.capacitors[0].capacitance == pytest.approx(
+            2.2e-12)
+        assert recovered.vsources[0].waveform.value(0.0) == pytest.approx(
+            1.5)
+
+
+class TestParser:
+    def test_hand_written_deck(self):
+        deck = """* simple divider
+R1 in mid 1k
+R2 mid 0 1k
+Vs in 0 DC 2.0
+.end
+"""
+        circuit = parse_spice(deck)
+        assert circuit.stats()["resistors"] == 2
+        assert circuit.vsources[0].waveform.value(0.0) == 2.0
+
+    def test_suffixes_and_comments(self):
+        deck = """* title
+C1 n1 0 10f  * internal node cap
+Vp n1 0 1.0
+"""
+        circuit = parse_spice(deck)
+        assert circuit.capacitors[0].capacitance == pytest.approx(1e-14)
+
+    def test_mosfet_with_model(self):
+        deck = """* m
+.model mynmos NMOS ()
+M1 d g 0 0 mynmos W=1u L=45n
+Vd d 0 1.0
+Vg g 0 1.0
+"""
+        circuit = parse_spice(deck)
+        m = circuit.mosfet_by_name("1")
+        assert m.params.is_nmos
+        assert m.w_over_l == pytest.approx(1e-6 / 45e-9)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SpiceParseError, match="unknown model"):
+            parse_spice("M1 d g 0 0 ghost W=1u L=45n\n")
+
+    def test_ungrounded_source_rejected(self):
+        with pytest.raises(SpiceParseError, match="grounded"):
+            parse_spice("V1 a b DC 1.0\n")
+
+    def test_unsupported_card(self):
+        with pytest.raises(SpiceParseError, match="unsupported card"):
+            parse_spice("L1 a b 1n\n")
+
+    def test_malformed_mosfet(self):
+        with pytest.raises(SpiceParseError):
+            parse_spice(".model m NMOS ()\nM1 d g 0 0 m\n")
+
+    def test_dot_cards_ignored(self):
+        circuit = parse_spice("R1 a 0 1k\n.tran 1n 10n\n.end\n")
+        assert circuit.stats()["resistors"] == 1
+
+    def test_stops_at_end(self):
+        circuit = parse_spice("R1 a 0 1k\n.end\nR2 b 0 1k\n")
+        assert circuit.stats()["resistors"] == 1

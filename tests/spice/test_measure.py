@@ -1,0 +1,95 @@
+"""Tests for waveform measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.measure import (crossing_time, delay_between, final_sign,
+                                 settles_to)
+
+
+def ramp(batch: int = 1, n: int = 11):
+    """0..1 V linear ramp over 0..1 ns."""
+    times = np.linspace(0.0, 1e-9, n)
+    wave = np.tile((times / 1e-9)[:, None], (1, batch))
+    return times, wave
+
+
+class TestCrossingTime:
+    def test_linear_interpolation_exact(self):
+        times, wave = ramp()
+        t = crossing_time(times, wave, 0.5, rising=True)
+        assert t[0] == pytest.approx(0.5e-9, rel=1e-12)
+
+    def test_off_grid_level(self):
+        times, wave = ramp(n=5)  # coarse grid
+        t = crossing_time(times, wave, 0.33, rising=True)
+        assert t[0] == pytest.approx(0.33e-9, rel=1e-9)
+
+    def test_falling_direction(self):
+        times, wave = ramp()
+        t = crossing_time(times, 1.0 - wave, 0.5, rising=False)
+        assert t[0] == pytest.approx(0.5e-9, rel=1e-9)
+
+    def test_no_crossing_is_nan(self):
+        times, wave = ramp()
+        assert np.isnan(crossing_time(times, wave, 2.0)[0])
+        assert np.isnan(crossing_time(times, wave, 0.5, rising=False)[0])
+
+    def test_t_min_skips_early_crossings(self):
+        times = np.linspace(0.0, 2.0, 201)
+        wave = np.sin(2 * np.pi * times)[:, None]  # rises near 0.08, 1.08
+        t_all = crossing_time(times, wave, 0.5, rising=True)
+        t_late = crossing_time(times, wave, 0.5, rising=True, t_min=0.5)
+        assert t_all[0] == pytest.approx(0.083, abs=0.01)
+        assert t_late[0] == pytest.approx(1.083, abs=0.01)
+
+    def test_per_sample_independence(self):
+        times = np.linspace(0.0, 1.0, 11)
+        wave = np.stack([times, 2.0 * times], axis=1)
+        t = crossing_time(times, wave, 0.5)
+        assert t[0] == pytest.approx(0.5)
+        assert t[1] == pytest.approx(0.25)
+
+    def test_1d_waveform_accepted(self):
+        times, wave = ramp()
+        t = crossing_time(times, wave[:, 0], 0.5)
+        assert t.shape == (1,)
+
+    def test_length_mismatch(self):
+        times, wave = ramp()
+        with pytest.raises(ValueError):
+            crossing_time(times[:-1], wave, 0.5)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_crossing_inverse_of_ramp(self, level):
+        times, wave = ramp(n=23)
+        t = crossing_time(times, wave, level)
+        assert t[0] == pytest.approx(level * 1e-9, rel=1e-9)
+
+
+class TestDelayBetween:
+    def test_shifted_ramps(self):
+        times = np.linspace(0.0, 1.0, 101)
+        trigger = times[:, None]
+        response = np.clip(times - 0.2, 0.0, None)[:, None]
+        delay = delay_between(times, trigger, response, 0.5, 0.5)
+        assert delay[0] == pytest.approx(0.2, rel=1e-6)
+
+    def test_nan_propagates(self):
+        times = np.linspace(0.0, 1.0, 11)
+        trigger = times[:, None]
+        response = np.zeros_like(trigger)
+        delay = delay_between(times, trigger, response, 0.5, 0.5)
+        assert np.isnan(delay[0])
+
+
+class TestFinalState:
+    def test_final_sign(self):
+        wave = np.array([[0.0, 0.0], [1.0, -1.0]])
+        np.testing.assert_array_equal(final_sign(wave), [1.0, -1.0])
+
+    def test_settles_to(self):
+        wave = np.array([[0.0], [0.99]])
+        assert settles_to(wave, 1.0, 0.05)[0]
+        assert not settles_to(wave, 1.0, 0.001)[0]

@@ -1,0 +1,151 @@
+"""Tests for MNA assembly."""
+
+import numpy as np
+import pytest
+
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import Dc, Step
+
+
+def divider() -> Circuit:
+    c = Circuit("div")
+    c.add_vsource("vin", "in", Dc(2.0))
+    c.add_resistor("r1", "in", "mid", 1e3)
+    c.add_resistor("r2", "mid", "0", 1e3)
+    return c
+
+
+class TestPartition:
+    def test_known_unknown_split(self):
+        system = MnaSystem(divider(), 300.0)
+        assert system.known_names == ["in"]
+        assert system.unknown_names == ["mid"]
+
+    def test_ground_is_index_zero(self):
+        system = MnaSystem(divider(), 300.0)
+        assert system.node_index["0"] == 0
+
+    def test_all_driven_rejected(self):
+        c = Circuit()
+        c.add_vsource("v", "a", Dc(1.0))
+        c.add_resistor("r", "a", "0", 1e3)
+        with pytest.raises(ValueError, match="no unknown nodes"):
+            MnaSystem(c, 300.0)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            MnaSystem(divider(), 300.0, batch_size=0)
+
+
+class TestLinearStamps:
+    def test_conductance_matrix_symmetric(self):
+        system = MnaSystem(divider(), 300.0)
+        np.testing.assert_allclose(system.g_static, system.g_static.T)
+
+    def test_residual_of_exact_solution_is_zero(self):
+        system = MnaSystem(divider(), 300.0)
+        v = system.initial_full_vector(0.0, {"mid": 1.0})
+        f, _ = system.static_residual_jacobian(v, 0.0)
+        # KCL at the unknown node holds up to gmin leakage.
+        assert abs(f[0, system.node_index["mid"]]) < 1e-6
+
+    def test_residual_linear_in_voltage(self):
+        system = MnaSystem(divider(), 300.0)
+        v = system.initial_full_vector(0.0, {"mid": 0.0})
+        f, _ = system.static_residual_jacobian(v, 0.0)
+        mid = system.node_index["mid"]
+        # All 2 V across r1 pulls 2 mA into mid.
+        assert f[0, mid] == pytest.approx(-2e-3, rel=1e-5)
+
+    def test_capacitance_matrix_from_mosfet_parasitics(self):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", Dc(1.0))
+        c.add_mosfet("m", "out", "in", "0", "0", NMOS_45HP, 5.0)
+        c.add_resistor("r", "vdd", "out", 1e4)
+        c.add_resistor("r2", "vdd", "in", 1e4)
+        system = MnaSystem(c, 300.0)
+        out = system.node_index["out"]
+        # Junction cap on drain must appear on the diagonal.
+        assert system.c_matrix[out, out] > 0.0
+
+
+class TestSources:
+    def test_waveform_applied_at_time(self):
+        c = divider()
+        c.vsources[0] = type(c.vsources[0])(
+            "vin", "in", Step(0.0, 1.0, t_step=1e-9, t_rise=0.0))
+        system = MnaSystem(c, 300.0)
+        v = np.zeros((1, system.n_nodes))
+        system.apply_known(v, 0.0)
+        assert v[0, system.node_index["in"]] == 0.0
+        system.apply_known(v, 2e-9)
+        assert v[0, system.node_index["in"]] == 1.0
+
+    def test_live_waveform_replacement(self):
+        """Replacing a source waveform must affect a compiled system."""
+        import dataclasses
+        c = divider()
+        system = MnaSystem(c, 300.0)
+        c.vsources[0] = dataclasses.replace(c.vsources[0], waveform=Dc(5.0))
+        v = np.zeros((1, system.n_nodes))
+        system.apply_known(v, 0.0)
+        assert v[0, system.node_index["in"]] == 5.0
+
+    def test_isource_stamps(self):
+        c = Circuit()
+        c.add_vsource("vref", "ref", Dc(0.5))
+        c.add_isource("i1", "0", "n1", Dc(1e-3))
+        c.add_resistor("r", "n1", "0", 1e3)
+        system = MnaSystem(c, 300.0)
+        v = system.initial_full_vector(0.0, {"n1": 1.0})
+        f, _ = system.static_residual_jacobian(v, 0.0)
+        n1 = system.node_index["n1"]
+        # 1 mA injected, 1 mA drained by the resistor at 1 V: balance.
+        assert f[0, n1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_batched_source_level(self):
+        c = divider()
+        import dataclasses
+        c.vsources[0] = dataclasses.replace(
+            c.vsources[0], waveform=Dc(np.array([1.0, 2.0, 3.0])))
+        system = MnaSystem(c, 300.0, batch_size=3)
+        v = np.zeros((3, system.n_nodes))
+        system.apply_known(v, 0.0)
+        np.testing.assert_allclose(v[:, system.node_index["in"]],
+                                   [1.0, 2.0, 3.0])
+
+
+class TestVthShifts:
+    def make_system(self) -> MnaSystem:
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", Dc(1.0))
+        c.add_mosfet("mp", "out", "in2", "vdd", "vdd", PMOS_45HP, 5.0)
+        c.add_mosfet("mn", "out", "in2", "0", "0", NMOS_45HP, 2.5)
+        c.add_vsource("vin", "in2", Dc(0.5))
+        return MnaSystem(c, 300.0, batch_size=4)
+
+    def test_set_and_clear(self):
+        system = self.make_system()
+        system.set_vth_shift("mn", np.full(4, 0.02))
+        system.clear_vth_shifts()
+        f_clear, _ = system.static_residual_jacobian(
+            system.initial_full_vector(0.0, {"out": 0.5}), 0.0)
+        system.set_vth_shift("mn", 0.05)
+        f_aged, _ = system.static_residual_jacobian(
+            system.initial_full_vector(0.0, {"out": 0.5}), 0.0)
+        out = system.node_index["out"]
+        assert not np.allclose(f_clear[:, out], f_aged[:, out])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            self.make_system().set_vth_shift("nope", 0.01)
+
+    def test_wrong_batch_shape_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_system().set_vth_shift("mn", np.zeros(3))
+
+    def test_bulk_set(self):
+        system = self.make_system()
+        system.set_vth_shifts({"mn": 0.01, "mp": np.full(4, 0.02)})

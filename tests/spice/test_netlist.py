@@ -1,0 +1,96 @@
+"""Tests for the netlist container."""
+
+import pytest
+
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.spice.netlist import Circuit, is_ground
+from repro.spice.waveforms import Dc
+
+
+class TestGround:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "vss", "Gnd!"[:4]])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    def test_non_ground(self):
+        assert not is_ground("out")
+
+
+def small_circuit() -> Circuit:
+    c = Circuit("t")
+    c.add_vsource("vdd", "vdd", Dc(1.0))
+    c.add_resistor("r1", "vdd", "mid", "1k")
+    c.add_capacitor("c1", "mid", "0", "10f")
+    c.add_mosfet("mn", "mid", "g", "0", "0", NMOS_45HP, 4.0)
+    return c
+
+
+class TestCircuit:
+    def test_stats(self):
+        stats = small_circuit().stats()
+        assert stats == {"nodes": 3, "resistors": 1, "capacitors": 1,
+                         "vsources": 1, "isources": 0, "mosfets": 1}
+
+    def test_node_order_is_first_appearance(self):
+        assert small_circuit().node_names() == ["vdd", "mid", "g"]
+
+    def test_driven_nodes(self):
+        assert small_circuit().driven_nodes() == ["vdd"]
+
+    def test_duplicate_names_rejected(self):
+        c = small_circuit()
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_resistor("r1", "a", "b", 10.0)
+
+    def test_duplicate_across_kinds_rejected(self):
+        c = small_circuit()
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_capacitor("vdd", "a", "b", 1e-15)
+
+    def test_spice_value_strings(self):
+        c = small_circuit()
+        assert c.resistors[0].resistance == pytest.approx(1e3)
+        assert c.capacitors[0].capacitance == pytest.approx(10e-15)
+
+    def test_mosfet_lookup(self):
+        c = small_circuit()
+        assert c.mosfet_by_name("mn").w_over_l == 4.0
+        with pytest.raises(KeyError):
+            c.mosfet_by_name("nope")
+
+    def test_mosfet_ratios(self):
+        assert small_circuit().mosfet_ratios() == {"mn": 4.0}
+
+    def test_mosfet_width(self):
+        m = small_circuit().mosfet_by_name("mn")
+        assert m.width == pytest.approx(4.0 * 45e-9)
+
+    def test_repr_mentions_counts(self):
+        assert "mosfets=1" in repr(small_circuit())
+
+
+class TestValidation:
+    def test_grounded_vsource_only(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.add_vsource("bad", "gnd", Dc(1.0))
+
+    def test_negative_resistance(self):
+        with pytest.raises(ValueError):
+            Circuit().add_resistor("r", "a", "b", -5.0)
+
+    def test_negative_capacitance(self):
+        with pytest.raises(ValueError):
+            Circuit().add_capacitor("c", "a", "b", -1e-15)
+
+    def test_bad_mosfet_geometry(self):
+        with pytest.raises(ValueError):
+            Circuit().add_mosfet("m", "d", "g", "s", "b", NMOS_45HP, 0.0)
+        with pytest.raises(ValueError):
+            Circuit().add_mosfet("m", "d", "g", "s", "b", NMOS_45HP, 1.0,
+                                 length=-1e-9)
+
+    def test_vsource_accepts_plain_value(self):
+        c = Circuit()
+        c.add_vsource("v", "n", "1.8")
+        assert c.vsources[0].waveform.value(0.0) == pytest.approx(1.8)

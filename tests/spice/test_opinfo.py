@@ -1,0 +1,80 @@
+"""Tests for operating-point reports."""
+
+import numpy as np
+import pytest
+
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.spice.dcop import dc_operating_point
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.opinfo import (operating_point_report, render_op_report,
+                                total_supply_current)
+from repro.spice.waveforms import Dc
+
+
+def inverter(vin: float) -> MnaSystem:
+    c = Circuit("inv")
+    c.add_vsource("vdd", "vdd", Dc(1.0))
+    c.add_vsource("vin", "in", Dc(vin))
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45HP, 5.0)
+    c.add_mosfet("mn", "out", "in", "0", "0", NMOS_45HP, 2.5)
+    return MnaSystem(c, 298.15)
+
+
+class TestReport:
+    def test_regions_input_low(self):
+        system = inverter(0.0)
+        v = dc_operating_point(system)
+        ops = {op.name: op for op in operating_point_report(system, v)}
+        assert ops["mn"].region == "off"
+        assert ops["mp"].region == "triode"  # full rail output
+
+    def test_regions_mid_transition(self):
+        system = inverter(0.6)
+        v = dc_operating_point(system)
+        ops = {op.name: op for op in operating_point_report(system, v)}
+        assert ops["mn"].region in ("saturation", "triode")
+        assert ops["mn"].i_d > 0.0
+        assert ops["mn"].gm > 0.0
+
+    def test_biases(self):
+        system = inverter(0.6)
+        v = dc_operating_point(system)
+        ops = {op.name: op for op in operating_point_report(system, v)}
+        assert ops["mn"].vgs == pytest.approx(0.6)
+        assert ops["mp"].vgs == pytest.approx(
+            0.6 - float(system.voltages_of(v, "out")[0]) +
+            float(system.voltages_of(v, "out")[0]) - 1.0)
+
+    def test_kcl_through_stack(self):
+        """Series devices carry the same current magnitude."""
+        system = inverter(0.55)
+        v = dc_operating_point(system)
+        ops = {op.name: op for op in operating_point_report(system, v)}
+        assert abs(ops["mn"].i_d) == pytest.approx(abs(ops["mp"].i_d),
+                                                   rel=1e-3)
+
+    def test_render(self):
+        system = inverter(0.6)
+        v = dc_operating_point(system)
+        text = render_op_report(operating_point_report(system, v))
+        assert "mn" in text and "region" in text
+
+
+class TestSupplyCurrent:
+    def test_static_current_positive_mid_rail(self):
+        system = inverter(0.55)
+        v = dc_operating_point(system)
+        current = total_supply_current(system, v)
+        assert current > 1e-6  # crowbar current mid-transition
+
+    def test_tiny_at_rails(self):
+        system = inverter(0.0)
+        v = dc_operating_point(system)
+        assert total_supply_current(system, v) < 1e-6
+
+    def test_unknown_node(self):
+        system = inverter(0.0)
+        v = dc_operating_point(system)
+        with pytest.raises(KeyError):
+            total_supply_current(system, v, supply_node="zz")

@@ -1,0 +1,150 @@
+"""Tests for DC sweeps / SNM and thermal-noise analysis."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BOLTZMANN
+from repro.models import NMOS_45HP, PMOS_45HP
+from repro.spice.dcop import dc_operating_point
+from repro.spice.mna import MnaSystem
+from repro.spice.netlist import Circuit
+from repro.spice.noise import noise_analysis
+from repro.spice.sweep import (butterfly_curves, dc_sweep,
+                               static_noise_margin)
+from repro.spice.waveforms import Dc
+
+
+def inverter_system(ratio_p=5.0, ratio_n=2.5,
+                    nmos=NMOS_45HP, pmos=PMOS_45HP) -> MnaSystem:
+    c = Circuit("inv")
+    c.add_vsource("vdd", "vdd", Dc(1.0))
+    c.add_vsource("vin", "in", Dc(0.0))
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", pmos, ratio_p)
+    c.add_mosfet("mn", "out", "in", "0", "0", nmos, ratio_n)
+    return MnaSystem(c, 298.15)
+
+
+class TestDcSweep:
+    def test_vtc_monotone_falling(self):
+        system = inverter_system()
+        result = dc_sweep(system, "in", np.linspace(0.0, 1.0, 41),
+                          probes=["out"])
+        out = result.curve("out")
+        assert out[0] > 0.99 and out[-1] < 0.01
+        assert np.all(np.diff(out) <= 1e-6)
+
+    def test_switching_threshold(self):
+        system = inverter_system()
+        result = dc_sweep(system, "in", np.linspace(0.0, 1.0, 81),
+                          probes=["out"])
+        vm = result.switching_threshold("out")
+        assert 0.35 < vm < 0.75
+
+    def test_max_gain_exceeds_unity(self):
+        system = inverter_system()
+        result = dc_sweep(system, "in", np.linspace(0.0, 1.0, 201),
+                          probes=["out"])
+        assert result.max_gain("out") > 2.0
+
+    def test_restores_original_source(self):
+        system = inverter_system()
+        original = system.circuit.vsources[1].waveform
+        dc_sweep(system, "in", np.linspace(0.0, 1.0, 11),
+                 probes=["out"])
+        assert system.circuit.vsources[1].waveform is original
+
+    def test_validation(self):
+        system = inverter_system()
+        with pytest.raises(KeyError):
+            dc_sweep(system, "zz", [0.0, 1.0], probes=["out"])
+        with pytest.raises(ValueError):
+            dc_sweep(system, "in", [0.5], probes=["out"])
+
+    def test_unprobed_node(self):
+        system = inverter_system()
+        result = dc_sweep(system, "in", np.linspace(0.0, 1.0, 11),
+                          probes=["out"])
+        with pytest.raises(KeyError):
+            result.curve("nope")
+
+
+class TestStaticNoiseMargin:
+    def sweep(self, **kwargs):
+        system = inverter_system(**kwargs)
+        return dc_sweep(system, "in", np.linspace(0.0, 1.0, 201),
+                        probes=["out"])
+
+    def test_butterfly_mirroring(self):
+        result = self.sweep()
+        x, vtc, mirrored = butterfly_curves(result, "out")
+        # The mirrored lobe is the inverse function: applying the VTC
+        # at a mirrored point returns ~x.
+        mid = len(x) // 2
+        back = np.interp(mirrored[mid], x, vtc)
+        assert back == pytest.approx(x[mid], abs=0.03)
+
+    def test_snm_reasonable_for_balanced_inverter(self):
+        snm = static_noise_margin(self.sweep(), "out")
+        assert 0.15 < snm < 0.55  # healthy latch at Vdd = 1 V
+
+    def test_skew_degrades_snm(self):
+        """A weaker NMOS shifts the VTC and shrinks the smaller eye."""
+        import dataclasses
+        weak_n = dataclasses.replace(NMOS_45HP,
+                                     vth0=NMOS_45HP.vth0 + 0.12)
+        balanced = static_noise_margin(self.sweep(), "out")
+        skewed = static_noise_margin(self.sweep(nmos=weak_n), "out")
+        assert skewed < balanced
+
+
+class TestNoiseAnalysis:
+    def test_rc_reproduces_kt_over_c(self):
+        """Total integrated noise of an RC network is kT/C regardless
+        of R — the standard sanity anchor."""
+        r_value, c_value = 10e3, 1e-14
+        c = Circuit("rc")
+        c.add_vsource("vin", "in", Dc(0.0))
+        c.add_resistor("r", "in", "out", r_value)
+        c.add_capacitor("c", "out", "0", c_value)
+        system = MnaSystem(c, 300.0)
+        op = system.initial_full_vector(0.0)
+        f_c = 1.0 / (2.0 * np.pi * r_value * c_value)
+        freqs = np.logspace(np.log10(f_c) - 4, np.log10(f_c) + 4, 400)
+        result = noise_analysis(system, op, "out", freqs)
+        expected = np.sqrt(BOLTZMANN * 300.0 / c_value)
+        assert result.rms() == pytest.approx(expected, rel=0.05)
+
+    def test_psd_flat_in_band(self):
+        c = Circuit("rc")
+        c.add_vsource("vin", "in", Dc(0.0))
+        c.add_resistor("r", "in", "out", 10e3)
+        c.add_capacitor("c", "out", "0", 1e-14)
+        system = MnaSystem(c, 300.0)
+        op = system.initial_full_vector(0.0)
+        result = noise_analysis(system, op, "out", [1e3, 1e4])
+        # Far below the pole the PSD equals 4kTR.
+        assert result.psd[0] == pytest.approx(
+            4.0 * BOLTZMANN * 300.0 * 10e3, rel=0.01)
+
+    def test_mosfet_noise_contributes(self):
+        system = inverter_system()
+        op = dc_operating_point(
+            system.__class__(system.circuit, 298.15))
+        # Bias mid-rail so both devices conduct.
+        import dataclasses
+        system.circuit.vsources[1] = dataclasses.replace(
+            system.circuit.vsources[1], waveform=Dc(0.55))
+        op = dc_operating_point(system)
+        result = noise_analysis(system, op, "out", [1e6, 1e8])
+        assert result.dominant_source().startswith("M:")
+        assert result.rms() >= 0.0
+
+    def test_validation(self):
+        system = inverter_system()
+        op = system.initial_full_vector(0.0)
+        with pytest.raises(ValueError):
+            noise_analysis(system, op, "out", [0.0])
+        with pytest.raises(KeyError):
+            noise_analysis(system, op, "zz", [1e3])
+        with pytest.raises(ValueError):
+            noise_analysis(system, op, "in", [1e3])  # driven node

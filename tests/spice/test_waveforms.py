@@ -1,0 +1,122 @@
+"""Tests for source waveforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice.waveforms import Dc, Pulse, Pwl, Step
+
+
+class TestDc:
+    def test_constant(self):
+        assert Dc(1.2).value(0.0) == 1.2
+        assert Dc(1.2).value(1e-3) == 1.2
+
+    def test_batched_level(self):
+        wave = Dc(np.array([0.1, 0.2]))
+        np.testing.assert_allclose(wave.value(5.0), [0.1, 0.2])
+        assert wave.batched()
+
+    def test_scalar_not_batched(self):
+        assert not Dc(0.5).batched()
+
+
+class TestStep:
+    def test_before_and_after(self):
+        wave = Step(0.0, 1.0, t_step=1e-9, t_rise=1e-10)
+        assert wave.value(0.0) == 0.0
+        assert wave.value(1e-9) == 0.0
+        assert wave.value(2e-9) == 1.0
+
+    def test_mid_ramp(self):
+        wave = Step(0.0, 1.0, t_step=1e-9, t_rise=1e-10)
+        assert wave.value(1.05e-9) == pytest.approx(0.5)
+
+    def test_ideal_step(self):
+        wave = Step(0.2, 0.8, t_step=1.0, t_rise=0.0)
+        assert wave.value(1.0) == 0.2
+        assert wave.value(1.0 + 1e-15) == 0.8
+
+    def test_falling(self):
+        wave = Step(1.0, 0.0, t_step=0.0, t_rise=1.0)
+        assert wave.value(0.5) == pytest.approx(0.5)
+
+    def test_cross_time(self):
+        wave = Step(0.0, 1.0, t_step=2e-9, t_rise=4e-10)
+        assert wave.cross_time(0.5) == pytest.approx(2.2e-9)
+
+    def test_batched_levels(self):
+        wave = Step(np.array([0.0, 0.5]), np.array([1.0, 1.5]),
+                    t_step=0.0, t_rise=1.0)
+        np.testing.assert_allclose(wave.value(0.5), [0.5, 1.0])
+
+
+class TestPulse:
+    def make(self):
+        return Pulse(low=0.0, high=1.0, delay=1.0, t_rise=0.1,
+                     t_fall=0.1, width=0.3, period=1.0)
+
+    def test_before_delay(self):
+        assert self.make().value(0.5) == 0.0
+
+    def test_plateau(self):
+        assert self.make().value(1.2) == 1.0
+
+    def test_periodicity(self):
+        wave = self.make()
+        assert wave.value(1.2) == wave.value(2.2) == wave.value(7.2)
+
+    def test_edges(self):
+        wave = self.make()
+        assert wave.value(1.05) == pytest.approx(0.5)
+        assert wave.value(1.45) == pytest.approx(0.5)
+
+    def test_shape_must_fit_period(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, 0.0, t_rise=0.5, t_fall=0.5, width=0.5,
+                  period=1.0)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ValueError):
+            Pulse(0.0, 1.0, 0.0, t_rise=-0.1, t_fall=0.1, width=0.1,
+                  period=1.0)
+
+    @given(st.floats(min_value=0.0, max_value=20.0))
+    def test_always_within_levels(self, t):
+        value = self.make().value(t)
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestPwl:
+    def test_interpolation(self):
+        wave = Pwl([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        assert wave.value(0.5) == pytest.approx(0.5)
+        assert wave.value(1.5) == pytest.approx(0.5)
+
+    def test_holds_ends(self):
+        wave = Pwl([1.0, 2.0], [0.3, 0.7])
+        assert wave.value(0.0) == 0.3
+        assert wave.value(5.0) == 0.7
+
+    def test_exact_breakpoints(self):
+        wave = Pwl([0.0, 1.0], [0.0, 2.0])
+        assert wave.value(1.0) == pytest.approx(2.0)
+
+    def test_batched_levels(self):
+        wave = Pwl([0.0, 1.0], [np.array([0.0, 1.0]),
+                                np.array([2.0, 3.0])])
+        np.testing.assert_allclose(wave.value(0.5), [1.0, 2.0])
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(ValueError):
+            Pwl([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            Pwl([1.0, 0.5], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Pwl([0.0, 1.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Pwl([], [])

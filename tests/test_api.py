@@ -1,0 +1,91 @@
+"""Top-level API surface and repository-shape tests."""
+
+import importlib
+import pathlib
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+
+PACKAGES = ["repro", "repro.spice", "repro.models", "repro.aging",
+            "repro.digital", "repro.circuits", "repro.core",
+            "repro.memory", "repro.analysis"]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstrings(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_readme_quickstart_names_exist(self):
+        """The names the README's quickstart uses must be importable
+        from the top level."""
+        for name in ("ExperimentCell", "run_cell", "Environment",
+                     "paper_workload", "build_nssa", "build_issa",
+                     "offset_distribution", "SenseAmpTestbench"):
+            assert hasattr(repro, name)
+
+
+class TestRepositoryShape:
+    @pytest.mark.parametrize("filename", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml",
+        "docs/architecture.md", "docs/calibration.md",
+        "docs/simulator.md",
+    ])
+    def test_documentation_present(self, filename):
+        path = REPO_ROOT / filename
+        assert path.is_file(), filename
+        assert path.stat().st_size > 500
+
+    def test_examples_present_and_executable_syntax(self):
+        examples = sorted((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 5
+        for example in examples:
+            compile(example.read_text(), str(example), "exec")
+
+    def test_one_benchmark_per_table_and_figure(self):
+        benches = {p.name for p in
+                   (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        for required in ("bench_table1_control.py",
+                         "bench_table2_workload.py",
+                         "bench_table3_voltage.py",
+                         "bench_table4_temperature.py",
+                         "bench_fig4_workload_dist.py",
+                         "bench_fig5_voltage_dist.py",
+                         "bench_fig6_temperature_dist.py",
+                         "bench_fig7_delay_aging.py",
+                         "bench_overhead.py"):
+            assert required in benches
+
+
+class TestEndToEndSnippet:
+    def test_readme_style_cell(self):
+        """The README's headline snippet, at smoke scale."""
+        from repro import (Environment, ExperimentCell, McSettings,
+                           paper_workload, run_cell)
+        from repro.circuits.sense_amp import ReadTiming
+        from repro.models import MismatchModel
+
+        cell = ExperimentCell("issa", paper_workload("80r0"), 1e8,
+                              Environment.from_celsius(125))
+        result = run_cell(cell,
+                          settings=McSettings(size=8, seed=1,
+                                              mismatch=MismatchModel()),
+                          timing=ReadTiming(dt=1e-12),
+                          offset_iterations=8)
+        row = result.row()
+        assert row["scheme"] == "ISSA"
+        assert row["workload"] == "80%"
+        assert row["spec_mV"] > 50.0

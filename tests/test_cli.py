@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.scheme == "nssa"
+        assert args.mc == 100
+
+    def test_table_requires_which(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table"])
+
+
+class TestFastCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "80r0r1" in out and "20r1" in out
+
+    def test_balance(self, capsys):
+        assert main(["balance", "--workload", "80r0", "--reads",
+                     "2048", "--bits", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "external imbalance: +1.0000" in out
+        assert "swap every 32 reads" in out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads", "--columns", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "area overhead" in out
+
+
+class TestSimulationCommands:
+    def test_characterize_small(self, capsys):
+        code = main(["characterize", "--scheme", "nssa", "--mc", "8",
+                     "--dt", "1e-12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spec_mV" in out and "delay_ps" in out
+
+    def test_sensitivity(self, capsys):
+        code = main(["sensitivity", "--scheme", "nssa",
+                     "--dt", "1e-12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mdown" in out and "d(offset)/dVth" in out

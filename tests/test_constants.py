@@ -1,0 +1,65 @@
+"""Tests for physical constants and conversions."""
+
+import math
+
+import pytest
+
+from repro.constants import (BOLTZMANN_EV, FAILURE_RATE_TARGET,
+                             PAPER_STRESS_TIME, T0, VDD_NOM,
+                             arrhenius_factor, celsius_to_kelvin,
+                             kelvin_to_celsius, thermal_voltage)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_scales_linearly(self):
+        assert thermal_voltage(600.0) == pytest.approx(
+            2.0 * thermal_voltage(300.0))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(25.0)) == 25.0
+
+    def test_reference_temperature(self):
+        assert T0 == pytest.approx(298.15)
+
+    def test_below_absolute_zero(self):
+        with pytest.raises(ValueError):
+            celsius_to_kelvin(-300.0)
+
+
+class TestArrhenius:
+    def test_identity_at_reference(self):
+        assert arrhenius_factor(0.5, T0) == pytest.approx(1.0)
+
+    def test_accelerates_when_hot(self):
+        assert arrhenius_factor(0.1, celsius_to_kelvin(125.0)) > 1.0
+
+    def test_decelerates_when_cold(self):
+        assert arrhenius_factor(0.1, celsius_to_kelvin(-25.0)) < 1.0
+
+    def test_zero_energy_no_dependence(self):
+        assert arrhenius_factor(0.0, 400.0) == 1.0
+
+    def test_matches_formula(self):
+        t = celsius_to_kelvin(75.0)
+        expected = math.exp(0.2 / BOLTZMANN_EV * (1.0 / T0 - 1.0 / t))
+        assert arrhenius_factor(0.2, t) == pytest.approx(expected)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            arrhenius_factor(0.1, -1.0)
+
+
+class TestPaperConstants:
+    def test_paper_targets(self):
+        assert FAILURE_RATE_TARGET == 1e-9
+        assert PAPER_STRESS_TIME == 1e8
+        assert VDD_NOM == 1.0

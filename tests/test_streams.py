@@ -1,0 +1,100 @@
+"""Tests for correlated (Markov) and adversarial read streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.control import IssaController
+from repro.workloads import (MarkovReadStream, Workload,
+                             paper_workload, periodic_adversarial_stream)
+
+
+class TestMarkovStream:
+    def test_stationary_mix_balanced(self):
+        stream = MarkovReadStream(paper_workload("80r0r1"),
+                                  persistence=0.9, seed=1)
+        reads = stream.reads(40000)
+        assert float(np.mean(reads == 0)) == pytest.approx(0.5,
+                                                           abs=0.03)
+
+    def test_stationary_mix_skewed(self):
+        stream = MarkovReadStream(Workload(0.8, 0.75), persistence=0.8,
+                                  seed=2)
+        reads = stream.reads(60000)
+        assert float(np.mean(reads == 0)) == pytest.approx(0.75,
+                                                           abs=0.03)
+
+    def test_persistence_creates_runs(self):
+        iid = MarkovReadStream(paper_workload("80r0r1"),
+                               persistence=0.5, seed=3)
+        bursty = MarkovReadStream(paper_workload("80r0r1"),
+                                  persistence=0.95, seed=3)
+        assert bursty.mean_run_length() > 4.0 * iid.mean_run_length()
+
+    def test_pure_streams_short_circuit(self):
+        stream = MarkovReadStream(paper_workload("80r0"),
+                                  persistence=0.9)
+        assert np.all(stream.reads(100) == 0)
+
+    def test_deterministic(self):
+        a = MarkovReadStream(paper_workload("80r0r1"), 0.8, seed=9)
+        b = MarkovReadStream(paper_workload("80r0r1"), 0.8, seed=9)
+        np.testing.assert_array_equal(a.reads(256), b.reads(256))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovReadStream(paper_workload("80r0r1"), persistence=1.0)
+        with pytest.raises(ValueError):
+            MarkovReadStream(paper_workload("80r0r1")).reads(-1)
+
+    def test_zero_count(self):
+        stream = MarkovReadStream(paper_workload("80r0r1"))
+        assert stream.reads(0).size == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(persistence=st.floats(min_value=0.5, max_value=0.98),
+           zero=st.floats(min_value=0.2, max_value=0.8))
+    def test_stationary_mix_property(self, persistence, zero):
+        stream = MarkovReadStream(Workload(0.8, zero), persistence,
+                                  seed=11)
+        reads = stream.reads(30000)
+        assert float(np.mean(reads == 0)) == pytest.approx(zero,
+                                                           abs=0.06)
+
+
+class TestAdversarialStream:
+    def test_pattern_shape(self):
+        stream = periodic_adversarial_stream(4, 16)
+        np.testing.assert_array_equal(
+            stream, [0, 0, 0, 0, 1, 1, 1, 1] * 2)
+
+    def test_defeats_switching(self):
+        """Locked to the swap period, the stream keeps the internal
+        nodes maximally unbalanced."""
+        controller = IssaController(bits=4)  # swap every 8 reads
+        stream = periodic_adversarial_stream(
+            controller.switch_period_reads, 1024)
+        metric = controller.balance_metric(stream)
+        assert abs(metric) == pytest.approx(1.0)
+
+    def test_wrong_period_balances(self):
+        """Off-period patterns do not break the balancing."""
+        controller = IssaController(bits=4)
+        stream = periodic_adversarial_stream(5, 4000)  # period 5 vs 8
+        metric = controller.balance_metric(stream)
+        assert abs(metric) < 0.15
+
+    def test_bursty_markov_still_balances(self):
+        """Realistic bursty streams (not period-locked) stay balanced
+        through the switching controller — the key robustness result."""
+        controller = IssaController(bits=8)
+        stream = MarkovReadStream(Workload(0.8, 0.8), persistence=0.9,
+                                  seed=5)
+        metric = controller.balance_metric(stream.reads(1 << 14))
+        assert abs(metric) < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_adversarial_stream(0, 10)
+        with pytest.raises(ValueError):
+            periodic_adversarial_stream(4, -1)

@@ -1,0 +1,75 @@
+"""Tests for SPICE-style value parsing and SI formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import format_si, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("1f", 1e-15),
+        ("1fF", 1e-15),
+        ("2.5p", 2.5e-12),
+        ("10n", 10e-9),
+        ("4u", 4e-6),
+        ("3m", 3e-3),
+        ("1k", 1e3),
+        ("2meg", 2e6),
+        ("2MEG", 2e6),
+        ("1g", 1e9),
+        ("0.5t", 0.5e12),
+        ("7a", 7e-18),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("5", 5.0),
+        ("5.5", 5.5),
+        ("-3e-9", -3e-9),
+        ("1e6", 1e6),
+        ("5V", 5.0),
+    ])
+    def test_plain_numbers(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_numeric_passthrough(self):
+        assert parse_value(42) == 42.0
+        assert parse_value(1.5e-12) == 1.5e-12
+
+    def test_meg_not_milli(self):
+        """'meg' must win over the 'm' prefix."""
+        assert parse_value("1meg") == pytest.approx(1e6)
+        assert parse_value("1m") == pytest.approx(1e-3)
+
+    @pytest.mark.parametrize("bad", ["", "   ", "abc", "f1", "--3"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_value(bad)
+
+    @given(st.floats(min_value=1e-17, max_value=1e13,
+                     allow_nan=False, allow_infinity=False))
+    def test_format_parse_roundtrip(self, value):
+        """format_si output re-parses to the same value (within digits)."""
+        text = format_si(value, digits=9)
+        assert parse_value(text) == pytest.approx(value, rel=1e-6)
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert format_si(0.0, "s") == "0s"
+
+    @pytest.mark.parametrize("value,unit,expected", [
+        (1.36e-11, "s", "13.6ps"),
+        (1e-15, "F", "1fF"),
+        (2.2e3, "Hz", "2.2kHz"),
+        (1.0, "V", "1V"),
+    ])
+    def test_examples(self, value, unit, expected):
+        assert format_si(value, unit) == expected
+
+    def test_negative(self):
+        assert format_si(-1.5e-12, "s").startswith("-1.5")

@@ -1,0 +1,87 @@
+"""Tests for workload descriptions and read streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import (PAPER_WORKLOADS, ReadStream, Workload,
+                             paper_workload)
+
+
+class TestWorkload:
+    def test_paper_names(self):
+        names = [str(w) for w in PAPER_WORKLOADS]
+        assert names == ["80r0r1", "80r0", "80r1", "20r0r1", "20r0",
+                         "20r1"]
+
+    @pytest.mark.parametrize("name,rate,zero", [
+        ("80r0r1", 0.8, 0.5), ("80r0", 0.8, 1.0), ("80r1", 0.8, 0.0),
+        ("20r0r1", 0.2, 0.5), ("20r0", 0.2, 1.0), ("20r1", 0.2, 0.0),
+    ])
+    def test_parse(self, name, rate, zero):
+        workload = paper_workload(name)
+        assert workload.activation_rate == rate
+        assert workload.zero_fraction == zero
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            paper_workload("50r0")
+        with pytest.raises(ValueError):
+            paper_workload("80r2")
+
+    def test_balanced_flag(self):
+        assert paper_workload("80r0r1").is_balanced
+        assert not paper_workload("80r0").is_balanced
+
+    def test_imbalance(self):
+        assert paper_workload("80r0").imbalance == 1.0
+        assert paper_workload("80r1").imbalance == -1.0
+        assert paper_workload("80r0r1").imbalance == 0.0
+
+    def test_balanced_transform(self):
+        """ISSA compiles 80r0/80r1/80r0r1 into the same '80%' load."""
+        balanced = {str(paper_workload(n).balanced())
+                    for n in ("80r0", "80r1", "80r0r1")}
+        assert balanced == {"80%"}
+        assert paper_workload("80r0").balanced().zero_fraction == 0.5
+
+    def test_one_fraction(self):
+        assert paper_workload("80r0").one_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(1.5, 0.5)
+        with pytest.raises(ValueError):
+            Workload(0.5, -0.1)
+
+    def test_custom_mix_name(self):
+        workload = Workload(0.8, 0.75)
+        assert "0.75" in str(workload)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_fractions_complementary(self, rate, zero):
+        workload = Workload(rate, zero)
+        assert (workload.zero_fraction + workload.one_fraction
+                == pytest.approx(1.0))
+
+
+class TestReadStream:
+    def test_mix_statistics(self):
+        stream = ReadStream(paper_workload("80r0r1"), seed=1)
+        assert stream.observed_mix(20000) == pytest.approx(0.5, abs=0.02)
+
+    def test_pure_streams(self):
+        assert ReadStream(paper_workload("80r0")).observed_mix(100) == 1.0
+        assert ReadStream(paper_workload("80r1")).observed_mix(100) == 0.0
+
+    def test_cycles_respect_activation(self):
+        stream = ReadStream(paper_workload("20r0"), seed=2)
+        cycles = list(stream.cycles(20000))
+        idle_fraction = sum(1 for c in cycles if c is None) / len(cycles)
+        assert idle_fraction == pytest.approx(0.8, abs=0.02)
+
+    def test_deterministic_by_seed(self):
+        a = ReadStream(paper_workload("80r0r1"), seed=3).reads(64)
+        b = ReadStream(paper_workload("80r0r1"), seed=3).reads(64)
+        np.testing.assert_array_equal(a, b)
