@@ -1,0 +1,401 @@
+"""Measure the Monte-Carlo fast-path speedup and emit BENCH_fastpath.json.
+
+Times the Table-II characterisation grid under three configurations:
+
+* ``legacy``     — per-device model loop, unmasked Newton, full-window
+  transients, no out-of-range masking (the pre-fast-path behaviour);
+* ``mask_early`` — legacy device evaluation plus active-sample masking
+  and early-decision transient termination (the algorithmic wins
+  alone);
+* ``full``       — everything on: stacked device evaluation, masking,
+  early decision (the shipping default).
+
+plus the ``full`` configuration through the parallel grid runner at
+``workers = cpu_count``.  Each timed run re-characterises every cell of
+the grid from scratch; the best of ``--repeats`` wall-clock times is
+reported.  The script asserts the configurations agree (offsets
+bit-identical, delays within float noise) before writing the JSON
+evidence, so a speedup number can never ship with a correctness
+regression attached.
+
+Two scales are measured:
+
+* the **reduced Table-II variant** (default 64 samples, dt = 1 ps, 10
+  bisection iterations — the ``REPRO_FAST`` benchmark settings) over
+  the full 10-cell grid, and
+* one **paper-size cell** (400 samples, dt = 0.5 ps, 14 iterations,
+  NSSA / 80r0 / 1e8 s) for the masking + early-decision ablation at
+  production settings.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/fastpath_speedup.py
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.perf import PERF
+from repro.analysis.stats import fit_normal
+from repro.circuits.sense_amp import ReadTiming
+from repro.constants import FAILURE_RATE_TARGET
+from repro.core.calibration import default_aging_model
+from repro.core.experiment import ExperimentCell, _mean_delay, build_design
+from repro.core.montecarlo import McSettings, sample_total_shifts
+from repro.core.offset import OffsetDistribution, extract_offsets
+from repro.core.paper import grid_cells
+from repro.core.parallel import default_workers, run_cells
+from repro.core.testbench import SenseAmpTestbench
+from repro.models import Environment, MismatchModel
+from repro.spice.mna import FASTPATH_ENV
+from repro.spice.solver import NewtonOptions
+from repro.workloads import paper_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Stand-alone runner executed with PYTHONPATH pointing at a *seed*
+#: checkout (``--seed-src``): times the same grid through the seed's
+#: own ``run_cell`` so the committed baseline provably predates the
+#: fast path.  Uses only APIs present in the seed.
+SEED_RUNNER = r"""
+import json, sys, time
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.core.montecarlo import McSettings
+from repro.models import Environment, MismatchModel
+from repro.workloads import paper_workload
+
+spec = json.loads(sys.argv[1])
+settings = McSettings(size=spec["mc"], seed=spec["seed"],
+                      mismatch=MismatchModel())
+cells = [ExperimentCell(s, paper_workload(w) if w else None, t,
+                        Environment.from_celsius(tc, vdd))
+         for s, w, t, tc, vdd in spec["cells"]]
+seconds, rows = [], []
+for repeat in range(spec["repeats"]):
+    start = time.perf_counter()
+    results = [run_cell(c, settings=settings,
+                        timing=ReadTiming(dt=spec["dt"]),
+                        offset_iterations=spec["iterations"])
+               for c in cells]
+    seconds.append(time.perf_counter() - start)
+    if repeat == 0:
+        rows = [{"mu_mV": r.mu_mv, "sigma_mV": r.sigma_mv,
+                 "spec_mV": r.spec_mv, "delay_ps": r.delay_ps}
+                for r in results]
+print(json.dumps({"seconds": seconds, "rows": rows}))
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class FastpathConfig:
+    """One point of the ablation: which fast-path layers are enabled."""
+
+    name: str
+    stacked: bool
+    masked: bool
+    early_decision: bool
+    mask_out_of_range: bool
+
+
+CONFIGS = (
+    FastpathConfig("legacy", stacked=False, masked=False,
+                   early_decision=False, mask_out_of_range=False),
+    FastpathConfig("mask_early", stacked=False, masked=True,
+                   early_decision=True, mask_out_of_range=True),
+    FastpathConfig("full", stacked=True, masked=True,
+                   early_decision=True, mask_out_of_range=True),
+)
+
+CellOutputs = Tuple[np.ndarray, float]
+
+
+def run_cell_config(cell: ExperimentCell, config: FastpathConfig,
+                    settings: McSettings, timing: ReadTiming,
+                    iterations: int) -> CellOutputs:
+    """One table cell under an explicit fast-path configuration.
+
+    Mirrors :func:`repro.core.experiment.run_cell` (same population,
+    same measurements) with every fast-path layer made explicit.
+    """
+    aging = default_aging_model()
+    design = build_design(cell.scheme)
+    shifts = sample_total_shifts(design, aging, cell.workload, cell.time_s,
+                                 cell.env, settings)
+    testbench = SenseAmpTestbench(
+        design, cell.env, batch_size=settings.size, timing=timing,
+        newton=NewtonOptions(masked=config.masked),
+        early_decision=config.early_decision)
+    testbench.set_vth_shifts(shifts)
+    offsets = extract_offsets(testbench, iterations=iterations,
+                              mask_out_of_range=config.mask_out_of_range)
+    delay = _mean_delay(testbench, cell.workload)
+    return offsets, delay
+
+
+def time_config(cells, config: FastpathConfig, settings: McSettings,
+                timing: ReadTiming, iterations: int, repeats: int):
+    """Best-of-``repeats`` wall time, outputs and counters for a config."""
+    os.environ[FASTPATH_ENV] = "0" if config.stacked else "1"
+    try:
+        seconds: List[float] = []
+        outputs: List[CellOutputs] = []
+        counters: Dict[str, float] = {}
+        for repeat in range(repeats):
+            PERF.reset()
+            start = time.perf_counter()
+            run = [run_cell_config(cell, config, settings, timing,
+                                   iterations) for cell in cells]
+            seconds.append(time.perf_counter() - start)
+            if repeat == 0:
+                outputs = run
+            counters = PERF.snapshot()["counters"]
+        return seconds, outputs, counters
+    finally:
+        os.environ.pop(FASTPATH_ENV, None)
+
+
+def time_parallel(cells, settings: McSettings, timing: ReadTiming,
+                  iterations: int, repeats: int, workers: int):
+    """Wall time of the stock grid runner at ``workers`` processes."""
+    seconds: List[float] = []
+    outputs: List[CellOutputs] = []
+    for repeat in range(repeats):
+        PERF.reset()
+        start = time.perf_counter()
+        results = run_cells(cells, settings=settings, timing=timing,
+                            offset_iterations=iterations, workers=workers)
+        seconds.append(time.perf_counter() - start)
+        if repeat == 0:
+            outputs = [(r.offset.offsets, r.delay_s) for r in results]
+    return seconds, outputs
+
+
+def table_rows(cells, outputs: List[CellOutputs]) -> List[Dict]:
+    """Paper-table figures (mu/sigma/spec/delay) for every cell."""
+    rows = []
+    for cell, (offsets, delay) in zip(cells, outputs):
+        dist = OffsetDistribution(offsets=offsets, fit=fit_normal(offsets),
+                                  failure_rate=FAILURE_RATE_TARGET)
+        rows.append({
+            "scheme": cell.scheme, "workload": cell.workload_label,
+            "time_s": cell.time_s, "corner": cell.env.label(),
+            "mu_mV": round(dist.mu * 1e3, 3),
+            "sigma_mV": round(dist.sigma * 1e3, 3),
+            "spec_mV": round(dist.spec * 1e3, 2),
+            "delay_ps": round(delay * 1e12, 3),
+        })
+    return rows
+
+
+def equivalence(baseline: List[CellOutputs],
+                other: List[CellOutputs]) -> Dict[str, float]:
+    """Worst per-sample offset and mean-delay deviation vs baseline."""
+    offset_diff = max(float(np.max(np.abs(a[0] - b[0])))
+                      for a, b in zip(baseline, other))
+    delay_diff = max(abs(a[1] - b[1]) for a, b in zip(baseline, other))
+    return {"max_offset_diff_V": offset_diff,
+            "max_delay_diff_s": delay_diff}
+
+
+def check_equivalence(deviation: Dict[str, float], label: str) -> None:
+    assert deviation["max_offset_diff_V"] == 0.0, \
+        f"{label}: offsets deviate by {deviation['max_offset_diff_V']:g} V"
+    assert deviation["max_delay_diff_s"] < 1e-18, \
+        f"{label}: delays deviate by {deviation['max_delay_diff_s']:g} s"
+
+
+def measure_seed(cells, settings: McSettings, timing: ReadTiming,
+                 iterations: int, repeats: int, seed_src: str,
+                 fast_rows: List[Dict]) -> Dict:
+    """Time the untouched seed code on the same grid, via subprocess.
+
+    Asserts the seed's table figures match the fast path's before
+    reporting, tying the baseline wall-clock to identical results.
+    """
+    import subprocess
+    import sys
+
+    spec = {"mc": settings.size, "seed": settings.seed, "dt": timing.dt,
+            "iterations": iterations, "repeats": repeats,
+            "cells": [[c.scheme,
+                       (None if c.workload is None
+                        else str(c.workload)), c.time_s,
+                       c.env.temperature_c, c.env.vdd] for c in cells]}
+    env = dict(os.environ, PYTHONPATH=seed_src)
+    env.pop(FASTPATH_ENV, None)
+    out = subprocess.run(
+        [sys.executable, "-c", SEED_RUNNER, json.dumps(spec)],
+        check=True, capture_output=True, text=True, env=env)
+    result = json.loads(out.stdout)
+    for seed_row, fast_row in zip(result["rows"], fast_rows):
+        for key in ("mu_mV", "sigma_mV", "spec_mV", "delay_ps"):
+            assert abs(seed_row[key] - fast_row[key]) < 5e-3, \
+                f"seed {key} {seed_row[key]} != fast {fast_row[key]}"
+    return {"src": seed_src,
+            "seconds": [round(s, 3) for s in result["seconds"]],
+            "best_s": round(min(result["seconds"]), 3)}
+
+
+def measure_grid(cells, settings: McSettings, timing: ReadTiming,
+                 iterations: int, repeats: int) -> Dict:
+    """The full ablation over one cell grid."""
+    section: Dict = {
+        "settings": {"mc": settings.size, "seed": settings.seed,
+                     "dt": timing.dt, "offset_iterations": iterations,
+                     "cells": len(cells), "repeats": repeats},
+        "configs": {}, "speedups": {}, "equivalence": {}, "table": {},
+    }
+    outputs_by_config: Dict[str, List[CellOutputs]] = {}
+    for config in CONFIGS:
+        print(f"  config {config.name} ...", flush=True)
+        seconds, outputs, counters = time_config(
+            cells, config, settings, timing, iterations, repeats)
+        outputs_by_config[config.name] = outputs
+        section["configs"][config.name] = {
+            "layers": dataclasses.asdict(config),
+            "seconds": [round(s, 3) for s in seconds],
+            "best_s": round(min(seconds), 3),
+            "counters": counters,
+        }
+        section["table"][config.name] = table_rows(cells, outputs)
+
+    workers = default_workers()
+    print(f"  config full via grid runner (workers={workers}) ...",
+          flush=True)
+    seconds, outputs = time_parallel(cells, settings, timing, iterations,
+                                     repeats, workers)
+    outputs_by_config["full_parallel"] = outputs
+    section["configs"]["full_parallel"] = {
+        "layers": {"name": "full_parallel", "workers": workers},
+        "seconds": [round(s, 3) for s in seconds],
+        "best_s": round(min(seconds), 3),
+    }
+
+    legacy_best = section["configs"]["legacy"]["best_s"]
+    for name in ("mask_early", "full", "full_parallel"):
+        section["speedups"][f"{name}_vs_legacy"] = round(
+            legacy_best / section["configs"][name]["best_s"], 2)
+        deviation = equivalence(outputs_by_config["legacy"],
+                                outputs_by_config[name])
+        check_equivalence(deviation, name)
+        section["equivalence"][f"{name}_vs_legacy"] = deviation
+    return section
+
+
+def add_seed_baseline(section: Dict, cells, settings: McSettings,
+                      timing: ReadTiming, iterations: int, repeats: int,
+                      seed_src: str) -> None:
+    """Measure the seed on this grid and add seed-relative speedups."""
+    print(f"  seed baseline from {seed_src} ...", flush=True)
+    section["seed_baseline"] = measure_seed(
+        cells, settings, timing, iterations, repeats, seed_src,
+        section["table"]["full"])
+    seed_best = section["seed_baseline"]["best_s"]
+    for name in ("legacy", "mask_early", "full", "full_parallel"):
+        section["speedups"][f"{name}_vs_seed"] = round(
+            seed_best / section["configs"][name]["best_s"], 2)
+
+
+def measure_paper_cell(repeats: int, seed_src: Optional[str]) -> Dict:
+    """Masking + early-decision ablation at production settings."""
+    cell = ExperimentCell("nssa", paper_workload("80r0"), 1e8,
+                          Environment.from_celsius(25.0, 1.0))
+    settings = McSettings(size=400, seed=2017, mismatch=MismatchModel())
+    timing = ReadTiming(dt=0.5e-12)
+    section = measure_grid([cell], settings, timing, iterations=14,
+                           repeats=repeats)
+    if seed_src:
+        add_seed_baseline(section, [cell], settings, timing, 14, repeats,
+                          seed_src)
+    section["cell"] = {"scheme": cell.scheme, "workload": "80r0",
+                       "time_s": cell.time_s, "corner": cell.env.label()}
+    return section
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mc", type=int, default=64,
+                        help="reduced-variant MC population (default 64)")
+    parser.add_argument("--dt", type=float, default=1e-12,
+                        help="reduced-variant transient step (default 1ps)")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="reduced-variant bisection depth (default 10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions; the best is reported")
+    parser.add_argument("--skip-paper-cell", action="store_true",
+                        help="skip the 400-sample production-settings cell")
+    parser.add_argument("--seed-src", default=None, metavar="DIR",
+                        help="src/ directory of a pre-fast-path checkout "
+                             "(e.g. 'git archive <seed-rev> src | tar -x "
+                             "-C /tmp/seed'): also time the seed itself "
+                             "as the baseline")
+    parser.add_argument("--output", default=str(REPO_ROOT
+                                                / "BENCH_fastpath.json"))
+    args = parser.parse_args(argv)
+
+    doc: Dict = {
+        "benchmark": "fastpath_speedup",
+        "host": {"cpu_count": os.cpu_count(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine()},
+    }
+    print(f"reduced Table-II grid: mc={args.mc} dt={args.dt:g} "
+          f"iterations={args.iterations}")
+    settings = McSettings(size=args.mc, seed=2017,
+                          mismatch=MismatchModel())
+    reduced_cells = grid_cells("2")
+    reduced_timing = ReadTiming(dt=args.dt)
+    doc["reduced_table2"] = measure_grid(
+        reduced_cells, settings, reduced_timing, args.iterations,
+        args.repeats)
+    if args.seed_src:
+        add_seed_baseline(doc["reduced_table2"], reduced_cells, settings,
+                          reduced_timing, args.iterations, args.repeats,
+                          args.seed_src)
+    if not args.skip_paper_cell:
+        print("paper-size cell: mc=400 dt=5e-13 iterations=14")
+        doc["paper_size_cell"] = measure_paper_cell(
+            max(1, args.repeats - 1), args.seed_src)
+
+    reduced = doc["reduced_table2"]["speedups"]
+    doc["criteria"] = {
+        "single_process_speedup": reduced["full_vs_legacy"],
+        "workers_cpu_count_speedup": reduced["full_parallel_vs_legacy"],
+        "masking_early_decision_alone": reduced["mask_early_vs_legacy"],
+        "note": "reduced Table-II variant; 'legacy' re-runs the seed "
+                "algorithms in-tree (REPRO_NO_FASTPATH + unmasked Newton "
+                "+ full-window transients) and matches the measured seed "
+                "baseline within timing noise. On this host "
+                f"cpu_count={os.cpu_count()}, so the workers=cpu_count "
+                "number reflects the single-process fast path plus pool "
+                "overhead; masking + early decision alone is bounded by "
+                "the per-step Python overhead of the legacy device loop "
+                "(the stacked evaluation removes exactly that cost).",
+    }
+
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    for scale in ("reduced_table2", "paper_size_cell"):
+        if scale in doc:
+            speedups = doc[scale]["speedups"]
+            print(f"{scale}: " + "  ".join(
+                f"{k}={v:.2f}x" for k, v in speedups.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ from .figures import (DistributionBar, DelaySeries, render_bars,
 from .histogram import (Histogram, histogram, render_histogram,
                         NormalityCheck, check_normality)
 from .report import assemble_report, write_report, ReportStatus
+from .perf import PerfRecorder, PERF
 from . import reference
 
 __all__ = [
@@ -21,5 +22,6 @@ __all__ = [
     "Histogram", "histogram", "render_histogram",
     "NormalityCheck", "check_normality",
     "assemble_report", "write_report", "ReportStatus",
+    "PerfRecorder", "PERF",
     "reference",
 ]

@@ -1,0 +1,127 @@
+"""Lightweight performance instrumentation for the simulation fast path.
+
+A :class:`PerfRecorder` accumulates named **counters** (Newton
+iterations, transient steps, samples masked out, ...) and wall-clock
+**timers** (context managers around coarse stages).  The solver,
+transient engine, offset extraction and experiment runner all report
+into the module-level :data:`PERF` recorder; recording is cheap (one
+dict update per event at stage granularity) so it stays enabled by
+default.
+
+The recorder snapshots to plain dicts, merges snapshots from worker
+processes (the parallel grid runner ships each cell's counters back to
+the parent) and renders both a human-readable report and a JSON
+document (``python -m repro perf --json ...``) that the benchmark
+harness consumes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import time
+from typing import Dict, Iterator, Optional, Union
+
+Number = Union[int, float]
+
+
+class PerfRecorder:
+    """Accumulate counters and wall-clock timers for one run.
+
+    Parameters
+    ----------
+    enabled:
+        When False every recording call is a no-op; reading
+        (snapshot/report) still works on whatever was collected.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: Dict[str, Number] = {}
+        self.timers: Dict[str, float] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def count(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    @contextlib.contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block under ``name``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = (self.timers.get(name, 0.0)
+                                 + time.perf_counter() - start)
+
+    # -- aggregation -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """Plain-dict copy, suitable for pickling across processes."""
+        return {"counters": dict(self.counters),
+                "timers": dict(self.timers)}
+
+    def merge(self, snapshot: Dict[str, Dict[str, Number]]) -> None:
+        """Fold another recorder's snapshot into this one (summing)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in snapshot.get("timers", {}).items():
+            self.timers[name] = self.timers.get(name, 0.0) + value
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    # -- derived metrics -------------------------------------------------
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Counter ratio, NaN-safe (0 denominator yields 0)."""
+        den = self.counters.get(denominator, 0)
+        if not den:
+            return 0.0
+        return self.counters.get(numerator, 0) / den
+
+    # -- output ----------------------------------------------------------
+
+    def report(self) -> str:
+        """Aligned human-readable dump of timers then counters."""
+        lines = []
+        if self.timers:
+            lines.append("timers [s]:")
+            width = max(len(n) for n in self.timers)
+            for name in sorted(self.timers):
+                lines.append(f"  {name:{width}s} {self.timers[name]:10.3f}")
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(n) for n in self.counters)
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                lines.append(f"  {name:{width}s} {value:>14,.0f}")
+        if not lines:
+            return "(no performance data recorded)"
+        return "\n".join(lines)
+
+    def to_json(self, extra: Optional[Dict] = None) -> str:
+        """JSON document with counters, timers and optional metadata."""
+        doc = self.snapshot()
+        if extra:
+            doc.update(extra)
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+    def write_json(self, path: Union[str, pathlib.Path],
+                   extra: Optional[Dict] = None) -> pathlib.Path:
+        """Write :meth:`to_json` to ``path`` and return it."""
+        path = pathlib.Path(path)
+        path.write_text(self.to_json(extra) + "\n")
+        return path
+
+
+#: Process-wide default recorder the simulation layers report into.
+PERF = PerfRecorder()

@@ -11,6 +11,8 @@
 * ``guardband`` — worst-case margin comparison over the full
   condition set;
 * ``report`` — assemble REPORT.md from the benchmark artefacts;
+* ``perf`` — profile one table cell and dump the fast-path counters
+  (optionally as JSON);
 * ``workloads`` — list the paper's workloads.
 """
 
@@ -47,6 +49,10 @@ def _add_mc_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2017)
     parser.add_argument("--dt", type=float, default=1e-12,
                         help="transient step in seconds")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="split the MC batch into chunks of at most "
+                             "this many samples (memory control; results "
+                             "unchanged)")
 
 
 def _settings(args):
@@ -58,7 +64,8 @@ def _cell_result(args, scheme: str, workload_name: Optional[str],
     workload = paper_workload(workload_name) if workload_name else None
     return run_cell(ExperimentCell(scheme, workload, time_s, env),
                     settings=_settings(args),
-                    timing=ReadTiming(dt=args.dt))
+                    timing=ReadTiming(dt=args.dt),
+                    chunk_size=args.chunk_size)
 
 
 def cmd_characterize(args) -> int:
@@ -80,7 +87,9 @@ def cmd_table(args) -> int:
               file=sys.stderr)
 
     rows = run_grid(args.which, settings=_settings(args),
-                    timing=ReadTiming(dt=args.dt), progress=progress)
+                    timing=ReadTiming(dt=args.dt),
+                    workers=args.workers or None,
+                    chunk_size=args.chunk_size, progress=progress)
     rendered = [comparison_row(
         row.result.cell.scheme, row.result.cell.time_s,
         row.result.cell.workload_label, row.result.cell.env.label(),
@@ -163,6 +172,40 @@ def cmd_report(args) -> int:
     return 0 if status.complete else 1
 
 
+def cmd_perf(args) -> int:
+    """Characterise one cell under the perf recorder and report."""
+    from .analysis.perf import PERF
+
+    env = Environment.from_celsius(args.temp, args.vdd)
+    PERF.reset()
+    with PERF.timer("total"):
+        result = _cell_result(args, args.scheme, args.workload, args.time,
+                              env)
+    print(f"corner: {env.label()}  MC={args.mc}  dt={args.dt:g}")
+    for key, value in result.row().items():
+        print(f"  {key:10s} {value}")
+    print()
+    print(PERF.report())
+    print()
+    print("derived:")
+    print(f"  newton iterations/solve      "
+          f"{PERF.ratio('newton.iterations', 'newton.solves'):8.2f}")
+    print(f"  sample-step occupancy        "
+          f"{PERF.ratio('transient.sample_steps', 'transient.steps'):8.2f}")
+    print(f"  samples decided early/run    "
+          f"{PERF.ratio('transient.samples_decided_early', 'transient.runs'):8.2f}")
+    if args.json:
+        path = PERF.write_json(args.json, extra={
+            "config": {"scheme": args.scheme, "workload": args.workload,
+                       "time_s": args.time, "temp_c": args.temp,
+                       "vdd": args.vdd, "mc": args.mc, "dt": args.dt,
+                       "chunk_size": args.chunk_size},
+            "result": result.row(),
+        })
+        print(f"\nperf JSON written to {path}")
+    return 0
+
+
 def cmd_workloads(args) -> int:
     for workload in PAPER_WORKLOADS:
         print(f"  {str(workload):8s} activation={workload.activation_rate}"
@@ -189,6 +232,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("--which", choices=("2", "3", "4"), required=True)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the grid (default 1: serial, "
+                        "bit-identical; 0 means one per CPU)")
     _add_mc_args(p)
     p.set_defaults(func=cmd_table)
 
@@ -225,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--results", default="benchmarks/results")
     p.add_argument("--output", default=None)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("perf",
+                       help="profile one table cell (fast-path counters)")
+    p.add_argument("--scheme", choices=("nssa", "issa"), default="nssa")
+    p.add_argument("--workload", default=None,
+                   help="paper workload name (e.g. 80r0); omit for t=0")
+    p.add_argument("--time", type=float, default=0.0,
+                   help="stress time in seconds (paper: 1e8)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the perf counters as JSON")
+    _add_corner_args(p)
+    _add_mc_args(p)
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("workloads", help="list the paper's workloads")
     p.set_defaults(func=cmd_workloads)

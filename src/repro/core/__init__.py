@@ -23,15 +23,17 @@ from .calibration import (default_aging_model, default_mc_settings,
                           PBTI_PARAMS, NBTI_PARAMS)
 from .mitigation import (BalanceReport, stream_balance,
                          predicted_offset_spec, lifetime_to_spec,
-                         lifetime_extension)
+                         lifetime_extension, SchemeComparison,
+                         compare_schemes)
 from .sensitivity import (SensitivityReport, measure_sensitivities,
                           PERTURBATION_DEFAULT)
 from .schedule import (WorkloadPhase, device_segments,
                        sample_schedule_shifts, equivalent_workload_phase)
 from .guardband import (WorstCase, GuardbandReport, worst_case_spec,
                         guardband_report, PAPER_CONDITION_SET)
-from .paper import run_grid, shape_deviations, GridRow, TABLE2_GRID, \
-    TABLE3_GRID, TABLE4_GRID
+from .paper import run_grid, grid_cells, shape_deviations, GridRow, \
+    TABLE2_GRID, TABLE3_GRID, TABLE4_GRID
+from .parallel import run_cells, default_workers
 from .metastability import (RegenerationFit, measure_regeneration_tau,
                             resolution_failure_probability,
                             window_for_failure_target)
@@ -50,14 +52,16 @@ __all__ = [
     "default_aging_model", "default_mc_settings", "PBTI_PARAMS",
     "NBTI_PARAMS",
     "BalanceReport", "stream_balance", "predicted_offset_spec",
-    "lifetime_to_spec", "lifetime_extension",
+    "lifetime_to_spec", "lifetime_extension", "SchemeComparison",
+    "compare_schemes",
     "SensitivityReport", "measure_sensitivities", "PERTURBATION_DEFAULT",
     "WorkloadPhase", "device_segments", "sample_schedule_shifts",
     "equivalent_workload_phase",
     "WorstCase", "GuardbandReport", "worst_case_spec",
     "guardband_report", "PAPER_CONDITION_SET",
-    "run_grid", "shape_deviations", "GridRow", "TABLE2_GRID",
-    "TABLE3_GRID", "TABLE4_GRID",
+    "run_grid", "grid_cells", "shape_deviations", "GridRow",
+    "TABLE2_GRID", "TABLE3_GRID", "TABLE4_GRID",
+    "run_cells", "default_workers",
     "RegenerationFit", "measure_regeneration_tau",
     "resolution_failure_probability", "window_for_failure_target",
     "TrimScheme", "trimmed_offsets", "trimmed_spec",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..analysis.figures import DelaySeries
+from ..analysis.perf import PERF
 from ..aging.engine import AgingModel
 from ..circuits.sense_amp import ReadTiming
 from ..models.temperature import Environment
@@ -59,9 +60,13 @@ def delay_vs_aging(scheme: str, workload: Workload, env: Environment,
         shifts = sample_total_shifts(design, aging, workload, time_s, env,
                                      settings)
         testbench.set_vth_shifts(shifts)
-        delays.append(_mean_delay(testbench,
-                                  workload if time_s > 0.0 else None)
-                      * 1e12)
+        # The compiled system, its device table and the shared pre-read
+        # state survive re-aging; only the Vth-shift vectors change.
+        PERF.count("delay.sweep_points")
+        with PERF.timer("delay.sweep"):
+            delays.append(_mean_delay(testbench,
+                                      workload if time_s > 0.0 else None)
+                          * 1e12)
     if label is None:
         wl_label = (str(workload.balanced()) if scheme == "issa"
                     else str(workload))

@@ -10,10 +10,12 @@ grids of Tables II-IV and Figures 4-7.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.perf import PERF
+from ..analysis.stats import fit_normal
 from ..circuits.sense_amp import ReadTiming, build_issa, build_nssa
 from ..constants import FAILURE_RATE_TARGET
 from ..models.temperature import Environment
@@ -21,7 +23,7 @@ from ..workloads import Workload
 from ..aging.engine import AgingModel
 from .calibration import default_aging_model, default_mc_settings
 from .montecarlo import McSettings, sample_total_shifts
-from .offset import OffsetDistribution, offset_distribution
+from .offset import OffsetDistribution, extract_offsets
 from .testbench import SenseAmpTestbench
 
 #: Differential input magnitude used for sensing-delay reads [V]; a
@@ -102,13 +104,16 @@ def build_design(scheme: str):
     return build_issa() if scheme == "issa" else build_nssa()
 
 
-def _mean_delay(testbench: SenseAmpTestbench,
-                workload: Optional[Workload]) -> float:
-    """Mean sensing delay [s] per the cell's dominant read mix.
+def _delay_components(testbench: SenseAmpTestbench,
+                      workload: Optional[Workload],
+                      ) -> List[Tuple[float, np.ndarray]]:
+    """Per-direction sensing delays as ``(weight, per-sample values)``.
 
     An unbalanced workload is timed on its dominant read value (the
     operation the memory actually performs); balanced and fresh cells
-    average both read directions.
+    average both read directions.  Keeping the raw per-sample arrays
+    (rather than the weighted mean) lets chunked runs concatenate the
+    populations before averaging, so chunking cannot change the result.
     """
     zero_frac = 0.5
     if workload is not None and testbench.design.kind == "nssa":
@@ -120,8 +125,38 @@ def _mean_delay(testbench: SenseAmpTestbench,
     if zero_frac < 1.0:
         delays.append((1.0 - zero_frac,
                        testbench.sensing_delay(+DELAY_READ_SWING)))
-    total = sum(weight * np.nanmean(values) for weight, values in delays)
-    return float(total)
+    return delays
+
+
+def _mean_delay(testbench: SenseAmpTestbench,
+                workload: Optional[Workload]) -> float:
+    """Mean sensing delay [s] per the cell's dominant read mix."""
+    return float(sum(weight * np.nanmean(values) for weight, values
+                     in _delay_components(testbench, workload)))
+
+
+def _chunk_shifts(shifts: Mapping[str, Union[float, np.ndarray]],
+                  size: int, chunk_size: Optional[int],
+                  ) -> List[Dict[str, Union[float, np.ndarray]]]:
+    """Split a full-population shift table into batch chunks.
+
+    The population is sampled *once* at full size and sliced here, so
+    a chunked run consumes exactly the same Monte-Carlo draws (in the
+    same order) as an unchunked one — chunking controls peak memory,
+    not the statistics.
+    """
+    if chunk_size is None or chunk_size >= size:
+        return [dict(shifts)]
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    chunks = []
+    for start in range(0, size, chunk_size):
+        stop = min(start + chunk_size, size)
+        chunks.append({name: (value[start:stop]
+                              if isinstance(value, np.ndarray)
+                              else value)
+                       for name, value in shifts.items()})
+    return chunks
 
 
 def run_cell(cell: ExperimentCell,
@@ -131,7 +166,8 @@ def run_cell(cell: ExperimentCell,
              failure_rate: float = FAILURE_RATE_TARGET,
              measure_offset: bool = True,
              measure_delay: bool = True,
-             offset_iterations: int = 14) -> CellResult:
+             offset_iterations: int = 14,
+             chunk_size: Optional[int] = None) -> CellResult:
     """Characterise one cell: Monte-Carlo offsets and sensing delay.
 
     Parameters
@@ -151,21 +187,54 @@ def run_cell(cell: ExperimentCell,
         only).
     offset_iterations:
         Binary-search depth for the offset extraction.
+    chunk_size:
+        Split the Monte-Carlo batch into chunks of at most this many
+        samples (peak-memory control for large populations).  The
+        population is drawn once at full size and sliced, the chunk
+        distributions are concatenated before the single normal fit,
+        and each sample's transients are independent — so chunked
+        results are identical to the unchunked run.
     """
     settings = settings or default_mc_settings()
     aging = aging or default_aging_model()
     design = build_design(cell.scheme)
-    testbench = SenseAmpTestbench(design, cell.env,
-                                  batch_size=settings.size, timing=timing)
     shifts = sample_total_shifts(design, aging, cell.workload, cell.time_s,
                                  cell.env, settings)
-    testbench.set_vth_shifts(shifts)
+    chunks = _chunk_shifts(shifts, settings.size, chunk_size)
+    sizes = ([settings.size] if len(chunks) == 1 else
+             [min(chunk_size, settings.size - i * chunk_size)
+              for i in range(len(chunks))])
+
+    PERF.count("cell.runs")
+    offset_parts: List[np.ndarray] = []
+    delay_parts: List[List[Tuple[float, np.ndarray]]] = []
+    for chunk, batch in zip(chunks, sizes):
+        testbench = SenseAmpTestbench(design, cell.env, batch_size=batch,
+                                      timing=timing)
+        testbench.set_vth_shifts(chunk)
+        if measure_offset:
+            with PERF.timer("cell.offset"):
+                offset_parts.append(
+                    extract_offsets(testbench,
+                                    iterations=offset_iterations))
+        if measure_delay:
+            with PERF.timer("cell.delay"):
+                delay_parts.append(
+                    _delay_components(testbench, cell.workload))
 
     offset = None
     if measure_offset:
-        offset = offset_distribution(testbench, failure_rate=failure_rate,
-                                     iterations=offset_iterations)
+        offsets = (offset_parts[0] if len(offset_parts) == 1
+                   else np.concatenate(offset_parts))
+        offset = OffsetDistribution(offsets=offsets,
+                                    fit=fit_normal(offsets),
+                                    failure_rate=failure_rate)
     delay = float("nan")
     if measure_delay:
-        delay = _mean_delay(testbench, cell.workload)
+        directions: Dict[int, Tuple[float, List[np.ndarray]]] = {}
+        for components in delay_parts:
+            for index, (weight, values) in enumerate(components):
+                directions.setdefault(index, (weight, []))[1].append(values)
+        delay = float(sum(weight * np.nanmean(np.concatenate(values))
+                          for weight, values in directions.values()))
     return CellResult(cell=cell, offset=offset, delay_s=delay)

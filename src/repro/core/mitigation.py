@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from ..models.temperature import Environment
 from ..models.variation import MismatchModel
 from ..workloads import ReadStream, Workload
 from .calibration import default_aging_model
+
+if TYPE_CHECKING:
+    from .experiment import CellResult
 
 #: Measured offset sensitivity of the latch NMOS pair [mV per mV] at
 #: the nominal corner; re-measured per corner by the full Monte-Carlo
@@ -142,6 +145,56 @@ def predicted_offset_spec(scheme: str, workload: Optional[Workload],
     sigma = math.sqrt(sigma0 ** 2 + sensitivity ** 2
                       * (var["Mdown"] + var["MdownBar"]))
     return offset_spec(mu, sigma)
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeComparison:
+    """Monte-Carlo NSSA-vs-ISSA comparison for one workload/corner."""
+
+    nssa: "CellResult"
+    issa: "CellResult"
+
+    @property
+    def spec_reduction(self) -> float:
+        """Fractional offset-spec reduction the ISSA buys (Eq. 3 specs)."""
+        nssa_spec = self.nssa.offset.spec
+        if nssa_spec == 0.0:
+            return 0.0
+        return 1.0 - self.issa.offset.spec / nssa_spec
+
+    @property
+    def mu_removed(self) -> float:
+        """Fraction of the aged NSSA mean offset removed by switching."""
+        nssa_mu = self.nssa.offset.mu
+        if nssa_mu == 0.0:
+            return 1.0
+        return 1.0 - abs(self.issa.offset.mu / nssa_mu)
+
+
+def compare_schemes(workload: Workload, time_s: float = 1e8,
+                    env: Optional[Environment] = None,
+                    settings=None, aging: Optional[AgingModel] = None,
+                    offset_iterations: int = 14,
+                    workers: int = 1,
+                    chunk_size: Optional[int] = None) -> SchemeComparison:
+    """Full-Monte-Carlo validation of the mitigation claim.
+
+    Runs the NSSA and ISSA cells for one (workload, time, corner) —
+    the two cells are independent, so with ``workers > 1`` they execute
+    concurrently on the parallel grid runner.  This is the
+    simulation-backed counterpart of :func:`predicted_offset_spec`.
+    """
+    from .experiment import ExperimentCell
+    from .parallel import run_cells
+
+    env = env or Environment.nominal()
+    cells = [ExperimentCell("nssa", workload, time_s, env),
+             ExperimentCell("issa", workload, time_s, env)]
+    nssa, issa = run_cells(cells, settings=settings, aging=aging,
+                           offset_iterations=offset_iterations,
+                           measure_delay=False, workers=workers,
+                           chunk_size=chunk_size)
+    return SchemeComparison(nssa=nssa, issa=issa)
 
 
 def lifetime_to_spec(scheme: str, workload: Workload, env: Environment,

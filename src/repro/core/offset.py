@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..analysis.perf import PERF
 from ..analysis.stats import NormalFit, fit_normal
 from ..analysis.failure import offset_spec
 from ..constants import FAILURE_RATE_TARGET
@@ -75,13 +76,17 @@ def extract_offsets(testbench: SenseAmpTestbench,
                     search_range: float = SEARCH_RANGE,
                     iterations: int = SEARCH_ITERATIONS,
                     swapped: bool = False,
-                    t_window: float = OFFSET_WINDOW) -> np.ndarray:
+                    t_window: float = OFFSET_WINDOW,
+                    mask_out_of_range: bool = True) -> np.ndarray:
     """Binary-search the per-sample offset voltages [V].
 
     The resolution sign is monotone in the input differential: large
     positive inputs resolve +1, large negative inputs -1.  Samples that
     violate monotonicity at the search-range endpoints (offset outside
-    the range) are returned as NaN.
+    the range) are returned as NaN — and, with ``mask_out_of_range``,
+    excluded from every subsequent bisection transient so the fast path
+    never spends Newton iterations on samples whose result is already
+    known to be NaN.
 
     Sign convention follows the paper's figures: the offset voltage is
     the *extra input the SA demands*, so aging that favours reading 1
@@ -101,15 +106,21 @@ def extract_offsets(testbench: SenseAmpTestbench,
     # negating restores a rising decision for the bisection.
     polarity = -1.0 if swapped else 1.0
 
-    def decision(vin: np.ndarray) -> np.ndarray:
+    def decision(vin: np.ndarray,
+                 mask: Optional[np.ndarray] = None) -> np.ndarray:
         return polarity * testbench.resolve_sign(vin, swapped=swapped,
-                                                 t_window=t_window)
+                                                 t_window=t_window,
+                                                 sample_mask=mask)
 
     in_range = (decision(hi) > 0) & (decision(lo) < 0)
+    active = in_range if mask_out_of_range else None
+    PERF.count("offset.samples", batch)
+    PERF.count("offset.samples_out_of_range", int(batch - in_range.sum()))
 
     for _ in range(iterations):
+        PERF.count("offset.bisection_iterations")
         mid = 0.5 * (lo + hi)
-        sign = decision(mid)
+        sign = decision(mid, mask=active)
         hi = np.where(sign > 0, mid, hi)
         lo = np.where(sign > 0, lo, mid)
 
@@ -121,6 +132,7 @@ def offset_distribution(testbench: SenseAmpTestbench,
                         failure_rate: float = FAILURE_RATE_TARGET,
                         **kwargs) -> OffsetDistribution:
     """Extract offsets and fit the distribution in one call."""
-    offsets = extract_offsets(testbench, **kwargs)
+    with PERF.timer("offset.extract"):
+        offsets = extract_offsets(testbench, **kwargs)
     return OffsetDistribution(offsets=offsets, fit=fit_normal(offsets),
                               failure_rate=failure_rate)

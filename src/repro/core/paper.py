@@ -18,7 +18,7 @@ from ..circuits.sense_amp import ReadTiming
 from ..models.temperature import Environment
 from ..workloads import paper_workload
 from .calibration import default_mc_settings
-from .experiment import CellResult, ExperimentCell, run_cell
+from .experiment import CellResult, ExperimentCell
 from .montecarlo import McSettings
 
 #: (scheme, workload name or None, time, temperature C, vdd)
@@ -67,10 +67,25 @@ class GridRow:
         return (r.mu_mv, r.sigma_mv, r.spec_mv, r.delay_ps)
 
 
+def grid_cells(which: str) -> List[ExperimentCell]:
+    """The :class:`ExperimentCell` list of one paper table's grid."""
+    if which not in GRIDS:
+        raise ValueError(f"unknown table {which!r}; choose 2, 3 or 4")
+    cells = []
+    for scheme, workload_name, time_s, temp_c, vdd in GRIDS[which]:
+        workload = paper_workload(workload_name) if workload_name \
+            else None
+        cells.append(ExperimentCell(scheme, workload, time_s,
+                                    Environment.from_celsius(temp_c, vdd)))
+    return cells
+
+
 def run_grid(which: str,
              settings: Optional[McSettings] = None,
              timing: ReadTiming = ReadTiming(),
              offset_iterations: int = 14,
+             workers: Optional[int] = 1,
+             chunk_size: Optional[int] = None,
              progress=None) -> List[GridRow]:
     """Execute one paper table's grid.
 
@@ -80,28 +95,32 @@ def run_grid(which: str,
         ``"2"``, ``"3"`` or ``"4"``.
     settings / timing / offset_iterations:
         Characterisation configuration (defaults match the paper).
+    workers:
+        Process count for the grid; cells are independent, so they
+        shard across a process pool (see :mod:`repro.core.parallel`).
+        The default keeps the bit-identical serial loop.
+    chunk_size:
+        Optional Monte-Carlo batch chunking within each cell
+        (peak-memory control; results unchanged).
     progress:
-        Optional callback ``(index, total, cell)`` invoked before each
-        cell (CLI progress reporting).
+        Optional callback ``(index, total, cell)`` for CLI progress
+        reporting (start of each cell when serial, completion when
+        parallel).
     """
-    if which not in GRIDS:
-        raise ValueError(f"unknown table {which!r}; choose 2, 3 or 4")
+    from .parallel import run_cells
+
     settings = settings or default_mc_settings()
-    grid = GRIDS[which]
+    cells = grid_cells(which)
     reference = REFERENCES[which]
+    results = run_cells(cells, settings=settings, timing=timing,
+                        offset_iterations=offset_iterations,
+                        chunk_size=chunk_size, workers=workers,
+                        progress=progress)
     rows: List[GridRow] = []
-    for index, (scheme, workload_name, time_s, temp_c, vdd) in \
-            enumerate(grid):
-        workload = paper_workload(workload_name) if workload_name \
-            else None
-        cell = ExperimentCell(scheme, workload, time_s,
-                              Environment.from_celsius(temp_c, vdd))
-        if progress is not None:
-            progress(index, len(grid), cell)
-        result = run_cell(cell, settings=settings, timing=timing,
-                          offset_iterations=offset_iterations)
-        paper = lookup(reference, scheme, time_s, cell.workload_label,
-                       (temp_c, vdd))
+    for cell, result in zip(cells, results):
+        paper = lookup(reference, cell.scheme, cell.time_s,
+                       cell.workload_label,
+                       (cell.env.temperature_c, cell.env.vdd))
         rows.append(GridRow(result=result, paper=paper))
     return rows
 

@@ -1,0 +1,114 @@
+"""Parallel experiment-grid runner.
+
+The paper's evaluation grids (Tables II-IV, Figures 4-7) are
+embarrassingly parallel: every (scheme, workload, time, corner) cell is
+an independent Monte-Carlo characterisation.  :func:`run_cells` shards
+cells across a ``ProcessPoolExecutor`` while keeping three guarantees:
+
+* **Determinism** — each cell draws its own Monte-Carlo population from
+  the per-cell ``McSettings`` seed (common random numbers, exactly as
+  the serial loop does), so results do not depend on worker count or
+  completion order.
+* **Bit-identical serial fallback** — ``workers=1`` (or ``None`` on a
+  single-core host) runs the plain in-process loop; parallel runs
+  return the same values because the per-cell computation is identical
+  and results are re-ordered by submission index.
+* **Perf visibility** — workers snapshot their
+  :class:`~repro.analysis.perf.PerfRecorder` and the parent merges the
+  snapshots, so ``python -m repro perf`` style counters survive the
+  process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..aging.engine import AgingModel
+from ..analysis.perf import PERF
+from ..circuits.sense_amp import ReadTiming
+from ..constants import FAILURE_RATE_TARGET
+from .experiment import CellResult, ExperimentCell, run_cell
+from .montecarlo import McSettings
+
+#: Callback invoked as each cell starts (serial) or finishes (parallel):
+#: ``progress(index, total, cell)``.
+ProgressFn = Callable[[int, int, ExperimentCell], None]
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers=None``: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def _run_cell_task(index: int, cell: ExperimentCell,
+                   kwargs: Dict[str, Any],
+                   ) -> Tuple[int, CellResult, Dict[str, Any]]:
+    """Worker-side cell execution; returns the perf snapshot alongside.
+
+    The worker's recorder is reset first so the snapshot covers exactly
+    this cell — the parent merges snapshots from all workers.
+    """
+    PERF.reset()
+    result = run_cell(cell, **kwargs)
+    return index, result, PERF.snapshot()
+
+
+def run_cells(cells: Sequence[ExperimentCell],
+              settings: Optional[McSettings] = None,
+              aging: Optional[AgingModel] = None,
+              timing: ReadTiming = ReadTiming(),
+              failure_rate: float = FAILURE_RATE_TARGET,
+              measure_offset: bool = True,
+              measure_delay: bool = True,
+              offset_iterations: int = 14,
+              chunk_size: Optional[int] = None,
+              workers: Optional[int] = None,
+              progress: Optional[ProgressFn] = None) -> List[CellResult]:
+    """Characterise many cells, optionally across worker processes.
+
+    Parameters
+    ----------
+    cells:
+        The grid cells, in the order results should come back.
+    settings / aging / timing / failure_rate / measure_offset /
+    measure_delay / offset_iterations / chunk_size:
+        Forwarded to :func:`~repro.core.experiment.run_cell` for every
+        cell (identical configuration per cell, like the serial grids).
+    workers:
+        Process count; ``None`` uses one per CPU, ``<= 1`` runs the
+        serial in-process loop (bit-identical fallback).
+    progress:
+        ``(index, total, cell)`` callback — invoked at cell start when
+        serial, at cell completion when parallel.
+    """
+    cells = list(cells)
+    kwargs: Dict[str, Any] = dict(
+        settings=settings, aging=aging, timing=timing,
+        failure_rate=failure_rate, measure_offset=measure_offset,
+        measure_delay=measure_delay, offset_iterations=offset_iterations,
+        chunk_size=chunk_size)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(cells) <= 1:
+        results = []
+        for index, cell in enumerate(cells):
+            if progress is not None:
+                progress(index, len(cells), cell)
+            results.append(run_cell(cell, **kwargs))
+        return results
+
+    results_by_index: Dict[int, CellResult] = {}
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        pending = {pool.submit(_run_cell_task, index, cell, kwargs)
+                   for index, cell in enumerate(cells)}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index, result, snapshot = future.result()
+                results_by_index[index] = result
+                PERF.merge(snapshot)
+                if progress is not None:
+                    progress(index, len(cells), result.cell)
+    return [results_by_index[index] for index in range(len(cells))]

@@ -22,10 +22,28 @@ from ..models.temperature import Environment
 from ..spice.mna import MnaSystem
 from ..spice.measure import crossing_time, final_sign
 from ..spice.solver import NewtonOptions
-from ..spice.transient import TransientResult, run_transient
+from ..spice.transient import DecisionSpec, TransientResult, run_transient
 
 #: Baseline probe set for read operations on the Figure-1/2 designs.
 READ_PROBES = ("s", "sbar", "out", "outbar", "saen")
+
+#: Fraction of Vdd the internal differential must reach before a sample
+#: counts as decided (early-decision fast path).  Decisions are only
+#: checked after the enable rise completes (``t_min``), by which point
+#: the input-driven develop residue has collapsed: across the paper's
+#: corners and the full +-0.25 V search range the worst wrong-sign
+#: excursion after ``t_min`` stays below 55 mV, so 0.15 Vdd (135 mV at
+#: the lowest 0.9 V corner) keeps a ~2.5x margin while letting decided
+#: samples drop out of the integration early.
+DECISION_THRESHOLD_FRAC = 0.15
+
+#: Output-differential fraction of Vdd past which a delay transient may
+#: freeze a sample.  The losing output can undershoot below ground by a
+#: few tens of mV, so the threshold keeps a 0.1 Vdd guard above the
+#: 0.5 Vdd measurement level: |out - outbar| >= 0.6 Vdd guarantees the
+#: winning output has already risen through 50 % Vdd and its crossing
+#: time is on record.
+DELAY_DECISION_FRAC = 0.6
 
 
 def default_probes(design: SenseAmpDesign) -> Tuple[str, ...]:
@@ -50,22 +68,52 @@ class SenseAmpTestbench:
         Read-operation timing.
     newton:
         Newton solver options for the transient engine.
+    early_decision:
+        Stop sign-resolution transients as soon as every sample's latch
+        decision is irreversible (see :class:`DecisionSpec`); the
+        measured offsets are unchanged because only the post-decision
+        tail of the waveform is skipped.
     """
 
     def __init__(self, design: SenseAmpDesign, env: Environment,
                  batch_size: int = 1,
                  timing: ReadTiming = ReadTiming(),
-                 newton: NewtonOptions = NewtonOptions()) -> None:
+                 newton: NewtonOptions = NewtonOptions(),
+                 early_decision: bool = True) -> None:
         self.design = design
         self.env = env
         self.timing = timing
         self.newton = newton
+        self.early_decision = early_decision
         self.system = MnaSystem(design.circuit, env.temperature_k,
                                 batch_size=batch_size)
+        self._initial_template: Optional[np.ndarray] = None
 
     @property
     def batch_size(self) -> int:
         return self.system.batch_size
+
+    def _initial_state(self) -> np.ndarray:
+        """Shared pre-read state vector (the read's operating point).
+
+        Built once and reused by every transient of a characterisation
+        run — all 14+ bisection iterations start from the same
+        precharge state, so there is no reason to reassemble it per
+        call.  ``run_transient`` copies it and re-applies the current
+        source waveforms at t=0, so per-call bitline levels still take
+        effect.
+        """
+        if self._initial_template is None:
+            self._initial_template = self.system.initial_full_vector(
+                0.0, self.design.initial_conditions(self.env.vdd))
+        return self._initial_template
+
+    def decision_spec(self) -> DecisionSpec:
+        """Early-decision rule for this corner's sign-resolution reads."""
+        return DecisionSpec(
+            "s", "sbar",
+            threshold=DECISION_THRESHOLD_FRAC * self.env.vdd,
+            t_min=self.timing.t_develop + self.timing.t_rise)
 
     # -- configuration ---------------------------------------------------
 
@@ -83,13 +131,19 @@ class SenseAmpTestbench:
     def run_read(self, vin: Union[float, np.ndarray],
                  swapped: bool = False,
                  probes: Optional[Sequence[str]] = None,
-                 t_window: Optional[float] = None) -> TransientResult:
+                 t_window: Optional[float] = None,
+                 decision: Optional[DecisionSpec] = None,
+                 sample_mask: Optional[np.ndarray] = None,
+                 ) -> TransientResult:
         """Simulate one read with differential input ``vin``.
 
         ``vin`` may be an array of shape ``(batch_size,)`` to give every
         Monte-Carlo sample its own input (binary search).  ``t_window``
         optionally shortens the simulated window (offset extraction only
         needs the latch decision, not the full output settling).
+        ``decision`` enables early termination once samples latch;
+        ``sample_mask`` excludes samples from the integration entirely
+        (e.g. bisection samples already flagged out-of-range).
         """
         if probes is None:
             probes = default_probes(self.design)
@@ -99,21 +153,27 @@ class SenseAmpTestbench:
         window = self.timing.t_window if t_window is None else t_window
         return run_transient(self.system, window, self.timing.dt,
                              probes=probes,
-                             initial=self.design.initial_conditions(
-                                 self.env.vdd),
-                             options=self.newton)
+                             initial_state=self._initial_state(),
+                             options=self.newton,
+                             decision=decision,
+                             sample_mask=sample_mask)
 
     def resolve_sign(self, vin: Union[float, np.ndarray],
                      swapped: bool = False,
-                     t_window: Optional[float] = None) -> np.ndarray:
+                     t_window: Optional[float] = None,
+                     sample_mask: Optional[np.ndarray] = None) -> np.ndarray:
         """Latch decision per sample: +1 (S high, read 1) or -1.
 
         The decision is read from the internal differential at the end
         of a (possibly shortened) window; regeneration is exponential,
-        so the sign is fixed long before full swing.
+        so the sign is fixed long before full swing — with
+        ``early_decision`` the run stops as soon as every (unmasked)
+        sample has latched past the decision threshold.
         """
+        decision = self.decision_spec() if self.early_decision else None
         result = self.run_read(vin, swapped=swapped, probes=("s", "sbar"),
-                               t_window=t_window)
+                               t_window=t_window, decision=decision,
+                               sample_mask=sample_mask)
         return final_sign(result.differential("s", "sbar"))
 
     def sensing_delay(self, vin: Union[float, np.ndarray],
@@ -122,8 +182,20 @@ class SenseAmpTestbench:
 
         Time from SAenable crossing 50 % Vdd (rising) to whichever
         output (``out``/``outbar``) rises through 50 % Vdd.
+
+        With ``early_decision`` a sample freezes once its output
+        differential exceeds :data:`DELAY_DECISION_FRAC` of Vdd — by
+        then the measured crossing is already recorded, so the delay is
+        unchanged; only the post-swing tail of the window is skipped.
         """
-        result = self.run_read(vin, swapped=swapped)
+        decision = None
+        if self.early_decision:
+            out_a, out_b = self.design.output_nodes
+            decision = DecisionSpec(
+                out_a, out_b,
+                threshold=DELAY_DECISION_FRAC * self.env.vdd,
+                t_min=self.timing.t_enable_mid)
+        result = self.run_read(vin, swapped=swapped, decision=decision)
         half = 0.5 * self.env.vdd
         t_trigger = self.timing.t_enable_mid
         out_a, out_b = self.design.output_nodes

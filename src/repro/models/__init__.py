@@ -10,7 +10,9 @@ Public surface:
 * :class:`~repro.models.temperature.Environment` — a (temperature, Vdd) corner.
 """
 
-from .mosmodel import MosParams, mos_current, saturation_current, transconductance
+from .mosmodel import (MosParams, mos_current, saturation_current,
+                       transconductance, StackedDevices, stack_devices,
+                       stacked_mos_current)
 from .ptm45 import NMOS_45HP, PMOS_45HP, L_NOMINAL, COX, width_from_ratio, gate_area
 from .variation import MismatchModel, AVT_DEFAULT, pair_offset_sigma
 from .temperature import Environment, PAPER_TEMPERATURES_C, PAPER_VDD_FACTORS
@@ -20,6 +22,7 @@ from .corners import (ProcessCorner, CORNERS, corner, cornered_cards,
 
 __all__ = [
     "MosParams", "mos_current", "saturation_current", "transconductance",
+    "StackedDevices", "stack_devices", "stacked_mos_current",
     "NMOS_45HP", "PMOS_45HP", "L_NOMINAL", "COX", "width_from_ratio",
     "gate_area", "MismatchModel", "AVT_DEFAULT", "pair_offset_sigma",
     "Environment", "PAPER_TEMPERATURES_C", "PAPER_VDD_FACTORS",

@@ -36,7 +36,7 @@ derivatives are exercised against finite differences in the test suite.
 from __future__ import annotations
 
 import dataclasses
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +59,23 @@ def logistic(x: ArrayLike) -> ArrayLike:
     """Numerically safe logistic function ``1 / (1 + exp(-x))``."""
     x = np.clip(np.asarray(x, dtype=float), -_EXP_CLIP, _EXP_CLIP)
     return 1.0 / (1.0 + np.exp(-x))
+
+
+def softplus_logistic(x: ArrayLike) -> Tuple[ArrayLike, ArrayLike]:
+    """``(softplus(x), logistic(x))`` sharing a single exponential.
+
+    The stacked model evaluation needs both functions at the same
+    argument three times per call; ``exp(-|x|)`` serves both, halving
+    the transcendental work.  The softplus branch is bit-identical to
+    :func:`softplus`; the logistic branch is bit-identical to
+    :func:`logistic` for ``x >= 0`` and equal to within one ulp of the
+    quotient rounding for ``x < 0`` (``e/(1+e)`` vs ``1/(1+1/e)``).
+    """
+    x = np.asarray(x, dtype=float)
+    e = np.exp(-np.abs(x))
+    sp = np.where(x > 0.0, x, 0.0) + np.log1p(e)
+    lg = np.where(x >= 0.0, 1.0, e) / (1.0 + e)
+    return sp, lg
 
 
 def ekv_f(x: ArrayLike) -> Tuple[ArrayLike, ArrayLike]:
@@ -243,6 +260,126 @@ def mos_current(vg: ArrayLike, vd: ArrayLike, vs: ArrayLike, vb: ArrayLike,
         vth, params, w_over_l, temperature_k)
     # d(-i')/dvg = -di'/dvg' * dvg'/dvg = -gm_m * (-1) = gm_m; same for d, s.
     return -i_d, gm_m, gd_m, gs_m
+
+
+@dataclasses.dataclass(frozen=True)
+class StackedDevices:
+    """Per-device model constants stacked into arrays for one-shot eval.
+
+    All fields have shape ``(n_dev,)``; :func:`stacked_mos_current`
+    broadcasts them against ``(batch, n_dev)`` terminal voltages so an
+    entire circuit's devices are evaluated with one pass of numpy ufunc
+    calls instead of one Python-level call per device.  Built once per
+    compiled system (see :class:`repro.spice.mna.MnaSystem`).
+    """
+
+    polarity: np.ndarray
+    vth: np.ndarray
+    n: np.ndarray
+    theta: np.ndarray
+    lambda_clm: np.ndarray
+    i_spec: np.ndarray
+    phit: float
+
+
+def stack_devices(params_list, w_over_l_list,
+                  temperature_k: float) -> StackedDevices:
+    """Stack per-device cards/geometry into a :class:`StackedDevices`.
+
+    Parameters
+    ----------
+    params_list:
+        One :class:`MosParams` per device.
+    w_over_l_list:
+        Matching W/L ratios.
+    temperature_k:
+        Simulation temperature (folded into ``vth`` and ``i_spec``).
+    """
+    if len(params_list) != len(w_over_l_list):
+        raise ValueError("params and w_over_l lists differ in length")
+    return StackedDevices(
+        polarity=np.array([float(p.polarity) for p in params_list]),
+        vth=np.array([p.vth_at(temperature_k) for p in params_list]),
+        n=np.array([p.n for p in params_list]),
+        theta=np.array([p.theta for p in params_list]),
+        lambda_clm=np.array([p.lambda_clm for p in params_list]),
+        i_spec=np.array([p.spec_current(w, temperature_k)
+                         for p, w in zip(params_list, w_over_l_list)]),
+        phit=thermal_voltage(temperature_k))
+
+
+def stacked_mos_current(vg: ArrayLike, vd: ArrayLike, vs: ArrayLike,
+                        vb: ArrayLike, vth_shift: ArrayLike,
+                        devices: StackedDevices,
+                        with_derivatives: bool = True,
+                        ) -> Tuple[ArrayLike, Optional[ArrayLike],
+                                   Optional[ArrayLike], Optional[ArrayLike]]:
+    """All-device drain currents (and partials) in one vectorised pass.
+
+    Terminal voltages have shape ``(batch, n_dev)``; ``vth_shift`` is a
+    broadcastable positive magnitude.  Per element this computes exactly
+    the same expression as :func:`mos_current` — PMOS devices are
+    mirrored about the bulk via the polarity array, so mixed-polarity
+    circuits evaluate in a single call.
+
+    With ``with_derivatives=False`` only the current is computed (the
+    partials come back as None) — used when refreshing the trapezoidal
+    history term, which needs no Jacobian.
+
+    Returns
+    -------
+    (id, gm, gd, gs):
+        Each of shape ``(batch, n_dev)``; ``id`` flows drain -> source.
+    """
+    pol = devices.polarity
+    phit = devices.phit
+    n = devices.n
+    n_phit = n * phit
+
+    vg_rel = pol * (np.asarray(vg, dtype=float) - vb)
+    vd_rel = pol * (np.asarray(vd, dtype=float) - vb)
+    vs_rel = pol * (np.asarray(vs, dtype=float) - vb)
+    vth = devices.vth + np.asarray(vth_shift, dtype=float)
+
+    over = vg_rel - vth
+    vp = over / n
+    sp_f, lg_f = softplus_logistic((vp - vs_rel) / phit / 2.0)
+    sp_r, lg_r = softplus_logistic((vp - vd_rel) / phit / 2.0)
+    f_f = sp_f * sp_f
+    f_r = sp_r * sp_r
+
+    sp_o, lg_o = softplus_logistic(over / n_phit)
+    overdrive = n_phit * sp_o
+    degr = 1.0 + devices.theta * overdrive
+
+    vds = vd_rel - vs_rel
+    tanh_arg = np.clip(vds / (2.0 * phit), -_EXP_CLIP, _EXP_CLIP)
+    th = np.tanh(tanh_arg)
+    clm = 1.0 + devices.lambda_clm * vds * th
+
+    core = f_f - f_r
+    i_d = pol * (devices.i_spec * core * clm / degr)
+    if not with_derivatives:
+        return i_d, None, None, None
+
+    df_f = sp_f * lg_f
+    df_r = sp_r * lg_r
+    dov_dvg = lg_o
+    dclm_dvds = devices.lambda_clm * (th + vds * (1.0 - th * th)
+                                      / (2.0 * phit))
+    d_core_dvg = (df_f - df_r) / n_phit
+    d_core_dvd = df_r / phit
+    d_core_dvs = -df_f / phit
+
+    # The mirroring cancels in the partials: d(pol*i')/dv = di'/dv'
+    # because both the current and the terminal voltages flip sign for a
+    # PMOS (see mos_current).
+    gm = devices.i_spec * (d_core_dvg * clm / degr
+                           - core * clm * devices.theta * dov_dvg
+                           / (degr * degr))
+    gd = devices.i_spec * (d_core_dvd * clm + core * dclm_dvds) / degr
+    gs = devices.i_spec * (d_core_dvs * clm - core * dclm_dvds) / degr
+    return i_d, gm, gd, gs
 
 
 def saturation_current(params: MosParams, w_over_l: float,

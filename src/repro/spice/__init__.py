@@ -17,7 +17,7 @@ from .waveforms import Dc, Step, Pulse, Pwl, Waveform
 from .mna import MnaSystem, GMIN_DEFAULT
 from .solver import NewtonOptions, ConvergenceError, newton_solve
 from .dcop import dc_operating_point
-from .transient import run_transient, TransientResult
+from .transient import run_transient, TransientResult, DecisionSpec
 from .measure import crossing_time, delay_between, final_sign, settles_to
 from .ac import ac_sweep, AcResult, logspace_frequencies
 from .export import export_spice
@@ -38,7 +38,7 @@ __all__ = [
     "MnaSystem", "GMIN_DEFAULT",
     "NewtonOptions", "ConvergenceError", "newton_solve",
     "dc_operating_point",
-    "run_transient", "TransientResult",
+    "run_transient", "TransientResult", "DecisionSpec",
     "crossing_time", "delay_between", "final_sign", "settles_to",
     "ac_sweep", "AcResult", "logspace_frequencies",
     "export_spice", "parse_spice", "SpiceParseError",

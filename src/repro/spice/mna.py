@@ -20,15 +20,24 @@ Conventions
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..models.mosmodel import mos_current
+from ..models.mosmodel import mos_current, stack_devices, stacked_mos_current
 from .netlist import Circuit, Mosfet, is_ground
 
 #: Conductance from every node to ground for conditioning [S].
 GMIN_DEFAULT = 1e-9
+
+#: Environment switch disabling the stacked-device fast path (used by the
+#: fast-path benchmarks to measure the legacy per-device loop).
+FASTPATH_ENV = "REPRO_NO_FASTPATH"
+
+
+def _fastpath_default() -> bool:
+    return os.environ.get(FASTPATH_ENV, "0") != "1"
 
 
 @dataclasses.dataclass
@@ -60,13 +69,18 @@ class MnaSystem:
     """
 
     def __init__(self, circuit: Circuit, temperature_k: float,
-                 batch_size: int = 1, gmin: float = GMIN_DEFAULT) -> None:
+                 batch_size: int = 1, gmin: float = GMIN_DEFAULT,
+                 stacked: Optional[bool] = None) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.circuit = circuit
         self.temperature_k = float(temperature_k)
         self.batch_size = int(batch_size)
         self.gmin = float(gmin)
+        #: Evaluate all devices in one stacked numpy pass (fast path)
+        #: instead of one Python call per device.  ``None`` follows the
+        #: REPRO_NO_FASTPATH environment switch.
+        self.stacked = _fastpath_default() if stacked is None else stacked
 
         names = circuit.node_names()
         #: node name -> index; ground is index 0.
@@ -155,6 +169,58 @@ class MnaSystem:
                                self._index_of(m.bulk))
             self._mosfets.append(slot)
             self._mosfet_slots[m.name] = slot
+        self._build_device_table()
+
+    def _build_device_table(self) -> None:
+        """Stack device constants and scatter maps for one-pass evaluation.
+
+        Built once at compile time; together with the cached initial
+        state in the testbench this is the "compiled-system setup"
+        shared across every transient of a characterisation run.  The
+        residual scatter (drain +, source -) and the Jacobian scatter
+        (six stamps per device) become two small dense matmuls, which
+        also handle shared nodes (duplicate indices) naturally.
+        """
+        slots = self._mosfets
+        n = self.n_nodes
+        n_dev = len(slots)
+        self._dev_drain = np.array([s.drain for s in slots], dtype=int)
+        self._dev_gate = np.array([s.gate for s in slots], dtype=int)
+        self._dev_source = np.array([s.source for s in slots], dtype=int)
+        self._dev_bulk = np.array([s.bulk for s in slots], dtype=int)
+        self._devices = stack_devices(
+            [s.element.params for s in slots],
+            [s.element.w_over_l for s in slots], self.temperature_k)
+
+        f_scatter = np.zeros((n_dev, n))
+        jac_scatter = np.zeros((3 * n_dev, n * n))
+        for k, slot in enumerate(slots):
+            d, g_, s = slot.drain, slot.gate, slot.source
+            f_scatter[k, d] += 1.0
+            f_scatter[k, s] -= 1.0
+            # Rows k / n_dev+k / 2*n_dev+k carry gm / gd / gs stamps.
+            jac_scatter[k, d * n + g_] += 1.0
+            jac_scatter[k, s * n + g_] -= 1.0
+            jac_scatter[n_dev + k, d * n + d] += 1.0
+            jac_scatter[n_dev + k, s * n + d] -= 1.0
+            jac_scatter[2 * n_dev + k, d * n + s] += 1.0
+            jac_scatter[2 * n_dev + k, s * n + s] -= 1.0
+        self._f_scatter = f_scatter
+        self._jac_scatter = jac_scatter
+        self._vth_matrix: Optional[np.ndarray] = None
+
+    def _vth_shift_matrix(self) -> np.ndarray:
+        """Per-device shift matrix ``(1 or batch, n_dev)``, cached."""
+        if self._vth_matrix is None:
+            columns = [slot.vth_shift for slot in self._mosfets]
+            if any(isinstance(c, np.ndarray) and c.ndim for c in columns):
+                matrix = np.zeros((self.batch_size, len(columns)))
+                for k, column in enumerate(columns):
+                    matrix[:, k] = column
+            else:
+                matrix = np.array([[float(c) for c in columns]])
+            self._vth_matrix = matrix
+        return self._vth_matrix
 
     # -- configuration ---------------------------------------------------
 
@@ -175,6 +241,7 @@ class MnaSystem:
             raise ValueError(
                 f"shift for {name!r} must be scalar or ({self.batch_size},)")
         slot.vth_shift = shift if np.isscalar(shift) else shift_arr
+        self._vth_matrix = None
 
     def set_vth_shifts(self, shifts: Dict[str, Union[float, np.ndarray]],
                        ) -> None:
@@ -186,6 +253,7 @@ class MnaSystem:
         """Reset all Vth shifts to zero."""
         for slot in self._mosfets:
             slot.vth_shift = 0.0
+        self._vth_matrix = None
 
     # -- evaluation ------------------------------------------------------
 
@@ -229,32 +297,100 @@ class MnaSystem:
 
     def static_residual_jacobian(self, v_full: np.ndarray,
                                  time_s: float,
+                                 active: Optional[np.ndarray] = None,
                                  ) -> Tuple[np.ndarray, np.ndarray]:
         """Resistive + device residual and Jacobian on the full node set.
 
         Returns ``(f, jac)`` with ``f`` of shape ``(batch, n)`` (current
         leaving each node) and ``jac`` of shape ``(batch, n, n)``.
         Capacitor currents are added by the transient engine.
+
+        ``active`` optionally names the Monte-Carlo sample indices the
+        rows of ``v_full`` correspond to (active-sample masking): the
+        caller passes only the still-unconverged rows and this method
+        slices the per-sample Vth shifts / source currents to match.
         """
         batch = v_full.shape[0]
         f = v_full @ self.g_static.T
+        self._add_isources(f, time_s, active)
+        if self.stacked:
+            i_d, gm, gd, gs = self._stacked_eval(v_full, active, True)
+            f += i_d @ self._f_scatter
+            stamps = np.concatenate((gm, gd, gs), axis=1)
+            jac = (stamps @ self._jac_scatter).reshape(
+                batch, self.n_nodes, self.n_nodes)
+            jac += self.g_static
+            return f, jac
         jac = np.broadcast_to(self.g_static,
                               (batch, self.n_nodes, self.n_nodes)).copy()
-        for a, b, waveform in self._isources:
-            current = np.asarray(waveform.value(time_s), dtype=float)
-            f[:, a] += current
-            f[:, b] -= current
         for slot in self._mosfets:
-            self._add_mosfet(f, jac, v_full, slot)
+            self._add_mosfet(f, jac, v_full, slot, active)
         return f, jac
 
+    def static_residual(self, v_full: np.ndarray, time_s: float,
+                        active: Optional[np.ndarray] = None) -> np.ndarray:
+        """Residual only — no Jacobian assembly.
+
+        Used by the trapezoidal transient to refresh its history term
+        after an accepted step, where the Jacobian of the accepted point
+        is never needed.
+        """
+        f = v_full @ self.g_static.T
+        self._add_isources(f, time_s, active)
+        if self.stacked:
+            i_d, _, _, _ = self._stacked_eval(v_full, active, False)
+            f += i_d @ self._f_scatter
+            return f
+        for slot in self._mosfets:
+            d, g_, s = slot.drain, slot.gate, slot.source
+            i_d, _, _, _ = mos_current(
+                v_full[:, g_], v_full[:, d], v_full[:, s],
+                v_full[:, slot.bulk], self._slot_shift(slot, active),
+                slot.element.params, slot.element.w_over_l,
+                self.temperature_k)
+            f[:, d] += i_d
+            f[:, s] -= i_d
+        return f
+
+    def _add_isources(self, f: np.ndarray, time_s: float,
+                      active: Optional[np.ndarray]) -> None:
+        for a, b, waveform in self._isources:
+            current = np.asarray(waveform.value(time_s), dtype=float)
+            if active is not None and current.ndim:
+                current = current[active]
+            f[:, a] += current
+            f[:, b] -= current
+
+    def _stacked_eval(self, v_full: np.ndarray,
+                      active: Optional[np.ndarray],
+                      with_derivatives: bool):
+        """One-pass device evaluation on ``(batch, n_dev)`` gathers."""
+        shifts = self._vth_shift_matrix()
+        if active is not None and shifts.shape[0] != 1:
+            shifts = shifts[active]
+        return stacked_mos_current(
+            v_full[:, self._dev_gate], v_full[:, self._dev_drain],
+            v_full[:, self._dev_source], v_full[:, self._dev_bulk],
+            shifts, self._devices, with_derivatives)
+
+    @staticmethod
+    def _slot_shift(slot: _MosfetSlot,
+                    active: Optional[np.ndarray]
+                    ) -> Union[float, np.ndarray]:
+        shift = slot.vth_shift
+        if (active is not None and isinstance(shift, np.ndarray)
+                and shift.ndim):
+            return shift[active]
+        return shift
+
     def _add_mosfet(self, f: np.ndarray, jac: np.ndarray,
-                    v_full: np.ndarray, slot: _MosfetSlot) -> None:
+                    v_full: np.ndarray, slot: _MosfetSlot,
+                    active: Optional[np.ndarray] = None) -> None:
         d, g_, s = slot.drain, slot.gate, slot.source
         i_d, gm, gd, gs = mos_current(
             v_full[:, g_], v_full[:, d], v_full[:, s], v_full[:, slot.bulk],
-            slot.vth_shift, slot.element.params, slot.element.w_over_l,
-            self.temperature_k)
+            self._slot_shift(slot, active), slot.element.params,
+            slot.element.w_over_l, self.temperature_k)
         f[:, d] += i_d
         f[:, s] -= i_d
         jac[:, d, g_] += gm

@@ -1,4 +1,4 @@
-"""Batched damped Newton-Raphson solver.
+"""Batched damped Newton-Raphson solver with active-sample masking.
 
 Solves ``f(v) = 0`` on the unknown-node subset of a full node-voltage
 vector, for every Monte-Carlo sample simultaneously.  The residual/
@@ -6,14 +6,26 @@ Jacobian callback returns full-node quantities; the solver slices the
 unknown block, performs a batched dense solve, and applies a damped
 (step-clipped) update.  Step clipping is the standard way to keep the
 strongly nonlinear exponential device characteristics from overshooting.
+
+**Active-sample masking**: batch members are mathematically independent
+(the batched Jacobian is block-diagonal per sample), so a sample whose
+step fell below the voltage tolerance is finished and drops out of the
+iteration instead of being re-solved to ``max_iter`` parity with its
+slowest sibling.  Callbacks that advertise ``supports_active = True``
+accept ``(v_rows, active_idx)`` and evaluate only the still-active
+rows, which is where the savings come from; legacy single-argument
+callbacks are still evaluated on the full batch but only the active
+members pay for the dense solve and update.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
+
+from ..analysis.perf import PERF
 
 #: Default absolute voltage tolerance for convergence [V].
 VTOL_DEFAULT = 1e-7
@@ -36,6 +48,9 @@ class NewtonOptions:
     max_iter: int = MAX_ITER_DEFAULT
     #: Added to the Jacobian diagonal if a batch member is singular.
     regularisation: float = 1e-12
+    #: Drop converged samples from the iteration (fast path); disable to
+    #: reproduce the legacy run-everyone-to-global-convergence loop.
+    masked: bool = True
 
 
 ResJacFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
@@ -43,18 +58,35 @@ ResJacFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
 
 def _solve_batched(jac_uu: np.ndarray, rhs: np.ndarray,
                    regularisation: float) -> np.ndarray:
-    """Batched dense solve with a fallback diagonal regularisation."""
+    """Batched dense solve; singular members are regularised individually.
+
+    ``np.linalg.solve`` raises as soon as *any* batch member is
+    singular, so the fallback walks the batch and bumps the diagonal of
+    only the offending members — healthy samples keep their exact,
+    unperturbed solution.
+    """
     try:
         return np.linalg.solve(jac_uu, rhs[..., None])[..., 0]
     except np.linalg.LinAlgError:
-        n = jac_uu.shape[-1]
-        bumped = jac_uu + regularisation * np.eye(n)
-        return np.linalg.solve(bumped, rhs[..., None])[..., 0]
+        if jac_uu.ndim == 2:
+            bump = regularisation * np.eye(jac_uu.shape[-1])
+            return np.linalg.solve(jac_uu + bump, rhs[..., None])[..., 0]
+        out = np.empty_like(rhs)
+        bump = regularisation * np.eye(jac_uu.shape[-1])
+        for member in range(jac_uu.shape[0]):
+            try:
+                out[member] = np.linalg.solve(jac_uu[member], rhs[member])
+            except np.linalg.LinAlgError:
+                PERF.count("newton.singular_members")
+                out[member] = np.linalg.solve(jac_uu[member] + bump,
+                                              rhs[member])
+        return out
 
 
 def newton_solve(res_jac: ResJacFn, v_full: np.ndarray,
                  unknown_idx: np.ndarray,
                  options: NewtonOptions = NewtonOptions(),
+                 active: Optional[np.ndarray] = None,
                  ) -> Tuple[np.ndarray, int]:
     """Drive the unknown nodes of ``v_full`` to a KCL solution in place.
 
@@ -62,7 +94,10 @@ def newton_solve(res_jac: ResJacFn, v_full: np.ndarray,
     ----------
     res_jac:
         Callback mapping the full node vector ``(batch, n)`` to the
-        residual ``(batch, n)`` and Jacobian ``(batch, n, n)``.
+        residual ``(batch, n)`` and Jacobian ``(batch, n, n)``.  A
+        callback with a true ``supports_active`` attribute is instead
+        called as ``res_jac(v_rows, active_idx)`` with only the
+        still-active rows (active-sample masking).
     v_full:
         Full node vector; known/source entries must already be applied.
         Modified in place and also returned.
@@ -70,10 +105,17 @@ def newton_solve(res_jac: ResJacFn, v_full: np.ndarray,
         Indices of the nodes to solve for.
     options:
         Solver tuning.
+    active:
+        Optional index array restricting the solve to a subset of batch
+        members (e.g. transient samples whose latch decision is still
+        pending); the rest are left untouched.
 
     Returns
     -------
     (v_full, iterations)
+        ``iterations`` is the worst (deepest) per-sample iteration
+        count — identical to the legacy global count when masking is
+        off.
 
     Raises
     ------
@@ -83,14 +125,39 @@ def newton_solve(res_jac: ResJacFn, v_full: np.ndarray,
     u = unknown_idx
     row = u[:, None]
     col = u[None, :]
+    supports_active = getattr(res_jac, "supports_active", False)
+
+    if active is None:
+        active_idx = np.arange(v_full.shape[0])
+    else:
+        active_idx = np.asarray(active, dtype=int)
+        if active_idx.size == 0:
+            return v_full, 0
+    initial_count = active_idx.size
+
+    PERF.count("newton.solves")
+    delta = None
     for iteration in range(1, options.max_iter + 1):
-        f, jac = res_jac(v_full)
+        if supports_active:
+            f, jac = res_jac(v_full[active_idx], active_idx)
+        else:
+            f, jac = res_jac(v_full)
+            f = f[active_idx]
+            jac = jac[active_idx]
         delta = _solve_batched(jac[:, row, col], -f[:, u],
                                options.regularisation)
         np.clip(delta, -options.max_step, options.max_step, out=delta)
-        v_full[:, u] += delta
-        if np.max(np.abs(delta)) < options.vtol:
+        v_full[active_idx[:, None], u[None, :]] += delta
+        PERF.count("newton.iterations")
+        PERF.count("newton.sample_iterations", active_idx.size)
+        PERF.count("newton.sample_iterations_saved",
+                   initial_count - active_idx.size)
+        per_sample = np.max(np.abs(delta), axis=-1)
+        unconverged = per_sample >= options.vtol
+        if not unconverged.any():
             return v_full, iteration
+        if options.masked:
+            active_idx = active_idx[unconverged]
     worst = float(np.max(np.abs(delta)))
     raise ConvergenceError(
         f"Newton-Raphson did not converge in {options.max_iter} iterations "

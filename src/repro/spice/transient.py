@@ -1,4 +1,4 @@
-"""Fixed-step transient analysis.
+"""Fixed-step transient analysis with early-decision termination.
 
 Integrates the compiled system with backward Euler (optionally the
 trapezoidal rule) and a batched Newton solve per time step.  Fixed steps
@@ -6,6 +6,16 @@ are the right trade-off here: the sense-amplifier experiments always
 simulate the same short, well-characterised window (develop phase plus
 regeneration), and a fixed grid makes the batched arithmetic simple and
 the measurements deterministic.
+
+**Early decision** (the offset-extraction fast path): regeneration in a
+latch is exponential, so the resolved sign is fixed long before the
+outputs settle to full swing.  A :class:`DecisionSpec` names a
+differential node pair and a threshold; once a sample's differential
+latches past the threshold (after the develop phase) that sample is
+frozen and drops out of the remaining steps, and the whole run stops as
+soon as every sample has decided.  Samples may also be excluded from the
+start via ``sample_mask`` (e.g. bisection samples already flagged
+out-of-range).
 """
 
 from __future__ import annotations
@@ -15,8 +25,40 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.perf import PERF
 from .mna import MnaSystem
 from .solver import NewtonOptions, newton_solve
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionSpec:
+    """Early-termination rule for sign-resolution transients.
+
+    Attributes
+    ----------
+    node_a / node_b:
+        The differential pair whose separation signals a latched
+        decision (``s`` / ``sbar`` for the paper's sense amplifiers).
+    threshold:
+        Absolute differential [V] past which the decision is considered
+        irreversible.  Together with ``t_min`` it must exceed any
+        wrong-sign excursion the pair can show once decisions are being
+        checked (for the SA testbench: the input-driven develop residue
+        left after the enable rise), otherwise a transient swing could
+        fake a decision.
+    t_min:
+        Earliest time [s] a decision may be declared (end of the
+        develop phase + enable rise).
+    """
+
+    node_a: str
+    node_b: str
+    threshold: float
+    t_min: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ValueError("decision threshold must be positive")
 
 
 @dataclasses.dataclass
@@ -26,19 +68,27 @@ class TransientResult:
     Attributes
     ----------
     times:
-        Time grid ``(n_steps,)`` [s], including the initial point.
+        Time grid ``(n_steps,)`` [s], including the initial point.  With
+        early decision the grid is truncated at the step where the last
+        sample decided.
     voltages:
         Probe node name -> array ``(n_steps, batch)`` [V].
     final:
-        Full node vector at the last time point ``(batch, n_nodes)``.
+        Full node vector at the last simulated point
+        ``(batch, n_nodes)``; decided samples hold the frozen state of
+        their decision step.
     newton_iterations:
         Total Newton iterations spent (performance diagnostics).
+    decided:
+        Per-sample True where a :class:`DecisionSpec` fired (None when
+        no decision rule was active).
     """
 
     times: np.ndarray
     voltages: Dict[str, np.ndarray]
     final: np.ndarray
     newton_iterations: int = 0
+    decided: Optional[np.ndarray] = None
 
     def probe(self, node: str) -> np.ndarray:
         """Waveform of ``node``: shape ``(n_steps, batch)``."""
@@ -63,6 +113,8 @@ def run_transient(system: MnaSystem,
                   initial_state: Optional[np.ndarray] = None,
                   method: str = "be",
                   options: NewtonOptions = NewtonOptions(),
+                  decision: Optional[DecisionSpec] = None,
+                  sample_mask: Optional[np.ndarray] = None,
                   ) -> TransientResult:
     """Run a transient simulation.
 
@@ -89,6 +141,11 @@ def run_transient(system: MnaSystem,
         ``"be"`` (backward Euler, default) or ``"trap"`` (trapezoidal).
     options:
         Newton solver options.
+    decision:
+        Optional early-termination rule; see :class:`DecisionSpec`.
+    sample_mask:
+        Optional boolean ``(batch,)``; False samples are excluded from
+        the integration entirely (frozen at the initial state).
     """
     if dt <= 0.0:
         raise ValueError("dt must be positive")
@@ -106,8 +163,16 @@ def run_transient(system: MnaSystem,
     else:
         v_prev = system.initial_full_vector(t_start, initial)
 
+    batch = v_prev.shape[0]
+    active = np.ones(batch, dtype=bool)
+    if sample_mask is not None:
+        active &= np.asarray(sample_mask, dtype=bool)
+    decided = np.zeros(batch, dtype=bool) if decision is not None else None
+    if decision is not None:
+        diff_a = system.node_index[decision.node_a]
+        diff_b = system.node_index[decision.node_b]
+
     c_over_dt = system.c_matrix / dt
-    diag_idx = np.arange(system.n_nodes)
 
     record: Dict[str, List[np.ndarray]] = {p: [] for p in probes}
 
@@ -117,39 +182,70 @@ def run_transient(system: MnaSystem,
 
     snapshot(v_prev)
     total_newton = 0
+    steps_run = 0
+    sample_steps = 0
 
     # For the trapezoidal rule we need the static residual at the
     # previous accepted point.
     f_prev: Optional[np.ndarray] = None
     if method == "trap":
-        f_prev, _ = system.static_residual_jacobian(v_prev, times[0])
+        f_prev = system.static_residual(v_prev, times[0])
+
+    PERF.count("transient.runs")
 
     for step in range(1, n_steps + 1):
+        if not active.any():
+            break
+        active_idx = np.nonzero(active)[0]
         t_new = times[step]
         v_new = v_prev.copy()
         system.apply_known(v_new, t_new)
 
         if method == "be":
-            def res_jac(v, _t=t_new, _vp=v_prev):
-                f, jac = system.static_residual_jacobian(v, _t)
-                f = f + (v - _vp) @ c_over_dt.T
+            def res_jac(v, rows, _t=t_new, _vp=v_prev):
+                f, jac = system.static_residual_jacobian(v, _t, active=rows)
+                f = f + (v - _vp[rows]) @ c_over_dt.T
                 jac = jac + c_over_dt
                 return f, jac
         else:
-            def res_jac(v, _t=t_new, _vp=v_prev, _fp=f_prev):
-                f, jac = system.static_residual_jacobian(v, _t)
-                f = 0.5 * (f + _fp) + (v - _vp) @ c_over_dt.T
+            def res_jac(v, rows, _t=t_new, _vp=v_prev, _fp=f_prev):
+                f, jac = system.static_residual_jacobian(v, _t, active=rows)
+                f = 0.5 * (f + _fp[rows]) + (v - _vp[rows]) @ c_over_dt.T
                 jac = 0.5 * jac + c_over_dt
                 return f, jac
+        res_jac.supports_active = True
 
         v_new, iters = newton_solve(res_jac, v_new, system.unknown_idx,
-                                    options)
+                                    options, active=active_idx)
         total_newton += iters
+        # Frozen samples keep their full previous state (apply_known
+        # above touched their source nodes; undo so they stay exactly
+        # at the point where they dropped out).
+        if active_idx.size != batch:
+            v_new[~active] = v_prev[~active]
         if method == "trap":
-            f_prev, _ = system.static_residual_jacobian(v_new, t_new)
+            f_prev = f_prev.copy()
+            f_prev[active_idx] = system.static_residual(
+                v_new[active_idx], t_new, active=active_idx)
         v_prev = v_new
         snapshot(v_prev)
+        steps_run = step
+        sample_steps += active_idx.size
+
+        if decision is not None and t_new >= decision.t_min:
+            differential = v_new[:, diff_a] - v_new[:, diff_b]
+            newly = active & (np.abs(differential) >= decision.threshold)
+            if newly.any():
+                decided |= newly
+                active &= ~newly
+
+    PERF.count("transient.steps", steps_run)
+    PERF.count("transient.sample_steps", sample_steps)
+    PERF.count("transient.sample_steps_saved", batch * n_steps - sample_steps)
+    if decided is not None:
+        PERF.count("transient.samples_decided_early", int(decided.sum()))
 
     voltages = {node: np.stack(values) for node, values in record.items()}
-    return TransientResult(times=times, voltages=voltages, final=v_prev,
-                           newton_iterations=total_newton)
+    return TransientResult(times=times[:steps_run + 1], voltages=voltages,
+                           final=v_prev, newton_iterations=total_newton,
+                           decided=decided)

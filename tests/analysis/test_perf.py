@@ -1,0 +1,115 @@
+"""Tests for the performance recorder."""
+
+import json
+
+import pytest
+
+from repro.analysis.perf import PERF, PerfRecorder
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        rec = PerfRecorder()
+        rec.count("a")
+        rec.count("a", 4)
+        rec.count("b", 2.5)
+        assert rec.counters == {"a": 5, "b": 2.5}
+
+    def test_ratio(self):
+        rec = PerfRecorder()
+        rec.count("num", 6)
+        rec.count("den", 4)
+        assert rec.ratio("num", "den") == 1.5
+
+    def test_ratio_zero_denominator(self):
+        rec = PerfRecorder()
+        rec.count("num", 6)
+        assert rec.ratio("num", "missing") == 0.0
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        rec = PerfRecorder()
+        with rec.timer("stage"):
+            pass
+        first = rec.timers["stage"]
+        assert first >= 0.0
+        with rec.timer("stage"):
+            pass
+        assert rec.timers["stage"] >= first
+
+    def test_timer_records_on_exception(self):
+        rec = PerfRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.timer("stage"):
+                raise RuntimeError("boom")
+        assert "stage" in rec.timers
+
+
+class TestAggregation:
+    def test_snapshot_is_a_copy(self):
+        rec = PerfRecorder()
+        rec.count("a")
+        snap = rec.snapshot()
+        rec.count("a")
+        assert snap == {"counters": {"a": 1}, "timers": {}}
+
+    def test_merge_sums(self):
+        parent = PerfRecorder()
+        parent.count("a", 1)
+        parent.timers["t"] = 0.5
+        child = PerfRecorder()
+        child.count("a", 2)
+        child.count("b", 3)
+        child.timers["t"] = 0.25
+        parent.merge(child.snapshot())
+        assert parent.counters == {"a": 3, "b": 3}
+        assert parent.timers == {"t": 0.75}
+
+    def test_reset(self):
+        rec = PerfRecorder()
+        rec.count("a")
+        with rec.timer("t"):
+            pass
+        rec.reset()
+        assert rec.counters == {}
+        assert rec.timers == {}
+
+
+class TestDisabled:
+    def test_disabled_recorder_is_a_noop(self):
+        rec = PerfRecorder(enabled=False)
+        rec.count("a")
+        with rec.timer("t"):
+            pass
+        assert rec.counters == {}
+        assert rec.timers == {}
+        assert rec.report() == "(no performance data recorded)"
+
+
+class TestOutput:
+    def test_report_mentions_everything(self):
+        rec = PerfRecorder()
+        rec.count("newton.iterations", 12345)
+        with rec.timer("offset.extract"):
+            pass
+        text = rec.report()
+        assert "newton.iterations" in text
+        assert "12,345" in text
+        assert "offset.extract" in text
+
+    def test_json_round_trip(self, tmp_path):
+        rec = PerfRecorder()
+        rec.count("a", 7)
+        with rec.timer("t"):
+            pass
+        path = rec.write_json(tmp_path / "perf.json",
+                              extra={"config": {"mc": 8}})
+        doc = json.loads(path.read_text())
+        assert doc["counters"] == {"a": 7}
+        assert doc["config"] == {"mc": 8}
+        assert "t" in doc["timers"]
+
+
+def test_module_recorder_is_enabled():
+    assert PERF.enabled

@@ -1,0 +1,114 @@
+"""Tests for the parallel experiment-grid runner and batch chunking."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.calibration import default_mc_settings
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.core.mitigation import compare_schemes
+from repro.core.parallel import default_workers, run_cells
+from repro.models import Environment
+from repro.workloads import paper_workload
+
+TIMING = ReadTiming(dt=1e-12)
+
+
+def tiny_cells():
+    return [ExperimentCell("nssa", paper_workload("80r0"), 1e8,
+                           Environment.from_celsius(25.0, 1.0)),
+            ExperimentCell("issa", paper_workload("80r0"), 1e8,
+                           Environment.from_celsius(125.0, 0.9))]
+
+
+def settings(size=8):
+    return default_mc_settings(size=size, seed=2017)
+
+
+def assert_same_results(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.cell == y.cell
+        np.testing.assert_array_equal(x.offset.offsets, y.offset.offsets)
+        assert x.offset.mu == y.offset.mu
+        assert x.offset.sigma == y.offset.sigma
+        assert x.delay_s == y.delay_s
+
+
+class TestRunCells:
+    def test_serial_matches_run_cell(self):
+        cells = tiny_cells()
+        via_grid = run_cells(cells, settings=settings(), timing=TIMING,
+                             offset_iterations=6, workers=1)
+        direct = [run_cell(cell, settings=settings(), timing=TIMING,
+                           offset_iterations=6) for cell in cells]
+        assert_same_results(via_grid, direct)
+
+    def test_workers_match_serial(self):
+        cells = tiny_cells()
+        serial = run_cells(cells, settings=settings(), timing=TIMING,
+                           offset_iterations=6, workers=1)
+        parallel = run_cells(cells, settings=settings(), timing=TIMING,
+                             offset_iterations=6, workers=2)
+        assert_same_results(serial, parallel)
+
+    def test_progress_reports_every_cell(self):
+        seen = []
+        cells = tiny_cells()
+        run_cells(cells, settings=settings(4), timing=TIMING,
+                  offset_iterations=4, workers=1,
+                  progress=lambda i, total, cell: seen.append((i, total)))
+        assert seen == [(0, 2), (1, 2)]
+
+    def test_parallel_progress_reports_every_cell(self):
+        seen = []
+        cells = tiny_cells()
+        run_cells(cells, settings=settings(4), timing=TIMING,
+                  offset_iterations=4, workers=2,
+                  progress=lambda i, total, cell: seen.append((i, total)))
+        assert sorted(seen) == [(0, 2), (1, 2)]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestChunking:
+    def test_chunked_matches_unchunked(self):
+        cell = tiny_cells()[0]
+        whole = run_cell(cell, settings=settings(10), timing=TIMING,
+                         offset_iterations=6)
+        chunked = run_cell(cell, settings=settings(10), timing=TIMING,
+                           offset_iterations=6, chunk_size=3)
+        np.testing.assert_array_equal(whole.offset.offsets,
+                                      chunked.offset.offsets)
+        assert whole.offset.mu == chunked.offset.mu
+        assert whole.offset.sigma == chunked.offset.sigma
+        assert whole.delay_s == chunked.delay_s
+
+    def test_oversized_chunk_is_single_batch(self):
+        cell = tiny_cells()[0]
+        whole = run_cell(cell, settings=settings(6), timing=TIMING,
+                         offset_iterations=5)
+        chunked = run_cell(cell, settings=settings(6), timing=TIMING,
+                           offset_iterations=5, chunk_size=100)
+        np.testing.assert_array_equal(whole.offset.offsets,
+                                      chunked.offset.offsets)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            run_cell(tiny_cells()[0], settings=settings(4), timing=TIMING,
+                     offset_iterations=4, chunk_size=0)
+
+
+class TestCompareSchemes:
+    def test_mitigation_comparison(self):
+        comparison = compare_schemes(
+            paper_workload("80r0"), 1e8,
+            env=Environment.from_celsius(25.0, 1.0),
+            settings=settings(16), offset_iterations=8)
+        # The read-0-heavy workload ages the NSSA into a positive mean
+        # offset; the switching scheme removes most of that mean.
+        assert comparison.nssa.offset.mu > 0.0
+        assert abs(comparison.issa.offset.mu) \
+            < abs(comparison.nssa.offset.mu)
+        assert comparison.mu_removed > 0.0
