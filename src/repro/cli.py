@@ -13,7 +13,13 @@
 * ``report`` — assemble REPORT.md from the benchmark artefacts;
 * ``perf`` — profile one table cell and dump the fast-path counters
   (optionally as JSON);
+* ``cache`` — inspect or clear the persistent result cache;
 * ``workloads`` — list the paper's workloads.
+
+``characterize``, ``table`` and ``perf`` accept ``--cache`` to load
+already-solved cells from (and store new cells into) the persistent
+content-addressed store under ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``
+(see :mod:`repro.core.cache`); ``--no-cache`` is the default.
 """
 
 from __future__ import annotations
@@ -55,6 +61,27 @@ def _add_mc_args(parser: argparse.ArgumentParser) -> None:
                              "unchanged)")
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="load/store cell results in the persistent "
+                             "content-addressed cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro)")
+
+
+def _cache(args):
+    """The :class:`ResultCache` requested by ``--cache``, or None."""
+    if not getattr(args, "cache", False):
+        return None
+    import pathlib
+    from .core.cache import ResultCache
+    if args.cache_dir:
+        return ResultCache(pathlib.Path(args.cache_dir))
+    return ResultCache.default()
+
+
 def _settings(args):
     return default_mc_settings(size=args.mc, seed=args.seed)
 
@@ -65,7 +92,8 @@ def _cell_result(args, scheme: str, workload_name: Optional[str],
     return run_cell(ExperimentCell(scheme, workload, time_s, env),
                     settings=_settings(args),
                     timing=ReadTiming(dt=args.dt),
-                    chunk_size=args.chunk_size)
+                    chunk_size=args.chunk_size,
+                    cache=_cache(args))
 
 
 def cmd_characterize(args) -> int:
@@ -89,7 +117,8 @@ def cmd_table(args) -> int:
     rows = run_grid(args.which, settings=_settings(args),
                     timing=ReadTiming(dt=args.dt),
                     workers=args.workers or None,
-                    chunk_size=args.chunk_size, progress=progress)
+                    chunk_size=args.chunk_size, cache=_cache(args),
+                    progress=progress)
     rendered = [comparison_row(
         row.result.cell.scheme, row.result.cell.time_s,
         row.result.cell.workload_label, row.result.cell.env.label(),
@@ -194,6 +223,9 @@ def cmd_perf(args) -> int:
           f"{PERF.ratio('transient.sample_steps', 'transient.steps'):8.2f}")
     print(f"  samples decided early/run    "
           f"{PERF.ratio('transient.samples_decided_early', 'transient.runs'):8.2f}")
+    if args.cache:
+        print(f"  cache hit rate               "
+              f"{PERF.ratio('cache.hits', 'cache.requests'):8.2f}")
     if args.json:
         path = PERF.write_json(args.json, extra={
             "config": {"scheme": args.scheme, "workload": args.workload,
@@ -203,6 +235,23 @@ def cmd_perf(args) -> int:
             "result": result.row(),
         })
         print(f"\nperf JSON written to {path}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the persistent result cache."""
+    import pathlib
+    from .core.cache import ResultCache
+    cache = (ResultCache(pathlib.Path(args.cache_dir)) if args.cache_dir
+             else ResultCache.default())
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"directory: {stats['directory']}")
+        print(f"entries:   {stats['entries']}")
+        print(f"bytes:     {stats['bytes']}")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached cell(s) from {cache.directory}")
     return 0
 
 
@@ -228,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stress time in seconds (paper: 1e8)")
     _add_corner_args(p)
     _add_mc_args(p)
+    _add_cache_args(p)
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("table", help="regenerate a paper table")
@@ -236,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processes for the grid (default 1: serial, "
                         "bit-identical; 0 means one per CPU)")
     _add_mc_args(p)
+    _add_cache_args(p)
     p.set_defaults(func=cmd_table)
 
     p = sub.add_parser("fig7", help="delay vs aging at 125C")
@@ -283,7 +334,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the perf counters as JSON")
     _add_corner_args(p)
     _add_mc_args(p)
+    _add_cache_args(p)
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the persistent result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("workloads", help="list the paper's workloads")
     p.set_defaults(func=cmd_workloads)

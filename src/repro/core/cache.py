@@ -1,0 +1,258 @@
+"""Persistent content-addressed cache for characterisation results.
+
+A repeated ``python -m repro table`` run recomputes every cell it has
+already solved; this module gives each cell a content-addressed
+identity so solved cells are loaded instead.  The **key** is a SHA-256
+over a canonical JSON encoding of everything that determines the
+result: the canonicalised netlist, the Monte-Carlo seed/size/mismatch
+model, the aging model, the read timing, the spec failure-rate target,
+the measurement flags and bisection depth, the package version, a
+code-version salt (bump :data:`CACHE_SALT` whenever a numerical code
+change invalidates old entries), and the warm-start toggle (so an
+``REPRO_NO_WARMSTART=1`` verification run recomputes rather than
+trivially replaying the cached value).  ``chunk_size`` is deliberately
+excluded — chunking controls peak memory, not the statistics (results
+agree to solver tolerance; bit-identical with warm starts off).
+
+The **value** is the :class:`~repro.core.experiment.CellResult`
+payload: the per-sample offset population and mean delay in an ``.npz``
+plus a human-readable JSON sidecar.  Entries live under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), one pair of files
+per key, and are written atomically (temp file + ``os.replace``) so
+parallel workers can share a store without locks: concurrent writers
+race benignly — both write identical bytes for identical keys.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import zipfile
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..analysis.perf import PERF
+from ..analysis.stats import fit_normal
+from .offset import OffsetDistribution
+
+#: Environment variable overriding the cache directory.
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Bump on numerical code changes that invalidate stored results.
+CACHE_SALT = "repro-cell-cache-v1"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def _canon(obj: Any) -> Any:
+    """Canonical JSON-serialisable form of a settings object.
+
+    Dataclasses become tagged dicts, numpy scalars/arrays become plain
+    lists, and model objects that wrap a dataclass parameter card (e.g.
+    ``AtomisticBti``) are identified by class name + card — no memory
+    addresses or repr artefacts can leak into the key.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, Any] = {"__type__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = _canon(getattr(obj, field.name))
+        return out
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    params = getattr(obj, "params", None)
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        return {"__type__": type(obj).__name__, "params": _canon(params)}
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__!r} for a cache key")
+
+
+def canonical_netlist(circuit: Any) -> Dict[str, Any]:
+    """Canonical form of a :class:`~repro.spice.netlist.Circuit`.
+
+    Element order is preserved (it fixes the MNA assembly order) and
+    every element is a frozen dataclass, so the encoding is exact.
+    """
+    return {
+        "name": circuit.name,
+        "resistors": [_canon(e) for e in circuit.resistors],
+        "capacitors": [_canon(e) for e in circuit.capacitors],
+        "vsources": [_canon(e) for e in circuit.vsources],
+        "isources": [_canon(e) for e in circuit.isources],
+        "mosfets": [_canon(e) for e in circuit.mosfets],
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultCache:
+    """Content-addressed store of :class:`CellResult` payloads.
+
+    Holds only the directory path, so instances pickle cheaply into
+    worker processes; workers share the store through the filesystem.
+    """
+
+    directory: pathlib.Path
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """Cache under ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``."""
+        return cls(default_cache_dir())
+
+    # -- keys ------------------------------------------------------------
+
+    def key_for(self, design: Any, cell: Any, settings: Any, aging: Any,
+                timing: Any, failure_rate: float, measure_offset: bool,
+                measure_delay: bool, offset_iterations: int,
+                warmstart: Optional[bool] = None) -> str:
+        """SHA-256 key of one cell characterisation."""
+        from .. import __version__
+        if warmstart is None:
+            from .testbench import warmstart_default
+            warmstart = warmstart_default()
+        payload = {
+            "salt": CACHE_SALT,
+            "version": __version__,
+            "netlist": canonical_netlist(design.circuit),
+            "cell": {
+                "scheme": cell.scheme,
+                "workload": _canon(cell.workload),
+                "time_s": cell.time_s,
+                "env": _canon(cell.env),
+            },
+            "settings": _canon(settings),
+            "aging": _canon(aging),
+            "timing": _canon(timing),
+            "failure_rate": failure_rate,
+            "measure_offset": measure_offset,
+            "measure_delay": measure_delay,
+            "offset_iterations": offset_iterations,
+            "warmstart": bool(warmstart),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # -- entries ---------------------------------------------------------
+
+    def _npz_path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.npz"
+
+    def load(self, key: str, cell: Any,
+             failure_rate: float) -> Optional["Any"]:
+        """Return the cached :class:`CellResult` for ``key``, or None.
+
+        The offset distribution is rebuilt by re-fitting the stored
+        population through the same :func:`fit_normal` path the solver
+        uses, so a loaded result is bit-identical to the stored one.
+        Unreadable or truncated entries count as misses.
+        """
+        from .experiment import CellResult
+        PERF.count("cache.requests")
+        path = self._npz_path(key)
+        try:
+            with np.load(path) as data:
+                delay_s = float(data["delay_s"])
+                offsets = (np.array(data["offsets"])
+                           if "offsets" in data.files else None)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            PERF.count("cache.misses")
+            return None
+        PERF.count("cache.hits")
+        PERF.count("cache.bytes_read", path.stat().st_size)
+        offset = None
+        if offsets is not None:
+            offset = OffsetDistribution(offsets=offsets,
+                                        fit=fit_normal(offsets),
+                                        failure_rate=failure_rate)
+        return CellResult(cell=cell, offset=offset, delay_s=delay_s)
+
+    def store(self, key: str, result: Any) -> None:
+        """Atomically write ``result`` under ``key``.
+
+        ``os.replace`` makes the entry appear whole or not at all, so
+        concurrent workers sharing the directory never observe partial
+        files; duplicate writers overwrite with identical content.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {
+            "delay_s": np.float64(result.delay_s)}
+        if result.offset is not None:
+            arrays["offsets"] = result.offset.offsets
+        path = self._npz_path(key)
+        self._atomic_write(path, lambda fh: np.savez(fh, **arrays))
+        from .. import __version__
+        sidecar = {
+            "key": key,
+            "scheme": result.cell.scheme,
+            "workload": result.cell.workload_label,
+            "time_s": result.cell.time_s,
+            "temperature_k": result.cell.env.temperature_k,
+            "vdd": result.cell.env.vdd,
+            "row": {k: (None if isinstance(v, float) and np.isnan(v)
+                        else v) for k, v in result.row().items()},
+            "version": __version__,
+            "salt": CACHE_SALT,
+        }
+        blob = json.dumps(sidecar, indent=2, sort_keys=True).encode()
+        self._atomic_write(path.with_suffix(".json"),
+                           lambda fh: fh.write(blob))
+        PERF.count("cache.stores")
+        PERF.count("cache.bytes_written",
+                   path.stat().st_size + len(blob))
+
+    def _atomic_write(self, path: pathlib.Path, writer) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                   prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                writer(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    # -- maintenance -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and on-disk footprint."""
+        entries = 0
+        total = 0
+        if self.directory.is_dir():
+            for path in self.directory.iterdir():
+                if path.suffix == ".npz":
+                    entries += 1
+                if path.is_file():
+                    total += path.stat().st_size
+        return {"directory": str(self.directory),
+                "entries": entries,
+                "bytes": total}
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.iterdir():
+                if path.suffix in (".npz", ".json") and path.is_file():
+                    path.unlink()
+                    if path.suffix == ".npz":
+                        removed += 1
+        return removed

@@ -21,6 +21,7 @@ from ..constants import FAILURE_RATE_TARGET
 from ..models.temperature import Environment
 from ..workloads import Workload
 from ..aging.engine import AgingModel
+from .cache import ResultCache
 from .calibration import default_aging_model, default_mc_settings
 from .montecarlo import McSettings, sample_total_shifts
 from .offset import OffsetDistribution, extract_offsets
@@ -167,7 +168,8 @@ def run_cell(cell: ExperimentCell,
              measure_offset: bool = True,
              measure_delay: bool = True,
              offset_iterations: int = 14,
-             chunk_size: Optional[int] = None) -> CellResult:
+             chunk_size: Optional[int] = None,
+             cache: Optional[ResultCache] = None) -> CellResult:
     """Characterise one cell: Monte-Carlo offsets and sensing delay.
 
     Parameters
@@ -194,10 +196,27 @@ def run_cell(cell: ExperimentCell,
         distributions are concatenated before the single normal fit,
         and each sample's transients are independent — so chunked
         results are identical to the unchunked run.
+    cache:
+        Optional persistent :class:`~repro.core.cache.ResultCache`; on
+        a key hit the stored result is returned without simulating, on
+        a miss the computed result is stored for the next run.
     """
     settings = settings or default_mc_settings()
     aging = aging or default_aging_model()
     design = build_design(cell.scheme)
+
+    key = None
+    if cache is not None:
+        key = cache.key_for(design=design, cell=cell, settings=settings,
+                            aging=aging, timing=timing,
+                            failure_rate=failure_rate,
+                            measure_offset=measure_offset,
+                            measure_delay=measure_delay,
+                            offset_iterations=offset_iterations)
+        cached = cache.load(key, cell, failure_rate)
+        if cached is not None:
+            return cached
+
     shifts = sample_total_shifts(design, aging, cell.workload, cell.time_s,
                                  cell.env, settings)
     chunks = _chunk_shifts(shifts, settings.size, chunk_size)
@@ -237,4 +256,7 @@ def run_cell(cell: ExperimentCell,
                 directions.setdefault(index, (weight, []))[1].append(values)
         delay = float(sum(weight * np.nanmean(np.concatenate(values))
                           for weight, values in directions.values()))
-    return CellResult(cell=cell, offset=offset, delay_s=delay)
+    result = CellResult(cell=cell, offset=offset, delay_s=delay)
+    if cache is not None:
+        cache.store(key, result)
+    return result

@@ -17,6 +17,7 @@ from ..analysis.reference import (TABLE2, TABLE3, TABLE4, RowKey,
 from ..circuits.sense_amp import ReadTiming
 from ..models.temperature import Environment
 from ..workloads import paper_workload
+from .cache import ResultCache
 from .calibration import default_mc_settings
 from .experiment import CellResult, ExperimentCell
 from .montecarlo import McSettings
@@ -86,6 +87,7 @@ def run_grid(which: str,
              offset_iterations: int = 14,
              workers: Optional[int] = 1,
              chunk_size: Optional[int] = None,
+             cache: Optional[ResultCache] = None,
              progress=None) -> List[GridRow]:
     """Execute one paper table's grid.
 
@@ -102,6 +104,10 @@ def run_grid(which: str,
     chunk_size:
         Optional Monte-Carlo batch chunking within each cell
         (peak-memory control; results unchanged).
+    cache:
+        Optional persistent :class:`~repro.core.cache.ResultCache`
+        shared across runs (and across workers): solved cells are
+        loaded instead of recomputed.
     progress:
         Optional callback ``(index, total, cell)`` for CLI progress
         reporting (start of each cell when serial, completion when
@@ -114,8 +120,8 @@ def run_grid(which: str,
     reference = REFERENCES[which]
     results = run_cells(cells, settings=settings, timing=timing,
                         offset_iterations=offset_iterations,
-                        chunk_size=chunk_size, workers=workers,
-                        progress=progress)
+                        chunk_size=chunk_size, cache=cache,
+                        workers=workers, progress=progress)
     rows: List[GridRow] = []
     for cell, result in zip(cells, results):
         paper = lookup(reference, cell.scheme, cell.time_s,

@@ -29,6 +29,7 @@ from ..aging.engine import AgingModel
 from ..analysis.perf import PERF
 from ..circuits.sense_amp import ReadTiming
 from ..constants import FAILURE_RATE_TARGET
+from .cache import ResultCache
 from .experiment import CellResult, ExperimentCell, run_cell
 from .montecarlo import McSettings
 
@@ -38,7 +39,24 @@ ProgressFn = Callable[[int, int, ExperimentCell], None]
 
 
 def default_workers() -> int:
-    """Worker count used when ``workers=None``: one per CPU."""
+    """Worker count used when ``workers=None``: one per *usable* CPU.
+
+    ``os.cpu_count()`` reports the machine's cores even when the
+    process is pinned to fewer (cgroup CPU limits on CI runners,
+    ``taskset``, container quotas), which oversubscribes the pool.
+    Prefer the process-aware count (Python 3.13+), then the scheduler
+    affinity mask, and only then the raw core count.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        count = counter()
+        if count:
+            return count
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:
+            pass
     return os.cpu_count() or 1
 
 
@@ -64,6 +82,7 @@ def run_cells(cells: Sequence[ExperimentCell],
               measure_delay: bool = True,
               offset_iterations: int = 14,
               chunk_size: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
               workers: Optional[int] = None,
               progress: Optional[ProgressFn] = None) -> List[CellResult]:
     """Characterise many cells, optionally across worker processes.
@@ -73,9 +92,12 @@ def run_cells(cells: Sequence[ExperimentCell],
     cells:
         The grid cells, in the order results should come back.
     settings / aging / timing / failure_rate / measure_offset /
-    measure_delay / offset_iterations / chunk_size:
+    measure_delay / offset_iterations / chunk_size / cache:
         Forwarded to :func:`~repro.core.experiment.run_cell` for every
         cell (identical configuration per cell, like the serial grids).
+        A shared ``cache`` is concurrency-safe: the store pickles into
+        each worker as a directory path and entries are written with
+        atomic renames.
     workers:
         Process count; ``None`` uses one per CPU, ``<= 1`` runs the
         serial in-process loop (bit-identical fallback).
@@ -88,7 +110,7 @@ def run_cells(cells: Sequence[ExperimentCell],
         settings=settings, aging=aging, timing=timing,
         failure_rate=failure_rate, measure_offset=measure_offset,
         measure_delay=measure_delay, offset_iterations=offset_iterations,
-        chunk_size=chunk_size)
+        chunk_size=chunk_size, cache=cache)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(cells) <= 1:

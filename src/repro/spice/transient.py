@@ -27,7 +27,7 @@ import numpy as np
 
 from ..analysis.perf import PERF
 from .mna import MnaSystem
-from .solver import NewtonOptions, newton_solve
+from .solver import FactorCache, NewtonOptions, newton_solve
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +82,12 @@ class TransientResult:
     decided:
         Per-sample True where a :class:`DecisionSpec` fired (None when
         no decision rule was active).
+    states:
+        Full node vectors at every accepted point (``states[0]`` is the
+        initial state, ``states[k]`` the state after step ``k``), only
+        recorded when ``record_states=True``.  Entries are the solver's
+        own arrays (zero-copy); treat them as read-only.  Used to seed
+        the next bisection iteration's Newton guesses.
     """
 
     times: np.ndarray
@@ -89,6 +95,7 @@ class TransientResult:
     final: np.ndarray
     newton_iterations: int = 0
     decided: Optional[np.ndarray] = None
+    states: Optional[List[np.ndarray]] = None
 
     def probe(self, node: str) -> np.ndarray:
         """Waveform of ``node``: shape ``(n_steps, batch)``."""
@@ -115,6 +122,10 @@ def run_transient(system: MnaSystem,
                   options: NewtonOptions = NewtonOptions(),
                   decision: Optional[DecisionSpec] = None,
                   sample_mask: Optional[np.ndarray] = None,
+                  guess_trajectory: Optional[List[np.ndarray]] = None,
+                  guess_gate: float = 0.2,
+                  extrapolate: bool = False,
+                  record_states: bool = False,
                   ) -> TransientResult:
     """Run a transient simulation.
 
@@ -146,6 +157,31 @@ def run_transient(system: MnaSystem,
     sample_mask:
         Optional boolean ``(batch,)``; False samples are excluded from
         the integration entirely (frozen at the initial state).
+    guess_trajectory:
+        Per-step full node vectors from an earlier, nearby run (e.g. the
+        previous bisection iteration's ``TransientResult.states``).  At
+        each step the unknown nodes of still-active samples are seeded
+        with the trajectory's step-to-step increment applied to the
+        current previous state (``v_prev + traj[k] - traj[k-1]``), so
+        the recorded run's knowledge of upcoming waveform edges carries
+        over without importing its absolute levels.  Seeds apply only to
+        samples whose previous state lies within ``guess_gate`` of the
+        trajectory's — a trajectory that latched to the opposite
+        decision is rejected per sample rather than derailing Newton.
+        Changes only the Newton starting point; results agree with the
+        cold start to solver tolerance.
+    guess_gate:
+        Per-sample alignment gate [V] for ``guess_trajectory`` seeds.
+    extrapolate:
+        Seed samples without an accepted trajectory seed by linear
+        extrapolation from the previous two accepted points
+        (``2 v_prev - v_prev2``) instead of holding ``v_prev``.  Like
+        trajectory seeding this moves only the Newton starting point;
+        smooth segments then converge in one iteration.
+    record_states:
+        Record the accepted full node vectors in
+        :attr:`TransientResult.states` for use as a later
+        ``guess_trajectory``.
     """
     if dt <= 0.0:
         raise ValueError("dt must be positive")
@@ -181,6 +217,10 @@ def run_transient(system: MnaSystem,
             record[node].append(system.voltages_of(v_full, node).copy())
 
     snapshot(v_prev)
+    states: Optional[List[np.ndarray]] = [v_prev] if record_states else None
+    factor = FactorCache() if options.quasi else None
+    unknown = system.unknown_idx
+    v_prev2: Optional[np.ndarray] = None
     total_newton = 0
     steps_run = 0
     sample_steps = 0
@@ -201,22 +241,51 @@ def run_transient(system: MnaSystem,
         v_new = v_prev.copy()
         system.apply_known(v_new, t_new)
 
+        seeded = np.zeros(active_idx.size, dtype=bool)
+        if guess_trajectory is not None and step < len(guess_trajectory):
+            traj_now = guess_trajectory[step]
+            traj_before = guess_trajectory[step - 1]
+            rows_u = active_idx[:, None], unknown[None, :]
+            seeded = np.max(np.abs(traj_before[rows_u] - v_prev[rows_u]),
+                            axis=-1) <= guess_gate
+            seed_rows = active_idx[seeded]
+            if seed_rows.size:
+                su = seed_rows[:, None], unknown[None, :]
+                v_new[su] = v_prev[su] + (traj_now[su] - traj_before[su])
+            PERF.count("transient.warm_seeds", int(seed_rows.size))
+            PERF.count("transient.warm_rejects",
+                       int(active_idx.size - seed_rows.size))
+        if extrapolate and v_prev2 is not None and not seeded.all():
+            rows = active_idx[~seeded]
+            ru = rows[:, None], unknown[None, :]
+            v_new[ru] = 2.0 * v_prev[ru] - v_prev2[ru]
+
         if method == "be":
             def res_jac(v, rows, _t=t_new, _vp=v_prev):
                 f, jac = system.static_residual_jacobian(v, _t, active=rows)
                 f = f + (v - _vp[rows]) @ c_over_dt.T
                 jac = jac + c_over_dt
                 return f, jac
+
+            def res_only(v, rows, _t=t_new, _vp=v_prev):
+                f = system.static_residual(v, _t, active=rows)
+                return f + (v - _vp[rows]) @ c_over_dt.T
         else:
             def res_jac(v, rows, _t=t_new, _vp=v_prev, _fp=f_prev):
                 f, jac = system.static_residual_jacobian(v, _t, active=rows)
                 f = 0.5 * (f + _fp[rows]) + (v - _vp[rows]) @ c_over_dt.T
                 jac = 0.5 * jac + c_over_dt
                 return f, jac
+
+            def res_only(v, rows, _t=t_new, _vp=v_prev, _fp=f_prev):
+                f = system.static_residual(v, _t, active=rows)
+                return 0.5 * (f + _fp[rows]) + (v - _vp[rows]) @ c_over_dt.T
         res_jac.supports_active = True
+        res_jac.residual_only = res_only
 
         v_new, iters = newton_solve(res_jac, v_new, system.unknown_idx,
-                                    options, active=active_idx)
+                                    options, active=active_idx,
+                                    factor=factor)
         total_newton += iters
         # Frozen samples keep their full previous state (apply_known
         # above touched their source nodes; undo so they stay exactly
@@ -227,8 +296,11 @@ def run_transient(system: MnaSystem,
             f_prev = f_prev.copy()
             f_prev[active_idx] = system.static_residual(
                 v_new[active_idx], t_new, active=active_idx)
+        v_prev2 = v_prev
         v_prev = v_new
         snapshot(v_prev)
+        if states is not None:
+            states.append(v_prev)
         steps_run = step
         sample_steps += active_idx.size
 
@@ -248,4 +320,4 @@ def run_transient(system: MnaSystem,
     voltages = {node: np.stack(values) for node, values in record.items()}
     return TransientResult(times=times[:steps_run + 1], voltages=voltages,
                            final=v_prev, newton_iterations=total_newton,
-                           decided=decided)
+                           decided=decided, states=states)

@@ -1,0 +1,205 @@
+"""Tests for the persistent content-addressed result cache."""
+
+import dataclasses
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import PERF
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.cache import ResultCache, canonical_netlist
+from repro.core.calibration import (default_aging_model,
+                                    default_mc_settings)
+from repro.core.experiment import (ExperimentCell, build_design, run_cell)
+from repro.core.parallel import run_cells
+from repro.models import Environment
+from repro.workloads import paper_workload
+
+TIMING = ReadTiming(dt=1e-12)
+
+
+def settings(size=8):
+    return default_mc_settings(size=size, seed=2017)
+
+
+def fresh_cell(scheme="nssa"):
+    return ExperimentCell(scheme, None, 0.0,
+                          Environment.from_celsius(25.0, 1.0))
+
+
+def aged_cells():
+    return [ExperimentCell("nssa", paper_workload("80r0"), 1e8,
+                           Environment.from_celsius(25.0, 1.0)),
+            ExperimentCell("issa", paper_workload("80r0"), 1e8,
+                           Environment.from_celsius(125.0, 0.9))]
+
+
+def key_of(cache, cell, *, mc=None, iterations=6, measure_offset=True,
+           measure_delay=True, warmstart=None):
+    design = build_design(cell.scheme)
+    mc = mc or settings()
+    return cache.key_for(design, cell, mc, default_aging_model(), TIMING,
+                         failure_rate=1e-3, measure_offset=measure_offset,
+                         measure_delay=measure_delay,
+                         offset_iterations=iterations,
+                         warmstart=warmstart)
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert key_of(cache, fresh_cell()) == key_of(cache, fresh_cell())
+
+    def test_key_independent_of_instance(self, tmp_path):
+        a = ResultCache(tmp_path / "a")
+        b = ResultCache(tmp_path / "b")
+        assert key_of(a, fresh_cell()) == key_of(b, fresh_cell())
+
+    @pytest.mark.parametrize("change", [
+        dict(mc=default_mc_settings(size=8, seed=99)),
+        dict(mc=default_mc_settings(size=16, seed=2017)),
+        dict(iterations=8),
+        dict(measure_offset=False),
+        dict(measure_delay=False),
+        dict(warmstart=False),
+    ])
+    def test_settings_change_the_key(self, tmp_path, change):
+        cache = ResultCache(tmp_path)
+        assert key_of(cache, fresh_cell()) \
+            != key_of(cache, fresh_cell(), **change)
+
+    def test_scheme_changes_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert key_of(cache, fresh_cell("nssa")) \
+            != key_of(cache, fresh_cell("issa"))
+
+    def test_canonical_netlist_covers_every_element(self):
+        circuit = build_design("nssa").circuit
+        canon = canonical_netlist(circuit)
+        assert len(canon["mosfets"]) == len(circuit.mosfets)
+        assert len(canon["vsources"]) == len(circuit.vsources)
+        # Pure data: round-trips through JSON machinery untouched.
+        assert canon == canonical_netlist(build_design("nssa").circuit)
+
+    def test_unknown_object_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.key_for(build_design("nssa"), fresh_cell(), object(),
+                          None, TIMING, 1e-3, True, True, 6)
+
+
+class TestRoundTrip:
+    def test_hit_is_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        PERF.reset()
+        first = run_cell(cell, settings=settings(), timing=TIMING,
+                         offset_iterations=6, cache=cache)
+        second = run_cell(cell, settings=settings(), timing=TIMING,
+                          offset_iterations=6, cache=cache)
+        counters = PERF.snapshot()["counters"]
+        assert counters["cache.requests"] == 2
+        assert counters["cache.misses"] == 1
+        assert counters["cache.stores"] == 1
+        assert counters["cache.hits"] == 1
+        np.testing.assert_array_equal(first.offset.offsets,
+                                      second.offset.offsets)
+        assert first.offset.mu == second.offset.mu
+        assert first.offset.sigma == second.offset.sigma
+        assert first.offset.spec == second.offset.spec
+        assert first.delay_s == second.delay_s
+        assert first.row() == second.row()
+
+    def test_sidecar_written(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_cell(fresh_cell(), settings=settings(), timing=TIMING,
+                 offset_iterations=6, cache=cache)
+        npz = list(tmp_path.glob("*.npz"))
+        sidecars = list(tmp_path.glob("*.json"))
+        assert len(npz) == 1 and len(sidecars) == 1
+        assert npz[0].stem == sidecars[0].stem
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        run_cell(cell, settings=settings(), timing=TIMING,
+                 offset_iterations=6, cache=cache)
+        entry = next(tmp_path.glob("*.npz"))
+        entry.write_bytes(b"not a zipfile")
+        PERF.reset()
+        result = run_cell(cell, settings=settings(), timing=TIMING,
+                          offset_iterations=6, cache=cache)
+        counters = PERF.snapshot()["counters"]
+        assert counters["cache.misses"] == 1
+        # Recomputed and re-stored over the corrupt entry.
+        assert counters["cache.stores"] == 1
+        assert result.offset is not None
+
+    def test_different_settings_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        a = run_cell(cell, settings=settings(), timing=TIMING,
+                     offset_iterations=6, cache=cache)
+        b = run_cell(cell, settings=settings(16), timing=TIMING,
+                     offset_iterations=6, cache=cache)
+        assert cache.stats()["entries"] == 2
+        assert a.offset.offsets.size != b.offset.offsets.size
+
+
+class TestParallelSharing:
+    def test_workers_share_the_store_bit_identically(self, tmp_path):
+        """Acceptance: four workers on a shared cache match serial."""
+        cache = ResultCache(tmp_path)
+        cells = aged_cells()
+        serial = run_cells(cells, settings=settings(), timing=TIMING,
+                           offset_iterations=6, workers=1)
+        parallel = run_cells(cells, settings=settings(), timing=TIMING,
+                             offset_iterations=6, workers=4, cache=cache)
+        for x, y in zip(serial, parallel):
+            np.testing.assert_array_equal(x.offset.offsets,
+                                          y.offset.offsets)
+            assert x.offset.spec == y.offset.spec
+            assert x.delay_s == y.delay_s
+        assert cache.stats()["entries"] == len(cells)
+        # A serial replay over the populated store is all hits and
+        # still bit-identical.
+        PERF.reset()
+        replay = run_cells(cells, settings=settings(), timing=TIMING,
+                           offset_iterations=6, workers=1, cache=cache)
+        counters = PERF.snapshot()["counters"]
+        assert counters["cache.hits"] == len(cells)
+        assert "cache.misses" not in counters
+        for x, y in zip(serial, replay):
+            np.testing.assert_array_equal(x.offset.offsets,
+                                          y.offset.offsets)
+            assert x.delay_s == y.delay_s
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats() == {"directory": str(tmp_path),
+                                 "entries": 0, "bytes": 0}
+        run_cell(fresh_cell(), settings=settings(), timing=TIMING,
+                 offset_iterations=6, cache=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.clear() == 0
+        assert cache.stats()["entries"] == 0
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        assert ResultCache.default().directory \
+            == pathlib.Path(tmp_path / "store")
+
+    def test_cache_is_picklable_frozen_data(self):
+        assert dataclasses.is_dataclass(ResultCache)
+        fields = {f.name for f in dataclasses.fields(ResultCache)}
+        assert fields == {"directory"}

@@ -1,8 +1,11 @@
 """Tests for the parallel experiment-grid runner and batch chunking."""
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis.perf import PERF
 from repro.circuits.sense_amp import ReadTiming
 from repro.core.calibration import default_mc_settings
 from repro.core.experiment import ExperimentCell, run_cell
@@ -71,6 +74,23 @@ class TestRunCells:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
 
+    def test_default_workers_uses_process_cpu_count(self, monkeypatch):
+        """cgroup-limited hosts must size the pool from the usable
+        CPUs, not the machine total."""
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 3,
+                            raising=False)
+        assert default_workers() == 3
+
+    def test_parallel_run_merges_perf_counters(self):
+        """Worker snapshots merge into the parent recorder, so the
+        counters survive ``--workers N``."""
+        PERF.reset()
+        run_cells(tiny_cells(), settings=settings(4), timing=TIMING,
+                  offset_iterations=4, workers=2)
+        counters = PERF.snapshot()["counters"]
+        assert counters.get("newton.iterations", 0) > 0
+        assert counters.get("cell.runs", 0) == 2
+
 
 class TestChunking:
     def test_chunked_matches_unchunked(self):
@@ -93,6 +113,20 @@ class TestChunking:
                            offset_iterations=5, chunk_size=100)
         np.testing.assert_array_equal(whole.offset.offsets,
                                       chunked.offset.offsets)
+
+    def test_chunked_matches_unchunked_without_warmstarts(
+            self, monkeypatch):
+        """Chunked bit-identity must also hold on the seed algorithms
+        (``REPRO_NO_WARMSTART=1`` verification path)."""
+        monkeypatch.setenv("REPRO_NO_WARMSTART", "1")
+        cell = tiny_cells()[0]
+        whole = run_cell(cell, settings=settings(10), timing=TIMING,
+                         offset_iterations=6)
+        chunked = run_cell(cell, settings=settings(10), timing=TIMING,
+                           offset_iterations=6, chunk_size=3)
+        np.testing.assert_array_equal(whole.offset.offsets,
+                                      chunked.offset.offsets)
+        assert whole.delay_s == chunked.delay_s
 
     def test_invalid_chunk_size(self):
         with pytest.raises(ValueError):

@@ -33,6 +33,22 @@ class TestBreakpoints:
     def test_dc_none(self):
         assert waveform_breakpoints(Dc(1.0), 1e-6) == []
 
+    def test_pulse_edges_clamped_to_window(self):
+        """A period that straddles ``t_stop`` keeps only in-window
+        edges — none at or past the window end, none at t=0."""
+        wave = Pulse(0.0, 1.0, delay=0.0, t_rise=1e-10, t_fall=1e-10,
+                     width=3e-10, period=1e-9)
+        points = waveform_breakpoints(wave, 1.2e-9)
+        assert points, "second-period rise edge expected in window"
+        assert all(0.0 < p < 1.2e-9 for p in points)
+        # The second period's fall edges (1.4/1.5 ns) are past t_stop.
+        assert not any(p > 1.1e-9 + 1e-15 for p in points)
+
+    def test_pulse_delay_past_window(self):
+        wave = Pulse(0.0, 1.0, delay=5e-9, t_rise=1e-10, t_fall=1e-10,
+                     width=3e-10, period=1e-9)
+        assert waveform_breakpoints(wave, 1e-9) == []
+
     def test_outside_window_dropped(self):
         assert waveform_breakpoints(Step(0.0, 1.0, 1e-6, 0.0),
                                     1e-9) == []
@@ -97,6 +113,53 @@ class TestAdaptiveNonlinear:
                                     lte_tol=5e-3))
         out = result.probe("out")[:, 0]
         assert out[0] > 0.95 and out[-1] < 0.05
+
+
+def latch_circuit():
+    """Cross-coupled inverter pair: the latch-regeneration waveform the
+    sense-amp read rides on (exponential divergence, then rail
+    saturation)."""
+    c = Circuit("latch")
+    c.add_vsource("vdd", "vdd", Dc(1.0))
+    c.add_mosfet("mp1", "q", "qb", "vdd", "vdd", PMOS_45HP, 5.0)
+    c.add_mosfet("mn1", "q", "qb", "0", "0", NMOS_45HP, 2.5)
+    c.add_mosfet("mp2", "qb", "q", "vdd", "vdd", PMOS_45HP, 5.0)
+    c.add_mosfet("mn2", "qb", "q", "0", "0", NMOS_45HP, 2.5)
+    c.add_capacitor("cq", "q", "0", 2e-15)
+    c.add_capacitor("cqb", "qb", "0", 2e-15)
+    return c
+
+
+class TestLatchRegeneration:
+    INITIAL = {"q": 0.52, "qb": 0.48, "vdd": 1.0}
+
+    def test_matches_fixed_step(self):
+        """Adaptive steps must track the regeneration transition, not
+        just the quiet metastable ramp before it."""
+        adaptive = run_adaptive_transient(
+            MnaSystem(latch_circuit(), 298.15), 300e-12,
+            probes=["q", "qb"], initial=self.INITIAL,
+            options=AdaptiveOptions(dt_initial=0.5e-12, dt_max=20e-12,
+                                    lte_tol=2e-4))
+        fixed = run_transient(MnaSystem(latch_circuit(), 298.15),
+                              300e-12, 0.5e-12, probes=["q", "qb"],
+                              initial=self.INITIAL)
+        for node in ("q", "qb"):
+            reference = np.interp(adaptive.times, fixed.times,
+                                  fixed.probe(node)[:, 0])
+            np.testing.assert_allclose(adaptive.probe(node)[:, 0],
+                                       reference, atol=8e-3)
+
+    def test_regenerates_to_the_rails(self):
+        result = run_adaptive_transient(
+            MnaSystem(latch_circuit(), 298.15), 300e-12,
+            probes=["q", "qb"], initial=self.INITIAL,
+            options=AdaptiveOptions(dt_initial=0.5e-12, dt_max=20e-12,
+                                    lte_tol=2e-4))
+        assert result.probe("q")[-1, 0] > 0.95
+        assert result.probe("qb")[-1, 0] < 0.05
+        # Adaptivity pays off even on a regenerating waveform.
+        assert len(result.times) < 300e-12 / 0.5e-12
 
 
 class TestValidation:

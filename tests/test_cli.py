@@ -19,6 +19,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table"])
 
+    def test_cache_off_by_default(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.cache is False
+
+    def test_cache_action_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "evict"])
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_store(self, tmp_path, capsys):
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:   0" in out
+
+    def test_characterize_populates_then_clear(self, tmp_path, capsys):
+        code = main(["characterize", "--scheme", "nssa", "--mc", "6",
+                     "--dt", "1e-12", "--cache",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        first = capsys.readouterr().out
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "entries:   1" in capsys.readouterr().out
+        # The cached replay prints the identical characterisation.
+        code = main(["characterize", "--scheme", "nssa", "--mc", "6",
+                     "--dt", "1e-12", "--cache",
+                     "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert capsys.readouterr().out == first
+        assert main(["cache", "clear",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
 
 class TestFastCommands:
     def test_workloads(self, capsys):
