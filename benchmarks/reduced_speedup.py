@@ -1,0 +1,247 @@
+"""Measure reduced-system assembly gains and emit BENCH_reduced.json.
+
+One measurement over the reduced Table-II grid: the grid with the
+reduced (unknown-block) compilation on — reduced residual/Jacobian
+assembly, the preallocated transient kernels and the fused endpoint
+transients — versus ``REPRO_NO_REDUCED=1`` (the PR-2 full-space
+baseline).  Reports wall clock, the new kernel counters
+(``mna.reduced_evals``, ``transient.known_table_builds``,
+``offset.endpoint_fused_runs``) and a FLOP proxy (Jacobian elements
+materialised per Newton sample-iteration: ``n^2`` full-space versus
+``n_u^2`` reduced), and asserts the offset populations, spec values and
+delays are **bit-identical** to the opt-out path before anything is
+written.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/reduced_speedup.py
+
+or via the uniform runner::
+
+    PYTHONPATH=src python -m repro bench --only reduced
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.perf import PERF
+from repro.circuits.sense_amp import ReadTiming, build_issa, build_nssa
+from repro.core.montecarlo import McSettings
+from repro.core.paper import grid_cells
+from repro.core.parallel import run_cells
+from repro.models import MismatchModel
+from repro.spice.mna import MnaSystem, REDUCED_ENV
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Counters worth keeping in the JSON evidence.
+KEPT_COUNTERS = (
+    "newton.iterations", "newton.sample_iterations", "newton.solves",
+    "mna.reduced_evals", "transient.runs", "transient.steps",
+    "transient.sample_steps", "transient.known_table_builds",
+    "offset.endpoint_fused_runs",
+)
+
+#: Counters that must appear only on the reduced pass.
+REDUCED_ONLY_COUNTERS = (
+    "mna.reduced_evals", "transient.known_table_builds",
+    "offset.endpoint_fused_runs",
+)
+
+
+def _kept(counters: Dict) -> Dict:
+    return {k: counters[k] for k in KEPT_COUNTERS if k in counters}
+
+
+def run_grid_once(cells, settings: McSettings, timing: ReadTiming,
+                  iterations: int, reduced: bool):
+    """One serial grid pass; returns (results, seconds, counters)."""
+    if reduced:
+        os.environ.pop(REDUCED_ENV, None)
+    else:
+        os.environ[REDUCED_ENV] = "1"
+    try:
+        PERF.reset()
+        start = time.perf_counter()
+        results = run_cells(cells, settings=settings, timing=timing,
+                            offset_iterations=iterations, workers=1)
+        seconds = time.perf_counter() - start
+        return results, seconds, PERF.snapshot()["counters"]
+    finally:
+        os.environ.pop(REDUCED_ENV, None)
+
+
+def assert_identical(reduced, full) -> Dict:
+    """The reduced pass must reproduce the full-space tables bit for bit."""
+    worst_offset = worst_spec = worst_delay = 0.0
+    for a, b in zip(reduced, full):
+        np.testing.assert_array_equal(a.offset.offsets, b.offset.offsets)
+        worst_offset = max(worst_offset, float(np.nanmax(
+            np.abs(a.offset.offsets - b.offset.offsets), initial=0.0)))
+        worst_spec = max(worst_spec, abs(a.offset.spec - b.offset.spec))
+        worst_delay = max(worst_delay, abs(a.delay_s - b.delay_s))
+    assert worst_spec == 0.0, \
+        f"reduced-path specs deviate by {worst_spec:g} V"
+    assert worst_delay == 0.0, \
+        f"reduced-path delays deviate by {worst_delay:g} s"
+    return {"max_offset_diff_V": worst_offset,
+            "max_spec_diff_V": worst_spec,
+            "max_delay_diff_s": worst_delay}
+
+
+def system_sizes(temperature_k: float = 298.15) -> Dict[str, Dict]:
+    """Node counts of the grid's two topologies (for the FLOP proxy)."""
+    sizes = {}
+    for name, design in (("nssa", build_nssa()), ("issa", build_issa())):
+        system = MnaSystem(design.circuit, temperature_k, batch_size=1)
+        sizes[name] = {"n_nodes": system.n_nodes,
+                       "n_unknown": system.n_unknown}
+    return sizes
+
+
+def flop_proxy(counters: Dict, sizes: Dict[str, Dict],
+               reduced: bool) -> int:
+    """Jacobian elements materialised across the pass.
+
+    Full-space assembly scatters into ``(n, n)`` per sample-iteration
+    (and the solver copies the ``n_u x n_u`` block out); the reduced
+    assembly gathers ``n_u x n_u`` directly.  The per-iteration element
+    count uses the mean over the grid's two topologies — the counters
+    are grid aggregates, so this is a proxy, not a per-cell account.
+    """
+    if reduced:
+        per_iter = np.mean([s["n_unknown"] ** 2 for s in sizes.values()])
+    else:
+        per_iter = np.mean([s["n_nodes"] ** 2 + s["n_unknown"] ** 2
+                            for s in sizes.values()])
+    return int(counters.get("newton.sample_iterations", 0) * per_iter)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mc", type=int, default=48,
+                        help="MC population (default 48)")
+    parser.add_argument("--dt", type=float, default=1e-12,
+                        help="transient step (default 1ps)")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="bisection depth (default 10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions; the best is reported")
+    parser.add_argument("--min-speedup", type=float, default=1.3,
+                        help="fail below this wall-clock speedup "
+                             "(default 1.3; use 1.0 for tiny CI smokes "
+                             "where timing noise dominates)")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_reduced.json"))
+    args = parser.parse_args(argv)
+
+    cells = grid_cells("2")
+    settings = McSettings(size=args.mc, seed=2017,
+                          mismatch=MismatchModel())
+    timing = ReadTiming(dt=args.dt)
+    sizes = system_sizes()
+
+    doc: Dict = {
+        "benchmark": "reduced_speedup",
+        "host": {"cpu_count": os.cpu_count(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine()},
+        "settings": {"mc": args.mc, "dt": args.dt,
+                     "offset_iterations": args.iterations,
+                     "cells": len(cells), "repeats": args.repeats,
+                     "workers": 1, "chunk_size": None},
+        "system_sizes": sizes,
+    }
+
+    passes = (("reduced", True), ("no_reduced", False))
+
+    # Untimed warmup (imports, BLAS thread pools, allocator freelists)
+    # so the first timed pass is not penalised for going first.
+    print("warmup ...", flush=True)
+    warm = McSettings(size=8, seed=2017, mismatch=MismatchModel())
+    for _, reduced in passes:
+        run_grid_once(cells[:1], warm, timing, 2, reduced)
+
+    # Interleave the passes so drift (thermal, cache pressure) hits
+    # both sides equally; keep the best wall time per side.
+    best_s: Dict[str, float] = {}
+    outputs: Dict[str, List] = {}
+    pass_counters: Dict[str, Dict] = {}
+    for repeat in range(args.repeats):
+        for label, reduced in passes:
+            print(f"grid pass {repeat + 1}/{args.repeats}: {label} ...",
+                  flush=True)
+            results, seconds, counters = run_grid_once(
+                cells, settings, timing, args.iterations, reduced)
+            if label not in best_s or seconds < best_s[label]:
+                best_s[label] = seconds
+            outputs[label] = results
+            pass_counters[label] = counters
+
+    runs: Dict[str, Dict] = {}
+    for label, reduced in passes:
+        counters = pass_counters[label]
+        runs[label] = {"best_s": round(best_s[label], 3),
+                       "counters": _kept(counters)}
+        for name in REDUCED_ONLY_COUNTERS:
+            present = name in counters and counters[name] > 0
+            problem = "missing from" if reduced else "leaked into"
+            assert present == reduced, \
+                f"counter {name} {problem} the {label} pass"
+
+    # Bit-identity is the contract: verify before writing anything.
+    doc["equivalence"] = assert_identical(outputs["reduced"],
+                                          outputs["no_reduced"])
+    doc["equivalence"]["bit_identical_tables"] = True
+
+    speedup = runs["no_reduced"]["best_s"] / runs["reduced"]["best_s"]
+    proxy_full = flop_proxy(runs["no_reduced"]["counters"], sizes, False)
+    proxy_reduced = flop_proxy(runs["reduced"]["counters"], sizes, True)
+    doc["reduced_ablation"] = {
+        **runs,
+        "speedup": round(speedup, 2),
+        "flop_proxy": {
+            "definition": "Jacobian elements materialised per Newton "
+                          "sample-iteration (n^2 + n_u^2 slice copy "
+                          "full-space, n_u^2 reduced), topology-mean",
+            "full": proxy_full,
+            "reduced": proxy_reduced,
+            "reduction_x": round(proxy_full / max(proxy_reduced, 1), 2),
+        },
+    }
+    doc["criteria"] = {
+        "speedup_x": round(speedup, 2),
+        "min_speedup_x": args.min_speedup,
+        "bit_identical_tables_asserted": True,
+        "note": "reduced Table-II grid, serial, cold cache; the two "
+                "passes differ only in REPRO_NO_REDUCED. Tables are "
+                "asserted bit-identical (offsets, spec, delay) before "
+                "this file is written.",
+    }
+
+    assert speedup >= args.min_speedup, \
+        f"reduced-path speedup {speedup:.2f}x below the " \
+        f"{args.min_speedup:.1f}x target"
+
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    print(f"reduced assembly: {speedup:.2f}x wall, "
+          f"{doc['reduced_ablation']['flop_proxy']['reduction_x']:.2f}x "
+          f"fewer Jacobian elements")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

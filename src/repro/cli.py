@@ -13,6 +13,8 @@
 * ``report`` — assemble REPORT.md from the benchmark artefacts;
 * ``perf`` — profile one table cell and dump the fast-path counters
   (optionally as JSON);
+* ``bench`` — discover and run the ``benchmarks/*_speedup.py`` suites
+  and write their ``BENCH_*.json`` artefacts;
 * ``cache`` — inspect or clear the persistent result cache;
 * ``workloads`` — list the paper's workloads.
 
@@ -223,6 +225,12 @@ def cmd_perf(args) -> int:
           f"{PERF.ratio('transient.sample_steps', 'transient.steps'):8.2f}")
     print(f"  samples decided early/run    "
           f"{PERF.ratio('transient.samples_decided_early', 'transient.runs'):8.2f}")
+    print(f"  reduced evals/newton iter    "
+          f"{PERF.ratio('mna.reduced_evals', 'newton.iterations'):8.2f}")
+    print(f"  known tables/transient run   "
+          f"{PERF.ratio('transient.known_table_builds', 'transient.runs'):8.2f}")
+    print(f"  fused endpoint runs          "
+          f"{PERF.counters.get('offset.endpoint_fused_runs', 0):8d}")
     if args.cache:
         print(f"  cache hit rate               "
               f"{PERF.ratio('cache.hits', 'cache.requests'):8.2f}")
@@ -235,6 +243,51 @@ def cmd_perf(args) -> int:
             "result": result.row(),
         })
         print(f"\nperf JSON written to {path}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Discover and run the ``benchmarks/*_speedup.py`` suites uniformly.
+
+    Each suite is a stand-alone script exposing ``main(argv) -> int``
+    and writing its ``BENCH_*.json`` artefact; this subcommand replaces
+    the per-suite invocation recipes with one entry point.  Arguments
+    after ``--`` are passed through to every suite.
+    """
+    import importlib.util
+    import pathlib
+
+    directory = pathlib.Path(args.dir)
+    scripts = sorted(directory.glob("*_speedup.py"))
+    if args.only:
+        scripts = [s for s in scripts if args.only in s.stem]
+    if args.list:
+        for script in scripts:
+            print(script.stem)
+        return 0
+    if not scripts:
+        print(f"no *_speedup.py benchmarks under {directory}",
+              file=sys.stderr)
+        return 1
+    passthrough = list(args.bench_args)
+    if passthrough[:1] == ["--"]:
+        passthrough = passthrough[1:]
+    failures = []
+    for script in scripts:
+        print(f"== {script.stem} ==", flush=True)
+        spec = importlib.util.spec_from_file_location(script.stem, script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        main_fn = getattr(module, "main", None)
+        if main_fn is None:
+            print(f"  {script.name} has no main(argv)", file=sys.stderr)
+            failures.append(script.stem)
+            continue
+        if main_fn(list(passthrough)):
+            failures.append(script.stem)
+    if failures:
+        print("failed suites: " + ", ".join(failures), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -336,6 +389,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mc_args(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("bench",
+                       help="run the benchmarks/*_speedup.py suites")
+    p.add_argument("--dir", default="benchmarks",
+                   help="directory to scan for *_speedup.py suites")
+    p.add_argument("--list", action="store_true",
+                   help="list the discovered suites and exit")
+    p.add_argument("--only", default=None, metavar="SUBSTR",
+                   help="run only suites whose name contains SUBSTR")
+    p.add_argument("bench_args", nargs=argparse.REMAINDER,
+                   help="arguments after -- are passed to every suite")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("cache",
                        help="inspect or clear the persistent result cache")

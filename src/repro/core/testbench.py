@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..analysis.perf import PERF
 from ..circuits.sense_amp import (ReadTiming, SenseAmpDesign,
                                   apply_waveforms)
 from ..models.temperature import Environment
@@ -174,6 +175,12 @@ class SenseAmpTestbench:
                                 batch_size=batch_size)
         self._initial_template: Optional[np.ndarray] = None
         self._trajectories: Dict[Tuple, List[np.ndarray]] = {}
+        # Stacked 2x-batch sibling system for fused endpoint transients
+        # (see resolve_sign_pair); built on first use, shift-synced
+        # lazily via the stale flag.
+        self._fused_system: Optional[MnaSystem] = None
+        self._fused_template: Optional[np.ndarray] = None
+        self._fused_shifts_stale = True
 
     @property
     def batch_size(self) -> int:
@@ -217,10 +224,12 @@ class SenseAmpTestbench:
         # Recorded trajectories belong to the previous device
         # population; drop them rather than seed across populations.
         self._trajectories.clear()
+        self._fused_shifts_stale = True
 
     def clear_vth_shifts(self) -> None:
         self.system.clear_vth_shifts()
         self._trajectories.clear()
+        self._fused_shifts_stale = True
 
     # -- simulation ------------------------------------------------------
 
@@ -287,6 +296,87 @@ class SenseAmpTestbench:
         if use_traj and result.states is not None:
             self._trajectories[slot] = result.states
         return final_sign(result.differential("s", "sbar"))
+
+    @property
+    def fused_endpoints(self) -> bool:
+        """True when :meth:`resolve_sign_pair` should replace the two
+        endpoint monotonicity reads of the offset search.
+
+        Rides the reduced-assembly switch: with ``REPRO_NO_REDUCED=1``
+        the offset search falls back to two separate endpoint reads,
+        reproducing the pre-fusion baseline exactly.
+        """
+        return bool(self.system.reduced)
+
+    def _fused(self) -> MnaSystem:
+        """The 2x-batch sibling system used by fused endpoint reads.
+
+        Shares the live netlist with ``self.system`` (waveform swaps
+        apply to both); the per-device Vth shifts are tiled
+        ``(shift, shift)`` so rows ``[:batch]`` and ``[batch:]`` of the
+        stacked run carry the same device population as the base batch.
+        """
+        if self._fused_system is None:
+            self._fused_system = MnaSystem(self.design.circuit,
+                                           self.env.temperature_k,
+                                           batch_size=2 * self.batch_size)
+        if self._fused_shifts_stale:
+            tiled = {}
+            for name, shift in self.system.vth_shifts().items():
+                if isinstance(shift, np.ndarray) and shift.ndim:
+                    tiled[name] = np.concatenate((shift, shift))
+                else:
+                    tiled[name] = shift
+            self._fused_system.set_vth_shifts(tiled)
+            self._fused_shifts_stale = False
+        return self._fused_system
+
+    def resolve_sign_pair(self, vin_hi: Union[float, np.ndarray],
+                          vin_lo: Union[float, np.ndarray],
+                          swapped: bool = False,
+                          t_window: Optional[float] = None,
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Both endpoint latch decisions from one stacked 2x-batch read.
+
+        Equivalent to ``(resolve_sign(vin_hi), resolve_sign(vin_lo))``
+        but pays the transient overhead (known-table build, stepper
+        setup, per-step Python) once, and the doubled Newton batch keeps
+        the dense kernels in their efficient regime.  The recorded
+        states of the ``vin_lo`` half seed the first bisection read,
+        mirroring the sequential path where the lo endpoint is the last
+        trajectory recorded before bisection starts.
+        """
+        batch = self.batch_size
+        hi = np.broadcast_to(np.asarray(vin_hi, dtype=float), (batch,))
+        lo = np.broadcast_to(np.asarray(vin_lo, dtype=float), (batch,))
+        vin = np.concatenate((hi, lo))
+        system = self._fused()
+        waveforms = self.design.read_waveforms(vin, self.env.vdd,
+                                               self.timing, swapped=swapped)
+        apply_waveforms(self.design, waveforms)
+        if self.warmstart.state_reuse:
+            if self._fused_template is None:
+                self._fused_template = system.initial_full_vector(
+                    0.0, self.design.initial_conditions(self.env.vdd))
+            initial_state = self._fused_template
+        else:
+            initial_state = system.initial_full_vector(
+                0.0, self.design.initial_conditions(self.env.vdd))
+        window = self.timing.t_window if t_window is None else t_window
+        use_traj = self.warmstart.trajectory
+        PERF.count("offset.endpoint_fused_runs")
+        result = run_transient(
+            system, window, self.timing.dt, probes=("s", "sbar"),
+            initial_state=initial_state,
+            options=self._transient_newton,
+            decision=self.decision_spec() if self.early_decision else None,
+            extrapolate=self.warmstart.extrapolate,
+            record_states=use_traj)
+        if use_traj and result.states is not None:
+            self._trajectories[("sign", swapped, t_window)] = [
+                state[batch:] for state in result.states]
+        sign = final_sign(result.differential("s", "sbar"))
+        return sign[:batch], sign[batch:]
 
     def sensing_delay(self, vin: Union[float, np.ndarray],
                       swapped: bool = False) -> np.ndarray:

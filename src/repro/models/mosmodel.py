@@ -382,6 +382,197 @@ def stacked_mos_current(vg: ArrayLike, vd: ArrayLike, vs: ArrayLike,
     return i_d, gm, gd, gs
 
 
+#: ``(n_dev, batch)`` scratch buffers of a stacked-evaluation workspace.
+_EVAL_BUFFERS_N = ("over", "vp", "vds", "th", "clm", "core", "degr",
+                   "dclm", "num", "den", "t1")
+
+
+def stacked_eval_workspace(batch: int,
+                           devices: StackedDevices) -> dict:
+    """Preallocated buffers for :func:`stacked_mos_current_into`.
+
+    All buffers are laid out **batch-last** (``(n_dev, batch)`` and
+    multiples): the evaluator fuses the three EKV interpolation
+    arguments (forward, reverse, overdrive) into ``(3 * n_dev, batch)``
+    blocks whose per-argument slices are then *contiguous* rows — with
+    batch-first layout every block slice is strided and numpy's strided
+    inner loops cost roughly half a microsecond extra per ufunc, which
+    at Monte-Carlo sizes dwarfs the arithmetic.  The per-device model
+    constants are stored pre-shaped for batch-last broadcasting.
+    """
+    n_dev = devices.polarity.shape[0]
+    work = {name: np.empty((n_dev, batch)) for name in _EVAL_BUFFERS_N}
+    work["rel"] = np.empty((3 * n_dev, batch))
+    work["arg"] = np.empty((3 * n_dev, batch))
+    work["e"] = np.empty((3 * n_dev, batch))
+    work["sp"] = np.empty((3 * n_dev, batch))
+    work["lg"] = np.empty((3 * n_dev, batch))
+    work["wide"] = np.empty((3 * n_dev, batch))
+    work["mask"] = np.empty((3 * n_dev, batch), dtype=bool)
+    work["df2"] = np.empty((2 * n_dev, batch))
+    work["stampsT"] = np.empty((3 * n_dev, batch))
+    work["termT"] = np.empty((4 * n_dev, batch))
+    work["pol"] = devices.polarity[:, None]
+    work["pol3"] = np.concatenate((devices.polarity,) * 3)[:, None]
+    work["n"] = devices.n[:, None]
+    work["n_phit"] = work["n"] * devices.phit
+    work["theta"] = devices.theta[:, None]
+    work["lambda_clm"] = devices.lambda_clm[:, None]
+    work["i_spec"] = devices.i_spec[:, None]
+    return work
+
+
+def _softplus_logistic_into(x, e, sp, lg, scratch, mask) -> None:
+    """:func:`softplus_logistic` with the hot ops into caller buffers.
+
+    Performs the same ufunc sequence element for element (the two
+    ``np.where`` selects are kept — masked ``copyto`` is slower), so the
+    results are bit-identical to the allocating version.
+    """
+    np.abs(x, out=e)
+    np.negative(e, out=e)
+    np.exp(e, out=e)                       # e = exp(-|x|)
+    np.greater(x, 0.0, out=mask)
+    np.log1p(e, out=scratch)
+    np.add(np.where(mask, x, 0.0), scratch, out=sp)     # softplus
+    np.greater_equal(x, 0.0, out=mask)
+    np.add(e, 1.0, out=lg)
+    np.divide(np.where(mask, 1.0, e), lg, out=lg)       # logistic
+
+
+def stacked_mos_current_into(terminals, vth,
+                             devices: StackedDevices, work: dict,
+                             i_d, stamps) -> None:
+    """:func:`stacked_mos_current` into preallocated buffers.
+
+    ``terminals`` is the fused ``(batch, 4 * n_dev)`` gather
+    ``[gate | drain | source | bulk]`` the compiled system already
+    builds; ``vth`` is the *shifted* threshold
+    ``devices.vth + vth_shift``, transposed to ``(n_dev, 1 or batch)``
+    and precomputed by the caller (which can cache it — the shift matrix
+    is constant across a cell's thousands of evaluations).  Writes the
+    current into ``i_d`` (``(batch, n_dev)``) and the partials into
+    ``stamps`` (``(batch, 3 * n_dev)`` as ``[gm | gd | gs]``, the layout
+    the Jacobian scatter matmul consumes); every intermediate lives in
+    ``work`` (see :func:`stacked_eval_workspace`).
+
+    The evaluation itself runs batch-last: the three bulk-referenced
+    terminal voltages and the three EKV interpolation arguments are
+    stacked into contiguous ``(3 * n_dev, batch)`` blocks, which both
+    fuses the dominant transcendental passes and keeps every slice
+    contiguous (see :func:`stacked_eval_workspace`); two small
+    transpose copies at entry/exit convert between the system's
+    batch-first layout.  Per element, every operation reproduces the
+    expression *and operation order* of :func:`stacked_mos_current`, so
+    the outputs are bit-identical — the reduced-assembly fast path
+    relies on this to stay bitwise equal to the full-space baseline
+    (enforced by the test suite and the ``reduced_speedup`` benchmark).
+    """
+    phit = devices.phit
+    w = work
+    n_dev = devices.polarity.shape[0]
+    batch = terminals.shape[0]
+    pol = w["pol"]
+    n_phit = w["n_phit"]
+
+    termT = w["termT"]
+    np.copyto(termT, terminals.T)
+    # rel = [vg_rel | vd_rel | vs_rel]: one broadcast subtract of the
+    # bulk block plus one polarity multiply for all three.
+    rel = w["rel"]
+    np.subtract(termT[:3 * n_dev].reshape(3, n_dev, batch),
+                termT[3 * n_dev:].reshape(1, n_dev, batch),
+                out=rel.reshape(3, n_dev, batch))
+    np.multiply(w["pol3"], rel, out=rel)
+    vg_rel = rel[:n_dev]
+    vd_rel = rel[n_dev:2 * n_dev]
+    vs_rel = rel[2 * n_dev:]
+
+    over = np.subtract(vg_rel, vth, out=w["over"])
+    vp = np.divide(over, w["n"], out=w["vp"])
+    # arg = [x_f | x_r | x_o]: the forward/reverse halves share the
+    # "/ phit / 2" pair, the overdrive third divides by n*phit.
+    arg = w["arg"]
+    np.subtract(vp, vs_rel, out=arg[:n_dev])
+    np.subtract(vp, vd_rel, out=arg[n_dev:2 * n_dev])
+    np.divide(arg[:2 * n_dev], phit, out=arg[:2 * n_dev])
+    np.divide(arg[:2 * n_dev], 2.0, out=arg[:2 * n_dev])
+    np.divide(over, n_phit, out=arg[2 * n_dev:])
+    _softplus_logistic_into(arg, w["e"], w["sp"], w["lg"],
+                            w["wide"], w["mask"])
+    sp2 = w["sp"][:2 * n_dev]
+    lg_o = w["lg"][2 * n_dev:]
+    f2 = np.multiply(sp2, sp2, out=w["wide"][:2 * n_dev])  # [f_f | f_r]
+
+    degr = np.multiply(n_phit, w["sp"][2 * n_dev:],
+                       out=w["degr"])             # overdrive
+    np.multiply(w["theta"], degr, out=degr)
+    np.add(1.0, degr, out=degr)
+
+    vds = np.subtract(vd_rel, vs_rel, out=w["vds"])
+    th = np.divide(vds, 2.0 * phit, out=w["th"])
+    np.maximum(th, -_EXP_CLIP, out=th)
+    np.minimum(th, _EXP_CLIP, out=th)             # == clip
+    np.tanh(th, out=th)
+    clm = np.multiply(w["lambda_clm"], vds, out=w["clm"])
+    np.multiply(clm, th, out=clm)
+    np.add(1.0, clm, out=clm)
+
+    core = np.subtract(f2[:n_dev], f2[n_dev:], out=w["core"])
+    i_dT = np.multiply(w["i_spec"], core, out=w["vp"])
+    np.multiply(i_dT, clm, out=i_dT)
+    np.divide(i_dT, degr, out=i_dT)
+    np.multiply(pol, i_dT, out=i_dT)
+
+    df2 = np.multiply(sp2, w["lg"][:2 * n_dev],
+                      out=w["df2"])               # [df_f | df_r]
+    df_f = df2[:n_dev]
+    df_r = df2[n_dev:]
+    t1 = np.multiply(th, th, out=w["t1"])
+    np.subtract(1.0, t1, out=t1)
+    np.multiply(vds, t1, out=t1)
+    np.divide(t1, 2.0 * phit, out=t1)
+    np.add(th, t1, out=t1)
+    dclm = np.multiply(w["lambda_clm"], t1, out=w["dclm"])
+
+    stampsT = w["stampsT"]
+    gm = stampsT[:n_dev]
+    gd = stampsT[n_dev:2 * n_dev]
+    gs = stampsT[2 * n_dev:]
+
+    # gm = i_spec * (d_core_dvg*clm/degr - core*clm*theta*lg_o/degr^2)
+    t2 = np.subtract(df_f, df_r, out=w["over"])
+    np.divide(t2, n_phit, out=t2)                 # d_core_dvg
+    np.multiply(t2, clm, out=t2)
+    np.divide(t2, degr, out=t2)
+    np.multiply(core, clm, out=w["num"])
+    np.multiply(w["num"], w["theta"], out=w["num"])
+    np.multiply(w["num"], lg_o, out=w["num"])
+    np.multiply(degr, degr, out=w["den"])
+    np.divide(w["num"], w["den"], out=w["num"])
+    np.subtract(t2, w["num"], out=gm)
+    np.multiply(w["i_spec"], gm, out=gm)
+
+    # gd = i_spec * (d_core_dvd*clm + core*dclm) / degr
+    np.divide(df_r, phit, out=df_r)               # d_core_dvd
+    np.multiply(df_r, clm, out=df_r)
+    np.multiply(core, dclm, out=w["t1"])
+    np.add(df_r, w["t1"], out=df_r)
+    np.multiply(w["i_spec"], df_r, out=gd)
+    np.divide(gd, degr, out=gd)
+
+    # gs = i_spec * (d_core_dvs*clm - core*dclm) / degr
+    np.divide(df_f, phit, out=df_f)
+    np.negative(df_f, out=df_f)                   # d_core_dvs
+    np.multiply(df_f, clm, out=df_f)
+    np.subtract(df_f, w["t1"], out=df_f)
+    np.multiply(w["i_spec"], df_f, out=gs)
+    np.divide(gs, degr, out=gs)
+
+    np.copyto(i_d, i_dT.T)
+    np.copyto(stamps, stampsT.T)
+
+
 def saturation_current(params: MosParams, w_over_l: float,
                        vdd: float, temperature_k: float = T0) -> float:
     """On-current at ``|vgs| = |vds| = vdd`` — a quick sanity metric."""

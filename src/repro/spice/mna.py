@@ -25,7 +25,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..models.mosmodel import mos_current, stack_devices, stacked_mos_current
+from ..analysis.perf import PERF
+from ..models.mosmodel import (mos_current, stack_devices,
+                               stacked_eval_workspace, stacked_mos_current,
+                               stacked_mos_current_into)
 from .netlist import Circuit, Mosfet, is_ground
 
 #: Conductance from every node to ground for conditioning [S].
@@ -35,9 +38,19 @@ GMIN_DEFAULT = 1e-9
 #: fast-path benchmarks to measure the legacy per-device loop).
 FASTPATH_ENV = "REPRO_NO_FASTPATH"
 
+#: Environment switch disabling the reduced (unknown-block) assembly: the
+#: transient engine then falls back to full node-space residual/Jacobian
+#: assembly with the solver slicing the unknown block per iteration —
+#: the PR-2 baseline measured by ``benchmarks/reduced_speedup.py``.
+REDUCED_ENV = "REPRO_NO_REDUCED"
+
 
 def _fastpath_default() -> bool:
     return os.environ.get(FASTPATH_ENV, "0") != "1"
+
+
+def _reduced_default() -> bool:
+    return os.environ.get(REDUCED_ENV, "0") != "1"
 
 
 @dataclasses.dataclass
@@ -70,7 +83,8 @@ class MnaSystem:
 
     def __init__(self, circuit: Circuit, temperature_k: float,
                  batch_size: int = 1, gmin: float = GMIN_DEFAULT,
-                 stacked: Optional[bool] = None) -> None:
+                 stacked: Optional[bool] = None,
+                 reduced: Optional[bool] = None) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.circuit = circuit
@@ -81,6 +95,14 @@ class MnaSystem:
         #: instead of one Python call per device.  ``None`` follows the
         #: REPRO_NO_FASTPATH environment switch.
         self.stacked = _fastpath_default() if stacked is None else stacked
+        #: Assemble residual/Jacobian directly on the unknown-node block
+        #: (:meth:`reduced_residual_jacobian`) so the transient engine
+        #: and Newton solver never materialise or slice full ``(batch,
+        #: n, n)`` operators.  Requires the stacked fast path (the
+        #: reduced assembly gathers from its scatter-matmul products);
+        #: ``None`` follows the REPRO_NO_REDUCED environment switch.
+        self.reduced = self.stacked and (
+            _reduced_default() if reduced is None else reduced)
 
         names = circuit.node_names()
         #: node name -> index; ground is index 0.
@@ -104,6 +126,7 @@ class MnaSystem:
 
         self._build_linear_matrices()
         self._compile_mosfets()
+        self._build_reduced_maps()
 
     # -- construction ----------------------------------------------------
 
@@ -208,6 +231,77 @@ class MnaSystem:
         self._f_scatter = f_scatter
         self._jac_scatter = jac_scatter
         self._vth_matrix: Optional[np.ndarray] = None
+        #: Shifted thresholds ``devices.vth + shift matrix``, cached for
+        #: the reduced evaluator (constant across a cell's evaluations).
+        self._vth_total: Optional[np.ndarray] = None
+
+    def _build_reduced_maps(self) -> None:
+        """Compile-time gather maps and operator blocks (reduced path).
+
+        The reduced assembly keeps the *same* full-width matmuls as the
+        full-space path and then gathers the unknown-block elements with
+        ``np.take`` — BLAS picks shape-dependent accumulation orders, so
+        matmuls on *sliced* operands are not bitwise identical to
+        slicing the full product; element gathers and elementwise adds
+        are.  The static operator blocks (``g_static_uu`` etc.) are
+        element copies of the full matrices, so adding them after the
+        gather reproduces the full-space bits exactly.
+        """
+        u = self.unknown_idx
+        k = self.known_idx
+        n = self.n_nodes
+        self.n_unknown = int(u.size)
+        #: Flat column indices of the unknown x unknown block inside a
+        #: row-major flattened ``(n, n)`` Jacobian.
+        self._uu_cols = (u[:, None] * n + u[None, :]).ravel()
+        self.g_static_uu = self.g_static[np.ix_(u, u)].copy()
+        self.g_static_uk = self.g_static[np.ix_(u, k)].copy()
+        self.c_matrix_uu = self.c_matrix[np.ix_(u, u)].copy()
+        self.c_matrix_uk = self.c_matrix[np.ix_(u, k)].copy()
+        self._g_static_T = self.g_static.T
+        #: One fused terminal gather (gate | drain | source | bulk).
+        self._dev_all = np.concatenate((self._dev_gate, self._dev_drain,
+                                        self._dev_source, self._dev_bulk))
+        self._work: Optional[Dict[str, np.ndarray]] = None
+        self._work_views: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def _reduced_workspace(self, batch: int) -> Dict[str, np.ndarray]:
+        """Preallocated evaluation buffers, grown on demand.
+
+        Returns a dict of ``batch``-row views into a shared backing
+        store sized for ``batch_size`` rows; the view dicts are cached
+        per batch size, so active-sample masking reuses the same memory
+        without per-iteration slicing or allocation.
+        """
+        views = self._work_views.get(batch)
+        if views is not None:
+            return views
+        work = self._work
+        if work is None or work["f"].shape[0] < batch:
+            n = self.n_nodes
+            n_dev = len(self._mosfets)
+            n_u = self.n_unknown
+            size = max(batch, self.batch_size)
+            work = {
+                "f": np.empty((size, n)),
+                "f_dev": np.empty((size, n)),
+                "terminals": np.empty((size, 4 * n_dev)),
+                "i_d": np.empty((size, n_dev)),
+                "stamps": np.empty((size, 3 * n_dev)),
+                "jac_flat": np.empty((size, n * n)),
+                "f_u": np.empty((size, n_u)),
+                "jac_uu": np.empty((size, n_u * n_u)),
+            }
+            self._work = work
+            self._work_views = {}
+        views = {key: buf[:batch] for key, buf in work.items()}
+        # The model workspace is batch-last, so a column slice of a
+        # wider store would have strided rows — allocate one contiguous
+        # workspace per batch size instead (they are ~100 kB each and
+        # active-sample masking visits only a handful of sizes).
+        views["mos"] = stacked_eval_workspace(batch, self._devices)
+        self._work_views[batch] = views
+        return views
 
     def _vth_shift_matrix(self) -> np.ndarray:
         """Per-device shift matrix ``(1 or batch, n_dev)``, cached."""
@@ -242,6 +336,7 @@ class MnaSystem:
                 f"shift for {name!r} must be scalar or ({self.batch_size},)")
         slot.vth_shift = shift if np.isscalar(shift) else shift_arr
         self._vth_matrix = None
+        self._vth_total = None
 
     def set_vth_shifts(self, shifts: Dict[str, Union[float, np.ndarray]],
                        ) -> None:
@@ -254,6 +349,7 @@ class MnaSystem:
         for slot in self._mosfets:
             slot.vth_shift = 0.0
         self._vth_matrix = None
+        self._vth_total = None
 
     # -- evaluation ------------------------------------------------------
 
@@ -351,6 +447,73 @@ class MnaSystem:
             f[:, d] += i_d
             f[:, s] -= i_d
         return f
+
+    def reduced_residual_jacobian(self, v_full: np.ndarray,
+                                  time_s: float,
+                                  active: Optional[np.ndarray] = None,
+                                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual and Jacobian restricted to the unknown-node block.
+
+        Returns ``(f_u, jac_uu)`` with shapes ``(batch, n_u)`` and
+        ``(batch, n_u, n_u)``, *bit-identical* to evaluating
+        :meth:`static_residual_jacobian` and slicing the unknown block:
+        the method runs the same full-width scatter matmuls (identical
+        operands and layouts) and then gathers the unknown-block
+        elements with ``np.take``, adding the static operator block
+        after the gather (element picks and elementwise adds commute
+        bitwise; matmuls on sliced operands do not — see
+        :meth:`_build_reduced_maps`).
+
+        The returned arrays are views into a per-system workspace: they
+        stay valid until the next reduced evaluation, and the caller may
+        mutate them in place (the Newton solver negates ``f_u``; the
+        transient stepper adds its capacitive terms).
+        """
+        PERF.count("mna.reduced_evals")
+        if not self.stacked:
+            f, jac = self.static_residual_jacobian(v_full, time_s, active)
+            u = self.unknown_idx
+            return f[:, u], jac[:, u[:, None], u[None, :]]
+        batch = v_full.shape[0]
+        work = self._reduced_workspace(batch)
+        f = np.matmul(v_full, self._g_static_T, out=work["f"])
+        self._add_isources(f, time_s, active)
+        vth = self._vth_total
+        if vth is None:
+            vth = np.ascontiguousarray(
+                (self._devices.vth + self._vth_shift_matrix()).T)
+            self._vth_total = vth
+        if active is not None and vth.shape[1] != 1 \
+                and active.size != vth.shape[1]:
+            # active is sorted and unique, so a full-size index set is
+            # arange(batch) and the gather would be an identity copy.
+            vth = vth[:, active]
+        terminals = v_full.take(self._dev_all, axis=1,
+                                out=work["terminals"])
+        i_d = work["i_d"]
+        stacked_mos_current_into(terminals, vth, self._devices,
+                                 work["mos"], i_d, work["stamps"])
+        f += np.matmul(i_d, self._f_scatter, out=work["f_dev"])
+        jac_flat = np.matmul(work["stamps"], self._jac_scatter,
+                             out=work["jac_flat"])
+        f_u = f.take(self.unknown_idx, axis=1, out=work["f_u"])
+        jac_uu = jac_flat.take(self._uu_cols, axis=1,
+                               out=work["jac_uu"])
+        jac_uu = jac_uu.reshape(batch, self.n_unknown, self.n_unknown)
+        jac_uu += self.g_static_uu
+        return f_u, jac_uu
+
+    def reduced_residual(self, v_full: np.ndarray, time_s: float,
+                         active: Optional[np.ndarray] = None) -> np.ndarray:
+        """Unknown-block residual only (no Jacobian assembly)."""
+        PERF.count("mna.reduced_evals")
+        f = self.static_residual(v_full, time_s, active)
+        return f[:, self.unknown_idx]
+
+    def vth_shifts(self) -> Dict[str, Union[float, np.ndarray]]:
+        """Current per-device shifts (scalars or ``(batch,)`` arrays)."""
+        return {name: slot.vth_shift
+                for name, slot in self._mosfet_slots.items()}
 
     def _add_isources(self, f: np.ndarray, time_s: float,
                       active: Optional[np.ndarray]) -> None:

@@ -210,6 +210,17 @@ def run_transient(system: MnaSystem,
 
     c_over_dt = system.c_matrix / dt
 
+    if (getattr(system, "reduced", False) and method == "be"
+            and not options.quasi):
+        # Compiled fast loop: reduced (unknown-block) assembly, a
+        # precomputed known-voltage table and preallocated kernels.
+        # Bit-identical to the loop below; ``REPRO_NO_REDUCED=1`` (or
+        # the trapezoidal/chord modes) keeps the legacy loop.
+        return _run_reduced_be(system, times, n_steps, v_prev, batch,
+                               active, decided, decision, c_over_dt,
+                               options, probes, guess_trajectory,
+                               guess_gate, extrapolate, record_states)
+
     record: Dict[str, List[np.ndarray]] = {p: [] for p in probes}
 
     def snapshot(v_full: np.ndarray) -> None:
@@ -318,6 +329,214 @@ def run_transient(system: MnaSystem,
         PERF.count("transient.samples_decided_early", int(decided.sum()))
 
     voltages = {node: np.stack(values) for node, values in record.items()}
+    return TransientResult(times=times[:steps_run + 1], voltages=voltages,
+                           final=v_prev, newton_iterations=total_newton,
+                           decided=decided, states=states)
+
+
+def _build_known_table(system: MnaSystem, times: np.ndarray) -> np.ndarray:
+    """Known-node voltages for a whole time grid in one vectorised pass.
+
+    Returns ``(n_times, batch, n_known)`` ordered like
+    ``system.known_idx``.  Sources are visited in netlist order (later
+    sources overwrite, exactly like :meth:`MnaSystem.apply_known`) and
+    each waveform is evaluated over the full grid with
+    :meth:`Waveform.values`, whose elements are bit-identical to the
+    per-step scalar ``value()`` calls of the legacy loop.  A source
+    driving ground is skipped: ground is not a known column and is
+    pinned to 0 V by construction.
+    """
+    batch = system.batch_size
+    known = system.known_idx
+    table = np.zeros((times.shape[0], batch, known.size))
+    position = {int(index): column for column, index in enumerate(known)}
+    for source in system.circuit.vsources:
+        column = position.get(system.node_index[source.node])
+        if column is None:
+            continue
+        values = np.asarray(source.waveform.values(times), dtype=float)
+        table[:, :, column] = values if values.ndim == 2 else values[:, None]
+    PERF.count("transient.known_table_builds")
+    return table
+
+
+class _ReducedStepper:
+    """Reusable backward-Euler kernel on the unknown-node block.
+
+    Replaces the per-step ``res_jac``/``res_only`` closures of the
+    legacy loop: one instance serves every step of a run (the loop just
+    updates ``t_new``/``v_prev``), and its buffers serve every Newton
+    iteration.  The capacitive terms are merged exactly like the legacy
+    closures — a full-width ``dv @ c_over_dt.T`` matmul gathered to the
+    unknown block, and the precompiled ``c_over_dt_uu`` block added to
+    the reduced Jacobian — so the residual/Jacobian bits match the
+    full-space path element for element.
+    """
+
+    supports_active = True
+    reduced = True
+
+    def __init__(self, system: MnaSystem, c_over_dt: np.ndarray,
+                 batch: int) -> None:
+        self.system = system
+        self._c_over_dt_T = c_over_dt.T
+        u = system.unknown_idx
+        self._u = u
+        self.c_over_dt_uu = c_over_dt[np.ix_(u, u)].copy()
+        n = system.n_nodes
+        self._vp_rows = np.empty((batch, n))
+        self._dv = np.empty((batch, n))
+        self._cap = np.empty((batch, n))
+        self._cap_u = np.empty((batch, u.size))
+        self.t_new = 0.0
+        self.v_prev: Optional[np.ndarray] = None
+        self.residual_only = self._residual_only
+
+    def __call__(self, v, rows):
+        b = v.shape[0]
+        f_u, jac_uu = self.system.reduced_residual_jacobian(
+            v, self.t_new, active=rows)
+        if b == self.v_prev.shape[0]:
+            vp = self.v_prev  # rows is sorted+unique: full size == all
+        else:
+            vp = self.v_prev.take(rows, axis=0, out=self._vp_rows[:b])
+        dv = np.subtract(v, vp, out=self._dv[:b])
+        cap = np.matmul(dv, self._c_over_dt_T, out=self._cap[:b])
+        f_u += cap.take(self._u, axis=1, out=self._cap_u[:b])
+        jac_uu += self.c_over_dt_uu
+        return f_u, jac_uu
+
+    def _residual_only(self, v, rows):
+        f_u = self.system.reduced_residual(v, self.t_new, active=rows)
+        dv = v - self.v_prev[rows]
+        return f_u + (dv @ self._c_over_dt_T)[:, self._u]
+
+
+def _run_reduced_be(system: MnaSystem, times: np.ndarray, n_steps: int,
+                    v_prev: np.ndarray, batch: int, active: np.ndarray,
+                    decided: Optional[np.ndarray],
+                    decision: Optional[DecisionSpec],
+                    c_over_dt: np.ndarray, options: NewtonOptions,
+                    probes: Sequence[str],
+                    guess_trajectory: Optional[List[np.ndarray]],
+                    guess_gate: float, extrapolate: bool,
+                    record_states: bool) -> TransientResult:
+    """Backward-Euler loop compiled to the unknown-node block.
+
+    Semantics (and bits) match the legacy loop in :func:`run_transient`;
+    the differences are mechanical: the known-voltage table replaces the
+    per-step ``apply_known`` source loop, one :class:`_ReducedStepper`
+    replaces the per-step closures, probe samples land in preallocated
+    ``(n_steps + 1, batch)`` arrays instead of Python lists, and (when
+    states are not recorded) the node vectors cycle through a
+    three-slot ring (``v_prev2`` / ``v_prev`` / target) instead of
+    allocating a fresh copy per step.
+    """
+    if decision is not None:
+        diff_a = system.node_index[decision.node_a]
+        diff_b = system.node_index[decision.node_b]
+
+    table = _build_known_table(system, times)
+    known = system.known_idx
+    unknown = system.unknown_idx
+    stepper = _ReducedStepper(system, c_over_dt, batch)
+
+    probe_cols = {p: system._index_of(p) for p in probes}
+    probe_buf = {p: np.empty((n_steps + 1, batch)) for p in probes}
+    for node, index in probe_cols.items():
+        probe_buf[node][0] = v_prev[:, index]
+
+    states: Optional[List[np.ndarray]] = [v_prev] if record_states else None
+    if record_states:
+        ring = None
+    else:
+        # Trajectory consumers hold references, so the ring only runs
+        # when states are not recorded.
+        ring = [v_prev, np.empty_like(v_prev), np.empty_like(v_prev)]
+        ring_i = 0
+    v_prev2: Optional[np.ndarray] = None
+    total_newton = 0
+    steps_run = 0
+    sample_steps = 0
+
+    PERF.count("transient.runs")
+
+    active_idx = np.nonzero(active)[0]
+    for step in range(1, n_steps + 1):
+        if not active_idx.size:
+            break
+        t_new = times[step]
+        plain = guess_trajectory is None or step >= len(guess_trajectory)
+        if ring is None:
+            v_new = v_prev.copy()
+        elif plain and extrapolate and v_prev2 is not None:
+            # Full-width extrapolated guess: non-active rows are written
+            # too, but they are restored from ``v_prev`` right after the
+            # solve (before any read), and the known columns are reset
+            # from the table below — the values Newton sees per active
+            # unknown are bit-identical to the sliced update.
+            v_new = ring[(ring_i + 1) % 3]
+            np.multiply(v_prev, 2.0, out=v_new)
+            np.subtract(v_new, v_prev2, out=v_new)
+        else:
+            v_new = ring[(ring_i + 1) % 3]
+            np.copyto(v_new, v_prev)
+        v_new[:, known] = table[step]
+
+        if not plain:
+            traj_now = guess_trajectory[step]
+            traj_before = guess_trajectory[step - 1]
+            rows_u = active_idx[:, None], unknown[None, :]
+            seeded = np.max(np.abs(traj_before[rows_u] - v_prev[rows_u]),
+                            axis=-1) <= guess_gate
+            seed_rows = active_idx[seeded]
+            if seed_rows.size:
+                su = seed_rows[:, None], unknown[None, :]
+                v_new[su] = v_prev[su] + (traj_now[su] - traj_before[su])
+            PERF.count("transient.warm_seeds", int(seed_rows.size))
+            PERF.count("transient.warm_rejects",
+                       int(active_idx.size - seed_rows.size))
+            if extrapolate and v_prev2 is not None and not seeded.all():
+                rows = active_idx[~seeded]
+                ru = rows[:, None], unknown[None, :]
+                v_new[ru] = 2.0 * v_prev[ru] - v_prev2[ru]
+        elif ring is None and extrapolate and v_prev2 is not None:
+            ru = active_idx[:, None], unknown[None, :]
+            v_new[ru] = 2.0 * v_prev[ru] - v_prev2[ru]
+
+        stepper.t_new = t_new
+        stepper.v_prev = v_prev
+        v_new, iters = newton_solve(stepper, v_new, unknown, options,
+                                    active=active_idx)
+        total_newton += iters
+        if active_idx.size != batch:
+            v_new[~active] = v_prev[~active]
+        v_prev2 = v_prev
+        v_prev = v_new
+        if ring is not None:
+            ring_i = (ring_i + 1) % 3
+        for node, index in probe_cols.items():
+            probe_buf[node][step] = v_prev[:, index]
+        if states is not None:
+            states.append(v_prev)
+        steps_run = step
+        sample_steps += active_idx.size
+
+        if decision is not None and t_new >= decision.t_min:
+            differential = v_new[:, diff_a] - v_new[:, diff_b]
+            newly = active & (np.abs(differential) >= decision.threshold)
+            if newly.any():
+                decided |= newly
+                active &= ~newly
+                active_idx = np.nonzero(active)[0]
+
+    PERF.count("transient.steps", steps_run)
+    PERF.count("transient.sample_steps", sample_steps)
+    PERF.count("transient.sample_steps_saved", batch * n_steps - sample_steps)
+    if decided is not None:
+        PERF.count("transient.samples_decided_early", int(decided.sum()))
+
+    voltages = {node: probe_buf[node][:steps_run + 1] for node in probes}
     return TransientResult(times=times[:steps_run + 1], voltages=voltages,
                            final=v_prev, newton_iterations=total_newton,
                            decided=decided, states=states)

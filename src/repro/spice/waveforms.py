@@ -23,6 +23,28 @@ class Waveform:
         """Return the source value at ``time_s`` seconds."""
         raise NotImplementedError
 
+    def values(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value` over a whole time grid.
+
+        Returns an array of shape ``(n_times,)`` (scalar levels) or
+        ``(n_times, batch)`` (batched levels).  The base implementation
+        loops :meth:`value` per grid point, so every element is
+        *bit-identical* to the scalar API by construction; subclasses
+        with cheap closed forms (:class:`Dc`, :class:`Step`) override it
+        with vectorised arithmetic that reproduces the per-element
+        scalar expressions exactly.  The transient engine uses this to
+        build the known-voltage table for a whole run in one pass.
+        """
+        times = np.asarray(times, dtype=float)
+        samples = [np.asarray(self.value(float(t)), dtype=float)
+                   for t in times]
+        shape = np.broadcast_shapes(*(s.shape for s in samples)) \
+            if samples else ()
+        out = np.empty((len(samples),) + shape)
+        for index, sample in enumerate(samples):
+            out[index] = sample
+        return out
+
     def batched(self) -> bool:
         """True if :meth:`value` returns an array with a batch axis."""
         sample = self.value(0.0)
@@ -37,6 +59,13 @@ class Dc(Waveform):
 
     def value(self, time_s: float) -> Level:
         return self.level
+
+    def values(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        level = np.asarray(self.level, dtype=float)
+        out = np.empty((times.shape[0],) + level.shape)
+        out[...] = level
+        return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +95,26 @@ class Step(Waveform):
         frac = (time_s - self.t_step) / self.t_rise
         return self.initial + (np.asarray(self.final)
                                - np.asarray(self.initial)) * frac
+
+    def values(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        initial = np.asarray(self.initial, dtype=float)
+        final = np.asarray(self.final, dtype=float)
+        level_shape = np.broadcast_shapes(initial.shape, final.shape)
+        out = np.empty(times.shape + level_shape)
+        before = times <= self.t_step
+        if self.t_rise <= 0.0:
+            after = ~before
+        else:
+            after = times >= self.t_step + self.t_rise
+        out[before] = initial
+        out[after] = final
+        ramp = ~(before | after)
+        if ramp.any():
+            frac = (times[ramp] - self.t_step) / self.t_rise
+            frac = frac.reshape(frac.shape + (1,) * len(level_shape))
+            out[ramp] = initial + (final - initial) * frac
+        return out
 
     def cross_time(self, fraction: float = 0.5) -> float:
         """Time at which the ramp passes ``fraction`` of its transition."""

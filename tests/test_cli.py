@@ -88,3 +88,46 @@ class TestSimulationCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Mdown" in out and "d(offset)/dVth" in out
+
+
+class TestBenchCommand:
+    def _suite(self, directory, name="toy_speedup.py", body=None):
+        script = directory / name
+        script.write_text(body or (
+            "import json, pathlib\n"
+            "def main(argv):\n"
+            "    out = pathlib.Path(__file__).with_name('BENCH_toy.json')\n"
+            "    out.write_text(json.dumps({'argv': list(argv)}))\n"
+            "    return 0\n"))
+        return script
+
+    def test_list_discovers_suites(self, tmp_path, capsys):
+        self._suite(tmp_path)
+        self._suite(tmp_path, "other_speedup.py")
+        (tmp_path / "not_a_suite.py").write_text("")
+        assert main(["bench", "--dir", str(tmp_path), "--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["other_speedup", "toy_speedup"]
+
+    def test_runs_suite_with_passthrough_args(self, tmp_path, capsys):
+        import json
+        self._suite(tmp_path)
+        code = main(["bench", "--dir", str(tmp_path), "--only", "toy",
+                     "--", "--mc", "4"])
+        assert code == 0
+        doc = json.loads((tmp_path / "BENCH_toy.json").read_text())
+        assert doc["argv"] == ["--mc", "4"]
+
+    def test_failing_suite_fails_run(self, tmp_path, capsys):
+        self._suite(tmp_path, body="def main(argv):\n    return 1\n")
+        assert main(["bench", "--dir", str(tmp_path)]) == 1
+        assert "failed suites" in capsys.readouterr().err
+
+    def test_empty_directory_errors(self, tmp_path, capsys):
+        assert main(["bench", "--dir", str(tmp_path)]) == 1
+        assert "no *_speedup.py" in capsys.readouterr().err
+
+    def test_real_suites_discovered(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "reduced_speedup" in out
