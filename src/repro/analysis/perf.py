@@ -40,6 +40,7 @@ class PerfRecorder:
         self.enabled = enabled
         self.counters: Dict[str, Number] = {}
         self.timers: Dict[str, float] = {}
+        self.gauges: Dict[str, Number] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -47,6 +48,15 @@ class PerfRecorder:
         """Add ``value`` to counter ``name`` (created at zero)."""
         if self.enabled:
             self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins).
+
+        Gauges carry instantaneous levels — queue depth, live worker
+        count — where summing across merges would be meaningless.
+        """
+        if self.enabled:
+            self.gauges[name] = value
 
     @contextlib.contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -66,18 +76,26 @@ class PerfRecorder:
     def snapshot(self) -> Dict[str, Dict[str, Number]]:
         """Plain-dict copy, suitable for pickling across processes."""
         return {"counters": dict(self.counters),
-                "timers": dict(self.timers)}
+                "timers": dict(self.timers),
+                "gauges": dict(self.gauges)}
 
     def merge(self, snapshot: Dict[str, Dict[str, Number]]) -> None:
-        """Fold another recorder's snapshot into this one (summing)."""
+        """Fold another recorder's snapshot into this one.
+
+        Counters and timers sum; gauges take the incoming level (the
+        merged snapshot is the more recent observation).
+        """
         for name, value in snapshot.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + value
         for name, value in snapshot.get("timers", {}).items():
             self.timers[name] = self.timers.get(name, 0.0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = value
 
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self.gauges.clear()
 
     # -- derived metrics -------------------------------------------------
 
@@ -104,6 +122,11 @@ class PerfRecorder:
             for name in sorted(self.counters):
                 value = self.counters[name]
                 lines.append(f"  {name:{width}s} {value:>14,.0f}")
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(n) for n in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:{width}s} {self.gauges[name]:>14,g}")
         if not lines:
             return "(no performance data recorded)"
         return "\n".join(lines)

@@ -14,8 +14,12 @@
 * ``perf`` — profile one table cell and dump the fast-path counters
   (optionally as JSON);
 * ``bench`` — discover and run the ``benchmarks/*_speedup.py`` suites
-  and write their ``BENCH_*.json`` artefacts;
+  and write their ``BENCH_*.json`` artefacts (``--only`` filters,
+  repeatable);
 * ``cache`` — inspect or clear the persistent result cache;
+* ``serve`` — run the asynchronous characterisation job service
+  (request batching, dedup, persistent job store) behind a JSON/HTTP
+  frontend — see :mod:`repro.service`;
 * ``workloads`` — list the paper's workloads.
 
 ``characterize``, ``table`` and ``perf`` accept ``--cache`` to load
@@ -260,7 +264,9 @@ def cmd_bench(args) -> int:
     directory = pathlib.Path(args.dir)
     scripts = sorted(directory.glob("*_speedup.py"))
     if args.only:
-        scripts = [s for s in scripts if args.only in s.stem]
+        scripts = [s for s in scripts
+                   if any(pattern == s.stem or pattern in s.stem
+                          for pattern in args.only)]
     if args.list:
         for script in scripts:
             print(script.stem)
@@ -306,6 +312,24 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached cell(s) from {cache.directory}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the asynchronous characterisation job service over HTTP."""
+    import pathlib
+    from .core.cache import ResultCache
+    from .service import Service
+    from .service.http_api import serve
+
+    cache = (ResultCache(pathlib.Path(args.cache_dir))
+             if args.cache_dir else None)
+    service = Service(directory=args.service_dir, cache=cache,
+                      pool_workers=args.pool_workers or None,
+                      max_batch=args.max_batch,
+                      max_attempts=args.max_attempts,
+                      retry_base_s=args.retry_base,
+                      snapshot_every=args.snapshot_every)
+    return serve(service, host=args.host, port=args.port)
 
 
 def cmd_workloads(args) -> int:
@@ -396,8 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory to scan for *_speedup.py suites")
     p.add_argument("--list", action="store_true",
                    help="list the discovered suites and exit")
-    p.add_argument("--only", default=None, metavar="SUBSTR",
-                   help="run only suites whose name contains SUBSTR")
+    p.add_argument("--only", action="append", default=None,
+                   metavar="NAME",
+                   help="run only suites whose name matches (exact stem "
+                        "or substring); repeatable, matches union")
     p.add_argument("bench_args", nargs=argparse.REMAINDER,
                    help="arguments after -- are passed to every suite")
     p.set_defaults(func=cmd_bench)
@@ -409,6 +435,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the characterisation job service "
+                            "(batching, dedup, persistent queue) over "
+                            "HTTP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8972,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--service-dir", default=None, metavar="DIR",
+                   help="job-store directory (default $REPRO_SERVICE_DIR "
+                        "or ~/.cache/repro/service)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result-cache directory (default: "
+                        "<service-dir>/results)")
+    p.add_argument("--pool-workers", type=int, default=1,
+                   help="processes per batch (default 1: in-thread "
+                        "serial; 0 means one per CPU)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="max pending jobs coalesced into one grid run")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts per job before it fails for good")
+    p.add_argument("--retry-base", type=float, default=0.5,
+                   help="first-retry backoff in seconds (doubles per "
+                        "attempt)")
+    p.add_argument("--snapshot-every", type=int, default=256,
+                   help="journal appends between snapshot compactions")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("workloads", help="list the paper's workloads")
     p.set_defaults(func=cmd_workloads)

@@ -150,10 +150,49 @@ class ResultCache:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
+    def key_for_cell(self, cell: Any, *, design: Any = None,
+                     settings: Any = None, aging: Any = None,
+                     timing: Any = None,
+                     failure_rate: Optional[float] = None,
+                     measure_offset: bool = True,
+                     measure_delay: bool = True,
+                     offset_iterations: int = 14,
+                     warmstart: Optional[bool] = None) -> str:
+        """Key of a cell with the same defaults :func:`run_cell` applies.
+
+        The single key-derivation hook shared by the experiment runner
+        and the job service's dedup logic: both resolve unset settings
+        (Monte-Carlo defaults, calibrated aging model, read timing,
+        spec target) identically, so a submission dedups exactly
+        against what a direct ``run_cell`` would store.  ``design``
+        may be passed when the caller already built the netlist.
+        """
+        from ..circuits.sense_amp import ReadTiming
+        from ..constants import FAILURE_RATE_TARGET
+        from .calibration import default_aging_model, default_mc_settings
+        from .experiment import build_design
+        return self.key_for(
+            design=design if design is not None
+            else build_design(cell.scheme),
+            cell=cell,
+            settings=settings or default_mc_settings(),
+            aging=aging or default_aging_model(),
+            timing=timing if timing is not None else ReadTiming(),
+            failure_rate=(FAILURE_RATE_TARGET if failure_rate is None
+                          else failure_rate),
+            measure_offset=measure_offset,
+            measure_delay=measure_delay,
+            offset_iterations=offset_iterations,
+            warmstart=warmstart)
+
     # -- entries ---------------------------------------------------------
 
     def _npz_path(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.npz"
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` exists on disk (no load)."""
+        return self._npz_path(key).is_file()
 
     def load(self, key: str, cell: Any,
              failure_rate: float) -> Optional["Any"]:

@@ -207,12 +207,12 @@ def run_cell(cell: ExperimentCell,
 
     key = None
     if cache is not None:
-        key = cache.key_for(design=design, cell=cell, settings=settings,
-                            aging=aging, timing=timing,
-                            failure_rate=failure_rate,
-                            measure_offset=measure_offset,
-                            measure_delay=measure_delay,
-                            offset_iterations=offset_iterations)
+        key = cache.key_for_cell(cell, design=design, settings=settings,
+                                 aging=aging, timing=timing,
+                                 failure_rate=failure_rate,
+                                 measure_offset=measure_offset,
+                                 measure_delay=measure_delay,
+                                 offset_iterations=offset_iterations)
         cached = cache.load(key, cell, failure_rate)
         if cached is not None:
             return cached

@@ -22,6 +22,7 @@ cells across a ``ProcessPoolExecutor`` while keeping three guarantees:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +37,39 @@ from .montecarlo import McSettings
 #: Callback invoked as each cell starts (serial) or finishes (parallel):
 #: ``progress(index, total, cell)``.
 ProgressFn = Callable[[int, int, ExperimentCell], None]
+
+
+class GridCancelled(RuntimeError):
+    """A grid run was cancelled through its ``cancel`` event."""
+
+
+class GridTimeout(TimeoutError):
+    """A grid run exceeded its ``timeout`` deadline."""
+
+
+def _reap(pool: ProcessPoolExecutor, pending) -> None:
+    """Tear a pool down *now*: cancel queued work, kill live workers.
+
+    ``ProcessPoolExecutor.__exit__`` waits for every submitted future,
+    so a ``KeyboardInterrupt`` (or a timeout/cancel) in the result loop
+    would hang until the whole grid finished anyway.  Instead the
+    worker processes are terminated and joined so no orphans survive
+    the exception.
+    """
+    # Grab the worker handles first: shutdown() drops the pool's
+    # process table, and we still need to terminate/join the children.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for future in pending:
+        future.cancel()
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
 
 
 def default_workers() -> int:
@@ -84,7 +118,9 @@ def run_cells(cells: Sequence[ExperimentCell],
               chunk_size: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               workers: Optional[int] = None,
-              progress: Optional[ProgressFn] = None) -> List[CellResult]:
+              progress: Optional[ProgressFn] = None,
+              timeout: Optional[float] = None,
+              cancel: Optional[Any] = None) -> List[CellResult]:
     """Characterise many cells, optionally across worker processes.
 
     Parameters
@@ -104,6 +140,18 @@ def run_cells(cells: Sequence[ExperimentCell],
     progress:
         ``(index, total, cell)`` callback — invoked at cell start when
         serial, at cell completion when parallel.
+    timeout:
+        Optional wall-clock budget in seconds for the whole grid.  A
+        parallel run is torn down pre-emptively (workers terminated)
+        when the deadline passes; a serial run checks the deadline at
+        cell boundaries.  Raises :class:`GridTimeout`.
+    cancel:
+        Optional event-like object (``is_set() -> bool``, e.g. a
+        ``threading.Event``).  When it becomes set the run stops at
+        the next check point — cell boundary when serial, ~10 Hz poll
+        when parallel — reaps any worker processes and raises
+        :class:`GridCancelled`.  This is the graceful-drain hook the
+        job service uses.
     """
     cells = list(cells)
     kwargs: Dict[str, Any] = dict(
@@ -113,24 +161,46 @@ def run_cells(cells: Sequence[ExperimentCell],
         chunk_size=chunk_size, cache=cache)
     if workers is None:
         workers = default_workers()
+    deadline = (None if timeout is None
+                else time.monotonic() + timeout)
+
+    def check_interrupts() -> None:
+        if cancel is not None and cancel.is_set():
+            raise GridCancelled("grid run cancelled")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise GridTimeout(f"grid run exceeded {timeout:g} s")
+
     if workers <= 1 or len(cells) <= 1:
         results = []
         for index, cell in enumerate(cells):
+            check_interrupts()
             if progress is not None:
                 progress(index, len(cells), cell)
             results.append(run_cell(cell, **kwargs))
         return results
 
     results_by_index: Dict[int, CellResult] = {}
-    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(cells)))
+    pending = set()
+    try:
         pending = {pool.submit(_run_cell_task, index, cell, kwargs)
                    for index, cell in enumerate(cells)}
         while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            check_interrupts()
+            tick: Optional[float] = 0.1 if cancel is not None else None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                tick = remaining if tick is None else min(tick, remaining)
+            done, pending = wait(pending, timeout=tick,
+                                 return_when=FIRST_COMPLETED)
             for future in done:
                 index, result, snapshot = future.result()
                 results_by_index[index] = result
                 PERF.merge(snapshot)
                 if progress is not None:
                     progress(index, len(cells), result.cell)
+    except BaseException:
+        _reap(pool, pending)
+        raise
+    pool.shutdown(wait=True)
     return [results_by_index[index] for index in range(len(cells))]

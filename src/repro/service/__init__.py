@@ -1,0 +1,32 @@
+"""Asynchronous characterisation job service.
+
+The serving layer over the Monte-Carlo characterisation stack: submit
+cells as jobs, get batching + dedup + persistence + retries for free.
+
+* :mod:`~repro.service.jobs` — the job/request model (content-addressed
+  identity, priorities, lifecycle states);
+* :mod:`~repro.service.store` — crash-safe JSONL journal + snapshot
+  under ``$REPRO_SERVICE_DIR``;
+* :mod:`~repro.service.scheduler` — dedup against the result cache,
+  priority queue, batch coalescing;
+* :mod:`~repro.service.worker` — batch execution with timeout, bounded
+  exponential-backoff retry and graceful drain;
+* :mod:`~repro.service.service` — the :class:`Service` facade;
+* :mod:`~repro.service.client` — in-process and HTTP clients;
+* :mod:`~repro.service.http_api` — ``python -m repro serve``.
+"""
+
+from .client import Client, HttpClient
+from .jobs import (CANCELLED, DONE, FAILED, Job, JobRequest, PENDING,
+                   RUNNING, STATES, TERMINAL)
+from .scheduler import Scheduler
+from .service import Service, ServiceError
+from .store import JobStore, SERVICE_ENV, default_service_dir
+from .worker import Worker
+
+__all__ = [
+    "CANCELLED", "Client", "DONE", "FAILED", "HttpClient", "Job",
+    "JobRequest", "JobStore", "PENDING", "RUNNING", "SERVICE_ENV",
+    "STATES", "Scheduler", "Service", "ServiceError", "TERMINAL",
+    "Worker", "default_service_dir",
+]

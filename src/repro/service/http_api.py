@@ -1,0 +1,206 @@
+"""Stdlib-only JSON-over-HTTP frontend for the job service.
+
+``python -m repro serve --port 8972`` binds a threading HTTP server in
+front of one :class:`~repro.service.service.Service`:
+
+=========  ========  ====================================================
+endpoint   method    semantics
+=========  ========  ====================================================
+/healthz   GET       liveness probe — ``{"ok": true}``
+/submit    POST      body ``{"request": {...}, "priority": 0}`` →
+                     ``{"id", "state", "deduped"}`` (dedup is free:
+                     resubmitting returns the existing job)
+/status    GET       ``?id=`` → full job record; 404 when unknown
+/result    GET       ``?id=`` → ``{"id", "row"}`` when done; 404 when
+                     unknown, 409 with the state/error otherwise
+/cancel    POST      ``?id=`` → ``{"cancelled": bool}`` (pending only)
+/metrics   GET       queue depth, batch sizes, dedup/cache hit rates,
+                     retries/timeouts and the perf counters
+/shutdown  POST      drain gracefully and stop the server (also wired
+                     to SIGTERM when run via the CLI)
+=========  ========  ====================================================
+
+Errors are JSON: ``{"error": "..."}`` with a 4xx/5xx status.  The
+server threads only touch the thread-safe scheduler surface, so any
+number of concurrent clients may mix submissions with polls.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import signal
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .service import Service, ServiceError
+
+#: Default TCP port (no meaning; "8972" ~ "VYRA" on a phone keypad).
+DEFAULT_PORT = 8972
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying the service reference."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: Service) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.shutdown_requested = threading.Event()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- plumbing --------------------------------------------------------
+
+    def _reply(self, status: int, doc: Dict[str, Any]) -> None:
+        blob = json.dumps(doc).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _query(self) -> Dict[str, str]:
+        query = urllib.parse.urlparse(self.path).query
+        return {key: values[0] for key, values
+                in urllib.parse.parse_qs(query).items()}
+
+    def _body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        return json.loads(self.rfile.read(length).decode())
+
+    def log_message(self, *args) -> None:  # quiet by default
+        pass
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        route = urllib.parse.urlparse(self.path).path
+        try:
+            if route == "/healthz":
+                self._reply(200, {"ok": True})
+            elif route == "/status":
+                self._job_route(lambda jid:
+                                (200, self.server.service.status(jid)))
+            elif route == "/result":
+                self._job_route(self._result)
+            elif route == "/metrics":
+                self._reply(200, self.server.service.metrics())
+            else:
+                self._error(404, f"no route {route}")
+        except ServiceError as exc:
+            self._error(404, str(exc))
+        except Exception as exc:  # noqa: BLE001 — report, don't die
+            self._error(500, repr(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        route = urllib.parse.urlparse(self.path).path
+        try:
+            if route == "/submit":
+                self._submit()
+            elif route == "/cancel":
+                self._job_route(lambda jid: (
+                    200,
+                    {"id": jid,
+                     "cancelled": self.server.service.cancel(jid)}))
+            elif route == "/shutdown":
+                self._reply(200, {"draining": True})
+                self.server.shutdown_requested.set()
+            else:
+                self._error(404, f"no route {route}")
+        except ServiceError as exc:
+            self._error(404, str(exc))
+        except (ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001
+            self._error(500, repr(exc))
+
+    def _job_route(self, handler) -> None:
+        job_id = self._query().get("id")
+        if not job_id:
+            self._error(400, "missing ?id=<job id>")
+            return
+        status, doc = handler(job_id)
+        self._reply(status, doc)
+
+    def _submit(self) -> None:
+        body = self._body()
+        request = body.get("request", body)
+        priority = int(body.get("priority", 0))
+        if isinstance(request, dict):
+            request = {k: v for k, v in request.items()
+                       if k != "priority"}
+        try:
+            job, deduped = self.server.service.submit_info(
+                request, priority=priority)
+        except (ValueError, TypeError) as exc:
+            self._error(400, str(exc))
+            return
+        self._reply(200, {"id": job.id, "state": job.state,
+                          "deduped": deduped,
+                          "from_cache": job.from_cache})
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        doc = self.server.service.status(job_id)
+        if doc["state"] != "done":
+            return 409, {"id": job_id, "state": doc["state"],
+                         "error": doc.get("error")
+                         or f"job is {doc['state']}"}
+        return 200, {"id": job_id, "state": "done",
+                     "row": doc["result_row"],
+                     "from_cache": doc["from_cache"]}
+
+
+def make_server(service: Service, host: str = "127.0.0.1",
+                port: int = DEFAULT_PORT) -> ServiceHTTPServer:
+    """Bind (``port=0`` picks a free port) without serving yet."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve(service: Service, host: str = "127.0.0.1",
+          port: int = DEFAULT_PORT,
+          install_signal_handlers: bool = True,
+          ready: Optional[threading.Event] = None) -> int:
+    """Serve until SIGTERM/SIGINT//shutdown, then drain gracefully.
+
+    Runs the accept loop in a helper thread and parks the calling
+    thread on the shutdown event so POSIX signals interrupt it
+    promptly.  The drain lets the in-flight batch finish and
+    snapshots the job store before returning.
+    """
+    server = make_server(service, host, port)
+    if install_signal_handlers:
+        def _request_shutdown(signum, frame):
+            server.shutdown_requested.set()
+        signal.signal(signal.SIGTERM, _request_shutdown)
+        signal.signal(signal.SIGINT, _request_shutdown)
+    acceptor = threading.Thread(target=server.serve_forever,
+                                name="repro-serve-accept", daemon=True)
+    acceptor.start()
+    host_, port_ = server.server_address[:2]
+    print(f"repro service listening on http://{host_}:{port_} "
+          f"(store: {service.store.directory})", flush=True)
+    if ready is not None:
+        ready.set()
+    try:
+        server.shutdown_requested.wait()
+    finally:
+        print("repro service draining...", flush=True)
+        service.drain(timeout=None)
+        server.shutdown()
+        acceptor.join(timeout=5.0)
+        with contextlib.suppress(OSError):
+            server.server_close()
+        print("repro service stopped.", flush=True)
+    return 0

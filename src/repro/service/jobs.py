@@ -1,0 +1,163 @@
+"""Job model of the characterisation service.
+
+A *job* is one requested cell characterisation: the serialisable
+:class:`JobRequest` (what to simulate), plus lifecycle bookkeeping
+(state, attempts, timestamps, result row).  Jobs are identified by the
+content-addressed :mod:`~repro.core.cache` key of their request, so two
+submissions of the same work *are* the same job — dedup is identity,
+not a lookup table bolted on the side.
+
+States move ``pending -> running -> done | failed | cancelled``; a
+retried job goes back to ``pending`` with a backoff gate
+(:attr:`Job.not_before`).  Every mutation bumps :attr:`Job.rev`, which
+lets the journal replay of :mod:`~repro.service.store` apply records
+idempotently in any snapshot/journal interleaving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Tuple
+
+#: Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL = (DONE, FAILED, CANCELLED)
+
+#: Every valid state (for validation at the API boundary).
+STATES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRequest:
+    """One cell characterisation, in wire-format primitives.
+
+    Mirrors the knobs of :func:`repro.core.experiment.run_cell` using
+    only JSON-representable fields so requests journal, POST and hash
+    cleanly.  ``workload`` is a paper workload *name* (``"80r0"``);
+    ``None`` (with ``time_s=0``) is the fresh population.
+    """
+
+    scheme: str = "nssa"
+    workload: Optional[str] = None
+    time_s: float = 0.0
+    temp_c: float = 25.0
+    vdd: float = 1.0
+    mc: int = 100
+    seed: int = 2017
+    dt: float = 1e-12
+    offset_iterations: int = 14
+    measure_offset: bool = True
+    measure_delay: bool = True
+    chunk_size: Optional[int] = None
+    timeout_s: Optional[float] = None
+
+    def to_cell(self):
+        """The :class:`~repro.core.experiment.ExperimentCell` to run.
+
+        Validates the request as a side effect: unknown schemes and
+        workload names raise ``ValueError`` here, which the submit
+        paths surface as a client error.
+        """
+        from ..core.experiment import ExperimentCell
+        from ..models.temperature import Environment
+        from ..workloads import paper_workload
+        workload = (paper_workload(self.workload)
+                    if self.workload is not None else None)
+        return ExperimentCell(self.scheme, workload, self.time_s,
+                              Environment.from_celsius(self.temp_c,
+                                                       self.vdd))
+
+    def run_kwargs(self) -> Dict[str, Any]:
+        """Keyword arguments for ``run_cell``/``run_cells``."""
+        from ..circuits.sense_amp import ReadTiming
+        from ..core.calibration import default_mc_settings
+        return dict(settings=default_mc_settings(size=self.mc,
+                                                 seed=self.seed),
+                    timing=ReadTiming(dt=self.dt),
+                    offset_iterations=self.offset_iterations,
+                    measure_offset=self.measure_offset,
+                    measure_delay=self.measure_delay,
+                    chunk_size=self.chunk_size)
+
+    def signature(self) -> Tuple:
+        """Batch-compatibility signature.
+
+        Requests that differ only in *what cell* they characterise
+        (scheme, workload, time, corner) share a signature and may be
+        coalesced into one ``run_cells`` invocation; everything that
+        changes the per-cell configuration keeps them apart.
+        """
+        return (self.mc, self.seed, self.dt, self.offset_iterations,
+                self.measure_offset, self.measure_delay,
+                self.chunk_size, self.timeout_s)
+
+    def cache_key(self, cache) -> str:
+        """Content-addressed identity shared with ``run_cell``."""
+        kwargs = self.run_kwargs()
+        kwargs.pop("chunk_size")  # memory knob; excluded from the key
+        return cache.key_for_cell(self.to_cell(), **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobRequest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}")
+        return cls(**doc)
+
+
+@dataclasses.dataclass
+class Job:
+    """One tracked characterisation with its lifecycle state."""
+
+    id: str
+    request: JobRequest
+    seq: int = 0
+    priority: int = 0
+    state: str = PENDING
+    rev: int = 0
+    attempts: int = 0
+    max_attempts: int = 3
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    not_before: float = 0.0
+    batchable: bool = True
+    from_cache: bool = False
+    error: Optional[str] = None
+    result_row: Optional[Dict[str, Any]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Claim order: highest priority first, then submission order."""
+        return (-self.priority, self.seq)
+
+    def touch(self) -> None:
+        """Bump the revision; call once per recorded mutation."""
+        self.rev += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc["request"] = self.request.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Job":
+        doc = dict(doc)
+        doc["request"] = JobRequest.from_dict(doc["request"])
+        if doc.get("state") not in STATES:
+            raise ValueError(f"unknown job state {doc.get('state')!r}")
+        return cls(**doc)

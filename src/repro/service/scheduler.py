@@ -1,0 +1,249 @@
+"""Submission intake, dedup, priority queue and batch assembly.
+
+The scheduler owns the in-memory job table (backed by the persistent
+:class:`~repro.service.store.JobStore`) and makes three decisions:
+
+* **Dedup on submit.**  A job's id *is* the content-addressed
+  :class:`~repro.core.cache.ResultCache` key of its request, so a
+  resubmission of in-flight or completed work returns the existing job
+  instead of queuing a second simulation.  If the result cache already
+  holds the key, the job completes instantly without ever queuing
+  (``from_cache``).
+* **Priority order.**  Pending work is claimed highest-priority first,
+  FIFO within a priority (monotonic submission sequence).
+* **Batch coalescing.**  A claim gathers up to ``max_batch`` pending
+  jobs whose requests share a batch signature (same Monte-Carlo /
+  timing / measurement configuration) so the worker amortises them
+  over one :func:`~repro.core.parallel.run_cells` invocation — the
+  request shape of an aging sign-off campaign: one grid, many cells.
+
+All public methods are thread-safe (one internal lock); the HTTP
+frontend and the worker loop share a scheduler instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.perf import PERF
+from ..constants import FAILURE_RATE_TARGET
+from ..core.cache import ResultCache
+from .jobs import (CANCELLED, DONE, FAILED, Job, JobRequest, PENDING,
+                   RUNNING)
+from .store import JobStore
+
+
+class Scheduler:
+    """Thread-safe job table with dedup, priorities and batching."""
+
+    def __init__(self, store: JobStore, cache: ResultCache,
+                 max_attempts: int = 3,
+                 clock=time.time) -> None:
+        self.store = store
+        self.cache = cache
+        self.max_attempts = max_attempts
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._jobs, self._seq = store.recover()
+        # Batch statistics for /metrics.
+        self._batches = 0
+        self._batched_jobs = 0
+        self._max_batch_size = 0
+
+    # -- intake ----------------------------------------------------------
+
+    def submit(self, request: JobRequest,
+               priority: int = 0) -> Tuple[Job, bool]:
+        """Register ``request``; returns ``(job, deduped)``.
+
+        ``deduped`` is True when an equivalent live or completed job
+        absorbed the submission.  A terminal *failed* or *cancelled*
+        job is revived instead (fresh attempt budget) — resubmitting
+        is the retry-escalation path.
+        """
+        key = request.cache_key(self.cache)
+        with self._lock:
+            PERF.count("service.submissions")
+            job = self._jobs.get(key)
+            if job is not None and job.state not in (FAILED, CANCELLED):
+                if job.state == PENDING and priority > job.priority:
+                    job.priority = priority
+                    self._record(job)
+                PERF.count("service.dedup_hits")
+                return job, True
+            if job is not None:
+                # Revive the failed/cancelled job under its identity.
+                job.state = PENDING
+                job.priority = max(job.priority, priority)
+                job.attempts = 0
+                job.not_before = 0.0
+                job.batchable = True
+                job.error = None
+                job.started_at = None
+                job.finished_at = None
+                self._record(job)
+                return job, False
+            job = Job(id=key, request=request, seq=self._seq,
+                      priority=priority, max_attempts=self.max_attempts,
+                      submitted_at=self.clock())
+            self._seq += 1
+            if self.cache.contains(key):
+                cached = self.cache.load(key, request.to_cell(),
+                                         failure_rate=FAILURE_RATE_TARGET)
+                if cached is not None:
+                    job.state = DONE
+                    job.from_cache = True
+                    job.finished_at = self.clock()
+                    job.result_row = cached.row()
+                    PERF.count("service.cache_short_circuits")
+            self._jobs[key] = job
+            self._record(job)
+            self._update_depth_gauge()
+            return job, False
+
+    # -- claiming --------------------------------------------------------
+
+    def claim_batch(self, max_batch: int = 8,
+                    now: Optional[float] = None) -> List[Job]:
+        """Claim the next compatible batch of pending jobs (may be []).
+
+        The head is the highest-priority eligible pending job; the rest
+        of the batch is filled with eligible jobs sharing its request
+        signature.  Claimed jobs transition to ``running`` with their
+        attempt counted, so a crash mid-run is visible in the journal.
+        """
+        now = self.clock() if now is None else now
+        with self._lock:
+            eligible = [job for job in self._jobs.values()
+                        if job.state == PENDING and job.not_before <= now]
+            if not eligible:
+                return []
+            eligible.sort(key=Job.sort_key)
+            head = eligible[0]
+            batch = [head]
+            if head.batchable:
+                signature = head.request.signature()
+                for job in eligible[1:]:
+                    if len(batch) >= max_batch:
+                        break
+                    if job.batchable \
+                            and job.request.signature() == signature:
+                        batch.append(job)
+            for job in batch:
+                job.state = RUNNING
+                job.started_at = now
+                job.attempts += 1
+                self._record(job)
+            self._batches += 1
+            self._batched_jobs += len(batch)
+            self._max_batch_size = max(self._max_batch_size, len(batch))
+            PERF.count("service.batches")
+            PERF.count("service.batched_jobs", len(batch))
+            self._update_depth_gauge()
+            return batch
+
+    # -- completion ------------------------------------------------------
+
+    def complete(self, job: Job, result_row: Dict) -> None:
+        with self._lock:
+            job.state = DONE
+            job.finished_at = self.clock()
+            job.error = None
+            job.result_row = result_row
+            self._record(job)
+            PERF.count("service.jobs_done")
+            self._maybe_snapshot()
+
+    def requeue(self, job: Job, error: str, delay_s: float,
+                batchable: Optional[bool] = None) -> None:
+        """Send a failed attempt back to the queue with a backoff gate."""
+        with self._lock:
+            job.state = PENDING
+            job.error = error
+            job.not_before = self.clock() + delay_s
+            if batchable is not None:
+                job.batchable = batchable
+            self._record(job)
+            PERF.count("service.retries")
+            self._update_depth_gauge()
+
+    def fail(self, job: Job, error: str) -> None:
+        with self._lock:
+            job.state = FAILED
+            job.finished_at = self.clock()
+            job.error = error
+            self._record(job)
+            PERF.count("service.jobs_failed")
+            self._maybe_snapshot()
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job; running/terminal jobs are not touched."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != PENDING:
+                return False
+            job.state = CANCELLED
+            job.finished_at = self.clock()
+            self._record(job)
+            PERF.count("service.jobs_cancelled")
+            self._update_depth_gauge()
+            return True
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.state == PENDING)
+
+    def metrics(self) -> Dict:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return {
+                "jobs": counts,
+                "queue_depth": counts.get(PENDING, 0),
+                "batches": {
+                    "count": self._batches,
+                    "jobs": self._batched_jobs,
+                    "max_size": self._max_batch_size,
+                    "mean_size": (self._batched_jobs / self._batches
+                                  if self._batches else 0.0),
+                },
+                "store": self.store.stats(),
+            }
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self) -> None:
+        with self._lock:
+            self.store.write_snapshot(self._jobs)
+
+    def close(self) -> None:
+        with self._lock:
+            self.store.write_snapshot(self._jobs)
+            self.store.close()
+
+    def _record(self, job: Job) -> None:
+        job.touch()
+        self.store.record(job)
+
+    def _maybe_snapshot(self) -> None:
+        if self.store.should_snapshot():
+            self.store.write_snapshot(self._jobs)
+
+    def _update_depth_gauge(self) -> None:
+        PERF.gauge("service.queue_depth",
+                   sum(1 for j in self._jobs.values()
+                       if j.state == PENDING))

@@ -1,0 +1,200 @@
+"""The characterisation service facade: store + scheduler + worker.
+
+A :class:`Service` wires the persistent job store, the dedup/batching
+scheduler and the background worker into one object with the lifecycle
+the frontends (Python :class:`~repro.service.client.Client`, HTTP
+:mod:`~repro.service.http_api`) build on::
+
+    with Service(directory, cache=ResultCache.default()) as svc:
+        job = svc.submit(JobRequest(scheme="issa", workload="80r0",
+                                    time_s=1e8, mc=64))
+        svc.wait(job.id)
+        print(svc.result(job.id).row())
+
+Results are persisted in the content-addressed result cache (the same
+store ``run_cell --cache`` uses), so a service answer is bit-identical
+to the equivalent direct call and survives restarts; the job record
+additionally carries the paper-table row for cheap status queries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from typing import Any, Dict, Optional, Union
+
+from ..analysis.perf import PERF
+from ..constants import FAILURE_RATE_TARGET
+from ..core.cache import ResultCache
+from .jobs import Job, JobRequest, TERMINAL
+from .scheduler import Scheduler
+from .store import JobStore, default_service_dir
+from .worker import RunnerFn, Worker
+
+
+class ServiceError(RuntimeError):
+    """A request the service cannot honour (unknown job, not done)."""
+
+
+class Service:
+    """Asynchronous characterisation job service (in-process).
+
+    Parameters
+    ----------
+    directory:
+        Job-store directory; default ``$REPRO_SERVICE_DIR`` or
+        ``~/.cache/repro/service``.
+    cache:
+        Result cache shared with direct ``run_cell`` users; defaults
+        to ``<directory>/results`` so the service is self-contained.
+    pool_workers / max_batch / max_attempts / retry_base_s:
+        Worker configuration (see :class:`~repro.service.worker.Worker`
+        and :class:`~repro.service.scheduler.Scheduler`).
+    runner:
+        Batch-executor override for tests.
+    autostart:
+        Start the worker thread immediately (set False to stage jobs,
+        e.g. for recovery tests).
+    """
+
+    def __init__(self,
+                 directory: Optional[Union[str, pathlib.Path]] = None,
+                 cache: Optional[ResultCache] = None,
+                 pool_workers: Optional[int] = 1, max_batch: int = 8,
+                 max_attempts: int = 3, retry_base_s: float = 0.5,
+                 snapshot_every: int = 256,
+                 runner: Optional[RunnerFn] = None,
+                 autostart: bool = True) -> None:
+        directory = pathlib.Path(directory) if directory is not None \
+            else default_service_dir()
+        self.cache = cache if cache is not None \
+            else ResultCache(directory / "results")
+        self.store = JobStore(directory, snapshot_every=snapshot_every)
+        self.scheduler = Scheduler(self.store, self.cache,
+                                   max_attempts=max_attempts)
+        self.worker = Worker(self.scheduler, self.cache,
+                             pool_workers=pool_workers,
+                             max_batch=max_batch,
+                             retry_base_s=retry_base_s, runner=runner)
+        self.started_at = time.time()
+        if autostart:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Service":
+        if not self.worker.is_alive():
+            self.worker.start()
+        return self
+
+    def __enter__(self) -> "Service":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: finish the in-flight batch, snapshot."""
+        joined = self.worker.drain(timeout)
+        self.scheduler.close()
+        return joined
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Hard shutdown: cancel in-flight work, snapshot, close."""
+        self.worker.stop(timeout)
+        self.scheduler.close()
+
+    # -- the five client verbs ------------------------------------------
+
+    def submit(self, request: Union[JobRequest, Dict[str, Any]],
+               priority: int = 0) -> Job:
+        """Queue a characterisation; dedups against live/cached work.
+
+        Returns the (possibly pre-existing) job; ``job.deduped`` is
+        not a field — inspect :meth:`submit_info` when the flag
+        matters (the HTTP layer reports it).
+        """
+        job, _ = self.submit_info(request, priority)
+        return job
+
+    def submit_info(self, request: Union[JobRequest, Dict[str, Any]],
+                    priority: int = 0):
+        if isinstance(request, dict):
+            request = JobRequest.from_dict(request)
+        request.to_cell()  # validate before touching the queue
+        return self.scheduler.submit(request, priority)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job's full record as a plain dict."""
+        job = self.scheduler.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job.to_dict()
+
+    def result(self, job_id: str):
+        """The completed job's :class:`CellResult` (from the cache).
+
+        Raises :class:`ServiceError` while the job is still live or
+        once it failed/was cancelled.  Falls back to a row-only result
+        if the cache entry was evicted.
+        """
+        job = self.scheduler.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if job.state != "done":
+            raise ServiceError(
+                f"job {job_id} is {job.state}"
+                + (f": {job.error}" if job.error else ""))
+        cached = self.cache.load(job.id, job.request.to_cell(),
+                                 failure_rate=FAILURE_RATE_TARGET)
+        if cached is not None:
+            return cached
+        from ..core.experiment import CellResult
+        row = job.result_row or {}
+        return CellResult(cell=job.request.to_cell(), offset=None,
+                          delay_s=row.get("delay_ps", float("nan"))
+                          * 1e-12)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.scheduler.cancel(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll_s: float = 0.02) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] in TERMINAL:
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after "
+                    f"{timeout:g} s")
+            time.sleep(poll_s)
+
+    # -- observability ---------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Queue/batch/dedup/cache/perf counters for ``/metrics``."""
+        perf = PERF.snapshot()
+        counters = perf["counters"]
+        requests = counters.get("cache.requests", 0)
+        doc = self.scheduler.metrics()
+        doc.update({
+            "uptime_s": time.time() - self.started_at,
+            "worker_alive": self.worker.is_alive(),
+            "dedup": {
+                "submissions": counters.get("service.submissions", 0),
+                "hits": counters.get("service.dedup_hits", 0),
+                "cache_short_circuits":
+                    counters.get("service.cache_short_circuits", 0),
+            },
+            "retries": counters.get("service.retries", 0),
+            "timeouts": counters.get("service.timeouts", 0),
+            "cache": dict(self.cache.stats(),
+                          hit_rate=(counters.get("cache.hits", 0)
+                                    / requests if requests else 0.0)),
+            "perf": perf,
+        })
+        return doc

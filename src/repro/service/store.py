@@ -1,0 +1,179 @@
+"""Crash-safe persistent job store: JSONL journal + atomic snapshot.
+
+Durability model, in order of events on disk under
+``$REPRO_SERVICE_DIR`` (default ``~/.cache/repro/service``):
+
+* every job mutation appends one full-state JSON line to
+  ``journal.jsonl`` (``write`` + ``flush`` + ``fsync``), so the store
+  never holds state only in memory;
+* every ``snapshot_every`` appends (and on clean shutdown) the full
+  job table is written to ``snapshot.json`` via the temp-file +
+  ``os.replace`` idiom, then the journal is truncated.
+
+Recovery loads the snapshot (if any) and replays the journal over it.
+Robustness against every crash window:
+
+* a **torn journal tail** (power loss mid-append) fails JSON parsing
+  and is discarded — everything before it is intact because records
+  are newline-delimited and fsynced;
+* a crash **between snapshot and truncate** leaves journal records
+  that are older than the snapshot; each record carries the job's
+  monotonically increasing ``rev``, and replay only applies a record
+  that is as new as what it already has, so stale lines can never
+  regress a job's state;
+* jobs recovered in ``running`` state belonged to a dead worker and
+  are reset to ``pending`` (their attempt stays counted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, TextIO, Tuple
+
+from .jobs import Job, PENDING, RUNNING
+
+#: Environment variable overriding the service state directory.
+SERVICE_ENV = "REPRO_SERVICE_DIR"
+
+
+def default_service_dir() -> pathlib.Path:
+    """``$REPRO_SERVICE_DIR`` or ``~/.cache/repro/service``."""
+    override = os.environ.get(SERVICE_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro" / "service"
+
+
+class JobStore:
+    """Append-only journal with periodic snapshot compaction.
+
+    Not thread-safe by itself — the owning
+    :class:`~repro.service.scheduler.Scheduler` serialises access.
+    """
+
+    def __init__(self, directory: pathlib.Path,
+                 snapshot_every: int = 256, fsync: bool = True) -> None:
+        self.directory = pathlib.Path(directory)
+        self.journal_path = self.directory / "journal.jsonl"
+        self.snapshot_path = self.directory / "snapshot.json"
+        self.snapshot_every = max(1, int(snapshot_every))
+        self.fsync = fsync
+        self._journal: TextIO = None  # type: ignore[assignment]
+        self._appends = 0
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self) -> Tuple[Dict[str, Job], int]:
+        """Load jobs from disk; returns ``(jobs_by_id, next_seq)``.
+
+        Interrupted ``running`` jobs are re-queued as ``pending`` so a
+        restarted service resumes them instead of losing them.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        jobs: Dict[str, Job] = {}
+        if self.snapshot_path.is_file():
+            try:
+                doc = json.loads(self.snapshot_path.read_text())
+                for record in doc.get("jobs", []):
+                    job = Job.from_dict(record)
+                    jobs[job.id] = job
+            except (ValueError, TypeError, KeyError):
+                jobs = {}  # unreadable snapshot: rebuild from journal
+        for record in self._replay_journal():
+            try:
+                job = Job.from_dict(record)
+            except (ValueError, TypeError, KeyError):
+                continue
+            current = jobs.get(job.id)
+            if current is None or job.rev >= current.rev:
+                jobs[job.id] = job
+        for job in jobs.values():
+            if job.state == RUNNING:
+                job.state = PENDING
+                job.started_at = None
+                job.error = "interrupted by service restart"
+                job.touch()
+        next_seq = 1 + max((job.seq for job in jobs.values()), default=-1)
+        self._open_journal()
+        return jobs, next_seq
+
+    def _replay_journal(self):
+        if not self.journal_path.is_file():
+            return
+        with self.journal_path.open("r") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    # Torn tail from a crash mid-append; every record
+                    # after a torn line is untrustworthy.
+                    return
+
+    # -- journalling -----------------------------------------------------
+
+    def _open_journal(self) -> None:
+        if self._journal is None or self._journal.closed:
+            self._journal = self.journal_path.open("a")
+
+    def record(self, job: Job) -> None:
+        """Append ``job``'s full state to the journal (durable)."""
+        self._open_journal()
+        self._journal.write(json.dumps(job.to_dict(),
+                                       separators=(",", ":")) + "\n")
+        self._journal.flush()
+        if self.fsync:
+            os.fsync(self._journal.fileno())
+        self._appends += 1
+
+    def should_snapshot(self) -> bool:
+        return self._appends >= self.snapshot_every
+
+    def write_snapshot(self, jobs: Dict[str, Job]) -> None:
+        """Compact: atomic snapshot, then truncate the journal."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(
+            {"jobs": [job.to_dict() for job in jobs.values()]},
+            separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=".snapshot.")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.snapshot_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if self._journal is not None and not self._journal.closed:
+            self._journal.close()
+        self.journal_path.write_text("")
+        self._appends = 0
+        self._open_journal()
+
+    def close(self) -> None:
+        if self._journal is not None and not self._journal.closed:
+            self._journal.close()
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk footprint for the metrics endpoint."""
+        def size(path: pathlib.Path) -> int:
+            try:
+                return path.stat().st_size
+            except OSError:
+                return 0
+        return {"directory": str(self.directory),
+                "journal_bytes": size(self.journal_path),
+                "snapshot_bytes": size(self.snapshot_path),
+                "appends_since_snapshot": self._appends}

@@ -1,0 +1,152 @@
+"""Worker loop: executes claimed batches with timeout, retry, drain.
+
+One background thread repeatedly claims the next compatible batch from
+the :class:`~repro.service.scheduler.Scheduler` and runs it through
+:func:`~repro.core.parallel.run_cells` (optionally across a process
+pool), with three failure-handling layers:
+
+* **Per-batch timeout** — the smallest ``timeout_s`` of the batch
+  bounds the whole ``run_cells`` call; a pooled run is torn down
+  pre-emptively (worker processes terminated), a serial run stops at
+  the next cell boundary.
+* **Bounded retry with exponential backoff** — a failed or timed-out
+  attempt re-queues each job with ``retry_base_s * 2**(attempts-1)``
+  delay until ``max_attempts`` is exhausted, then the job fails for
+  good.  Jobs that failed *as part of a multi-cell batch* are retried
+  unbatched, so one poisoned cell cannot repeatedly take down its
+  batch mates.
+* **Graceful drain** — :meth:`Worker.drain` (the SIGTERM path) lets
+  the in-flight batch finish, then exits the loop; :meth:`Worker.stop`
+  additionally fires the ``cancel`` event through ``run_cells``, which
+  reaps the pool and re-queues the interrupted batch untouched (the
+  attempt is not charged).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.perf import PERF
+from ..core.cache import ResultCache
+from ..core.parallel import GridCancelled, GridTimeout, run_cells
+from .jobs import Job
+from .scheduler import Scheduler
+
+#: Batch executor signature: ``runner(jobs, timeout_s, cancel) -> rows``
+#: returning one result row (plain dict) per job, in order.
+RunnerFn = Callable[[List[Job], Optional[float], threading.Event],
+                    List[Dict]]
+
+
+class Worker(threading.Thread):
+    """Background batch executor over a scheduler.
+
+    Parameters
+    ----------
+    scheduler / cache:
+        Shared state; results are persisted through ``cache`` by the
+        ``run_cells`` call itself, so the full payload outlives the
+        row summary kept on the job.
+    pool_workers:
+        Process count handed to ``run_cells`` per batch (1 = in-thread
+        serial; timeouts then only take effect at cell boundaries).
+    max_batch:
+        Upper bound on coalesced jobs per claim.
+    retry_base_s:
+        First-retry backoff; doubles per attempt.
+    runner:
+        Override the batch executor (tests inject failures/delays).
+    poll_s:
+        Idle sleep between empty claims.
+    """
+
+    def __init__(self, scheduler: Scheduler, cache: ResultCache,
+                 pool_workers: Optional[int] = 1, max_batch: int = 8,
+                 retry_base_s: float = 0.5,
+                 runner: Optional[RunnerFn] = None,
+                 poll_s: float = 0.05) -> None:
+        super().__init__(name="repro-service-worker", daemon=True)
+        self.scheduler = scheduler
+        self.cache = cache
+        self.pool_workers = pool_workers
+        self.max_batch = max_batch
+        self.retry_base_s = retry_base_s
+        self.poll_s = poll_s
+        self.runner: RunnerFn = runner or self._run_cells_runner
+        self._draining = threading.Event()
+        self._cancel = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> None:
+        while not self._draining.is_set():
+            batch = self.scheduler.claim_batch(self.max_batch)
+            if not batch:
+                self._draining.wait(self.poll_s)
+                continue
+            self._execute(batch)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Finish the in-flight batch, then stop; True when joined."""
+        self._draining.set()
+        if self.is_alive():
+            self.join(timeout)
+        return not self.is_alive()
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Hard stop: cancel the in-flight batch and exit."""
+        self._draining.set()
+        self._cancel.set()
+        if self.is_alive():
+            self.join(timeout)
+        return not self.is_alive()
+
+    # -- execution -------------------------------------------------------
+
+    def _execute(self, batch: List[Job]) -> None:
+        timeouts = [job.request.timeout_s for job in batch
+                    if job.request.timeout_s is not None]
+        timeout = min(timeouts) if timeouts else None
+        try:
+            with PERF.timer("service.batch"):
+                rows = self.runner(batch, timeout, self._cancel)
+        except GridCancelled:
+            # Drain/stop path: hand the batch back untouched; the
+            # interruption is not the jobs' fault.
+            for job in batch:
+                job.attempts = max(0, job.attempts - 1)
+                self.scheduler.requeue(job, "cancelled mid-run by "
+                                       "service shutdown", delay_s=0.0)
+        except GridTimeout:
+            PERF.count("service.timeouts")
+            self._retry_or_fail(batch, f"timed out after {timeout:g} s")
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            self._retry_or_fail(batch, repr(exc))
+        else:
+            for job, row in zip(batch, rows):
+                self.scheduler.complete(job, row)
+
+    def _retry_or_fail(self, batch: List[Job], error: str) -> None:
+        for job in batch:
+            if job.attempts >= job.max_attempts:
+                self.scheduler.fail(
+                    job, f"{error} (attempt {job.attempts}/"
+                         f"{job.max_attempts})")
+            else:
+                delay = self.retry_base_s * 2 ** (job.attempts - 1)
+                self.scheduler.requeue(
+                    job, error, delay_s=delay,
+                    # Retry multi-job batches one by one so a single
+                    # poisoned cell stops sinking its batch mates.
+                    batchable=False if len(batch) > 1 else None)
+
+    def _run_cells_runner(self, batch: List[Job],
+                          timeout: Optional[float],
+                          cancel: threading.Event) -> List[Dict]:
+        kwargs = batch[0].request.run_kwargs()
+        results = run_cells([job.request.to_cell() for job in batch],
+                            cache=self.cache,
+                            workers=self.pool_workers,
+                            timeout=timeout, cancel=cancel, **kwargs)
+        return [result.row() for result in results]

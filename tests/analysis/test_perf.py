@@ -52,7 +52,7 @@ class TestAggregation:
         rec.count("a")
         snap = rec.snapshot()
         rec.count("a")
-        assert snap == {"counters": {"a": 1}, "timers": {}}
+        assert snap == {"counters": {"a": 1}, "timers": {}, "gauges": {}}
 
     def test_merge_sums(self):
         parent = PerfRecorder()
@@ -65,6 +65,30 @@ class TestAggregation:
         parent.merge(child.snapshot())
         assert parent.counters == {"a": 3, "b": 3}
         assert parent.timers == {"t": 0.75}
+
+    def test_gauges_set_not_sum(self):
+        rec = PerfRecorder()
+        rec.gauge("depth", 4)
+        rec.gauge("depth", 2)
+        assert rec.gauges == {"depth": 2}
+
+    def test_merge_takes_latest_gauge(self):
+        parent = PerfRecorder()
+        parent.gauge("depth", 9)
+        child = PerfRecorder()
+        child.gauge("depth", 3)
+        parent.merge(child.snapshot())
+        assert parent.gauges == {"depth": 3}
+
+    def test_disabled_gauge_is_noop(self):
+        rec = PerfRecorder(enabled=False)
+        rec.gauge("depth", 1)
+        assert rec.gauges == {}
+
+    def test_report_includes_gauges(self):
+        rec = PerfRecorder()
+        rec.gauge("depth", 7)
+        assert "gauges:" in rec.report() and "depth" in rec.report()
 
     def test_reset(self):
         rec = PerfRecorder()

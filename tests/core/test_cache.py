@@ -2,6 +2,7 @@
 
 import dataclasses
 import pathlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -145,6 +146,88 @@ class TestRoundTrip:
                      offset_iterations=6, cache=cache)
         assert cache.stats()["entries"] == 2
         assert a.offset.offsets.size != b.offset.offsets.size
+
+
+class TestKeyForCell:
+    def test_matches_key_for_with_run_cell_defaults(self, tmp_path):
+        """The service's dedup key equals the key ``run_cell`` stores
+        under when both leave the defaults in place."""
+        from repro.constants import FAILURE_RATE_TARGET
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        explicit = cache.key_for(
+            build_design(cell.scheme), cell, default_mc_settings(),
+            default_aging_model(), ReadTiming(),
+            failure_rate=FAILURE_RATE_TARGET, measure_offset=True,
+            measure_delay=True, offset_iterations=14)
+        assert cache.key_for_cell(cell) == explicit
+
+    def test_overrides_change_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        base = cache.key_for_cell(cell)
+        assert cache.key_for_cell(cell, settings=settings()) != base
+        assert cache.key_for_cell(cell, timing=TIMING) != base
+        assert cache.key_for_cell(cell, offset_iterations=6) != base
+        assert cache.key_for_cell(cell, measure_delay=False) != base
+
+    def test_run_cell_stores_under_key_for_cell(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        key = cache.key_for_cell(cell, settings=settings(),
+                                 timing=TIMING, offset_iterations=6)
+        assert not cache.contains(key)
+        run_cell(cell, settings=settings(), timing=TIMING,
+                 offset_iterations=6, cache=cache)
+        assert cache.contains(key)
+
+
+def _store_repeatedly(directory, key, delay_s, offsets, repeats):
+    """Hammer ``store`` on one key (process-pool entry point)."""
+    from repro.analysis.stats import fit_normal
+    from repro.constants import FAILURE_RATE_TARGET
+    from repro.core.experiment import CellResult
+    from repro.core.offset import OffsetDistribution
+    cache = ResultCache(pathlib.Path(directory))
+    offset = OffsetDistribution(offsets=np.asarray(offsets),
+                                fit=fit_normal(np.asarray(offsets)),
+                                failure_rate=FAILURE_RATE_TARGET)
+    result = CellResult(cell=fresh_cell(), offset=offset, delay_s=delay_s)
+    for _ in range(repeats):
+        cache.store(key, result)
+    return True
+
+
+class TestConcurrentWriters:
+    def test_threads_and_processes_race_benignly(self, tmp_path):
+        """Many writers on one key: no torn entries, no leftover temp
+        files, and the entry stays loadable and bit-identical."""
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        expected = run_cell(cell, settings=settings(), timing=TIMING,
+                            offset_iterations=6, cache=cache)
+        key = cache.key_for_cell(cell, settings=settings(),
+                                 timing=TIMING, offset_iterations=6)
+        args = (str(tmp_path), key, expected.delay_s,
+                expected.offset.offsets.tolist(), 25)
+        with ThreadPoolExecutor(max_workers=4) as threads, \
+                ProcessPoolExecutor(max_workers=2) as procs:
+            futures = [threads.submit(_store_repeatedly, *args)
+                       for _ in range(4)]
+            futures += [procs.submit(_store_repeatedly, *args)
+                        for _ in range(2)]
+            assert all(f.result(timeout=120) for f in futures)
+        # One entry + sidecar; the atomic-rename temp files are gone.
+        assert cache.stats()["entries"] == 1
+        assert [p for p in tmp_path.iterdir()
+                if p.name.startswith(".")] == []
+        from repro.constants import FAILURE_RATE_TARGET
+        loaded = cache.load(key, cell, failure_rate=FAILURE_RATE_TARGET)
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.offset.offsets,
+                                      expected.offset.offsets)
+        assert loaded.delay_s == expected.delay_s
+        assert loaded.row() == expected.row()
 
 
 class TestParallelSharing:

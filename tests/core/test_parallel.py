@@ -1,6 +1,9 @@
 """Tests for the parallel experiment-grid runner and batch chunking."""
 
+import multiprocessing
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -10,7 +13,8 @@ from repro.circuits.sense_amp import ReadTiming
 from repro.core.calibration import default_mc_settings
 from repro.core.experiment import ExperimentCell, run_cell
 from repro.core.mitigation import compare_schemes
-from repro.core.parallel import default_workers, run_cells
+from repro.core.parallel import (GridCancelled, GridTimeout,
+                                 default_workers, run_cells)
 from repro.models import Environment
 from repro.workloads import paper_workload
 
@@ -90,6 +94,101 @@ class TestRunCells:
         counters = PERF.snapshot()["counters"]
         assert counters.get("newton.iterations", 0) > 0
         assert counters.get("cell.runs", 0) == 2
+
+
+def _no_executor_children(timeout=10.0):
+    """True once no live pool worker children remain."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestInterruption:
+    """Timeout / cancel / interrupt handling must reap pool children.
+
+    Regression coverage for the seed behaviour where a
+    ``KeyboardInterrupt`` during a parallel grid hung in
+    ``ProcessPoolExecutor.__exit__`` until every queued cell finished
+    (and could orphan workers when the parent died first).
+    """
+
+    def grid(self):
+        # Enough cells that the grid cannot finish instantly.
+        return [ExperimentCell("nssa", paper_workload("80r0"), 1e8,
+                               Environment.from_celsius(25.0, 1.0))
+                for _ in range(8)]
+
+    def test_serial_timeout_raises_grid_timeout(self):
+        with pytest.raises(GridTimeout):
+            run_cells(self.grid(), settings=settings(4), timing=TIMING,
+                      offset_iterations=4, workers=1, timeout=0.0)
+
+    def test_serial_cancel_raises_grid_cancelled(self):
+        cancelled = threading.Event()
+        cancelled.set()
+        with pytest.raises(GridCancelled):
+            run_cells(self.grid(), settings=settings(4), timing=TIMING,
+                      offset_iterations=4, workers=1, cancel=cancelled)
+
+    def test_serial_cancel_mid_run_stops_at_cell_boundary(self):
+        cancelled = threading.Event()
+        ran = []
+
+        def progress(index, total, cell):
+            ran.append(index)
+            cancelled.set()  # cancel after the first cell starts
+
+        with pytest.raises(GridCancelled):
+            run_cells(self.grid(), settings=settings(4), timing=TIMING,
+                      offset_iterations=4, workers=1, cancel=cancelled,
+                      progress=progress)
+        assert ran == [0]
+
+    def test_parallel_timeout_reaps_workers(self):
+        start = time.monotonic()
+        with pytest.raises(GridTimeout):
+            run_cells(self.grid(), settings=settings(16), timing=TIMING,
+                      offset_iterations=8, workers=2, timeout=0.2)
+        # Tore down long before the ~8-cell grid could finish...
+        assert time.monotonic() - start < 30.0
+        # ...and left no orphaned pool processes behind.
+        assert _no_executor_children()
+
+    def test_parallel_cancel_reaps_workers(self):
+        cancelled = threading.Event()
+        timer = threading.Timer(0.2, cancelled.set)
+        timer.start()
+        try:
+            with pytest.raises(GridCancelled):
+                run_cells(self.grid(), settings=settings(16),
+                          timing=TIMING, offset_iterations=8, workers=2,
+                          cancel=cancelled)
+        finally:
+            timer.cancel()
+        assert _no_executor_children()
+
+    def test_keyboard_interrupt_reaps_workers(self):
+        """A Ctrl-C surfacing in the parent's result loop must kill
+        the pool instead of waiting out the whole grid."""
+        def interrupt(index, total, cell):
+            raise KeyboardInterrupt
+
+        start = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            run_cells(self.grid(), settings=settings(16), timing=TIMING,
+                      offset_iterations=8, workers=2, progress=interrupt)
+        assert time.monotonic() - start < 30.0
+        assert _no_executor_children()
+
+    def test_completed_grid_ignores_unset_cancel(self):
+        cancelled = threading.Event()
+        results = run_cells(tiny_cells(), settings=settings(4),
+                            timing=TIMING, offset_iterations=4,
+                            workers=2, cancel=cancelled, timeout=600.0)
+        assert len(results) == 2
 
 
 class TestChunking:

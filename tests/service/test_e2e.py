@@ -1,0 +1,131 @@
+"""End-to-end service tests against the real simulation stack.
+
+The acceptance demos of the serving layer: concurrent identical
+submissions run one simulation (dedup), a killed-and-restarted service
+recovers queued jobs from the journal, and a batch served through the
+service is bit-identical to a direct :func:`run_cells` call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import PERF
+from repro.core.cache import ResultCache
+from repro.core.parallel import run_cells
+from repro.service import Client, DONE, JobRequest, PENDING, Service
+
+
+def request(**overrides):
+    fields = dict(scheme="nssa", workload="80r0", time_s=1e8,
+                  mc=8, seed=2017, dt=1e-12, offset_iterations=6)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+class TestDedup:
+    def test_identical_submissions_share_one_simulation(self, tmp_path):
+        """Two identical cells submitted together → one ``cell.runs``."""
+        PERF.reset()
+        with Service(directory=tmp_path, autostart=False) as service:
+            client = Client(service)
+            first = client.submit(request())
+            second = client.submit(request())
+            assert first == second
+            client.wait(first, timeout=60)
+            assert client.status(first)["state"] == DONE
+        assert PERF.counters["cell.runs"] == 1
+        assert PERF.counters["service.dedup_hits"] == 1
+
+    def test_completed_work_short_circuits_later_submissions(
+            self, tmp_path):
+        with Service(directory=tmp_path) as service:
+            client = Client(service)
+            job_id = client.submit(request())
+            client.wait(job_id, timeout=60)
+        PERF.reset()
+        # A fresh service over the same directory: the journal knows
+        # the job, so the resubmission dedups without simulating.
+        with Service(directory=tmp_path) as service:
+            job = service.submit(request())
+            assert job.state == DONE
+            assert PERF.counters.get("cell.runs", 0) == 0
+
+
+class TestRecovery:
+    def test_restart_recovers_queued_jobs_and_completes_them(
+            self, tmp_path):
+        staged = Service(directory=tmp_path, autostart=False)
+        job_id = Client(staged).submit(request())
+        assert staged.status(job_id)["state"] == PENDING
+        # Simulate a crash: no drain, no snapshot — only the journal.
+        staged.store.close()
+
+        recovered = Service(directory=tmp_path, autostart=False)
+        client = Client(recovered)
+        assert client.status(job_id)["state"] == PENDING
+        with recovered:  # now start the worker
+            doc = client.wait(job_id, timeout=60)
+            assert doc["state"] == DONE
+            assert doc["result_row"]["spec_mV"] > 0
+
+
+class TestBitIdentity:
+    def test_service_batch_matches_direct_run_cells(self, tmp_path):
+        """A coalesced service batch returns exactly what the caller
+        would have computed with a direct grid call."""
+        requests = [request(scheme="nssa", workload="80r0"),
+                    request(scheme="issa", workload="80r0")]
+        direct = run_cells([req.to_cell() for req in requests],
+                           workers=1, **requests[0].run_kwargs())
+
+        with Service(directory=tmp_path, autostart=False) as service:
+            client = Client(service)
+            ids = [client.submit(req) for req in requests]
+            for job_id in ids:
+                client.wait(job_id, timeout=60)
+            for job_id, expected in zip(ids, direct):
+                served = client.result(job_id)
+                np.testing.assert_array_equal(served.offset.offsets,
+                                              expected.offset.offsets)
+                assert served.offset.spec == expected.offset.spec
+                assert served.delay_s == expected.delay_s
+                assert served.row() == expected.row()
+        # One coalesced batch, not two grid invocations.
+        assert PERF.counters["service.batches"] >= 1
+
+    def test_service_results_populate_the_shared_cache(self, tmp_path):
+        """Work done by the service is a cache hit for direct callers."""
+        cache = ResultCache(tmp_path / "shared-cache")
+        req = request()
+        with Service(directory=tmp_path, cache=cache) as service:
+            job_id = Client(service).submit(req)
+            Client(service).wait(job_id, timeout=60)
+        PERF.reset()
+        from repro.core.experiment import run_cell
+        result = run_cell(req.to_cell(), cache=cache,
+                          **req.run_kwargs())
+        assert PERF.counters["cache.hits"] == 1
+        assert result.offset is not None
+
+
+class TestClientSurface:
+    def test_cancel_pending_job(self, tmp_path):
+        with Service(directory=tmp_path, autostart=False) as service:
+            client = Client(service)
+            job_id = client.submit(request())
+            assert client.cancel(job_id)
+            assert client.status(job_id)["state"] == "cancelled"
+
+    def test_wait_times_out(self, tmp_path):
+        service = Service(directory=tmp_path, autostart=False)
+        job_id = Client(service).submit(request())
+        with pytest.raises(TimeoutError):
+            Client(service).wait(job_id, timeout=0.05)
+        service.scheduler.store.close()
+
+    def test_submit_rejects_invalid_requests(self, tmp_path):
+        with Service(directory=tmp_path, autostart=False) as service:
+            with pytest.raises(ValueError):
+                service.submit({"scheme": "bogus"})
+            with pytest.raises(ValueError):
+                service.submit({"scheme": "nssa", "nope": 1})

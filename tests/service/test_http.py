@@ -1,0 +1,116 @@
+"""End-to-end smoke tests for the stdlib HTTP frontend."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.service import HttpClient, Service, ServiceError
+from repro.service.http_api import make_server
+
+
+def request_fields(**overrides):
+    fields = dict(scheme="nssa", workload="80r0", time_s=1e8,
+                  mc=8, seed=2017, dt=1e-12, offset_iterations=6)
+    fields.update(overrides)
+    return fields
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = Service(directory=tmp_path)
+    httpd = make_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    client = HttpClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    yield client, httpd
+    httpd.shutdown()
+    thread.join(timeout=5)
+    httpd.server_close()
+    service.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        client, _ = server
+        assert client.healthy()
+
+    def test_submit_wait_result(self, server):
+        client, _ = server
+        job_id = client.submit(**request_fields())
+        doc = client.wait(job_id, timeout=60)
+        assert doc["state"] == "done"
+        row = client.result(job_id)["row"]
+        assert row["scheme"] == "NSSA"
+        assert row["spec_mV"] > 0
+        assert row["sigma_mV"] > 0
+
+    def test_submit_dedups_over_http(self, server):
+        client, _ = server
+        first = client.submit(**request_fields())
+        second = client.submit(**request_fields())
+        assert first == second
+
+    def test_result_conflict_while_not_done(self, server):
+        client, httpd = server
+        # Park the worker so the job provably stays pending.
+        httpd.service.worker.drain(timeout=5)
+        job_id = client.submit(**request_fields(mc=16))
+        # Asking for the result early is a 409, not a 500.
+        with pytest.raises(ServiceError, match="pending"):
+            client.result(job_id)
+
+    def test_unknown_job_is_404(self, server):
+        client, _ = server
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.status("no-such-job")
+
+    def test_invalid_request_is_400(self, server):
+        client, _ = server
+        with pytest.raises(ServiceError, match="scheme"):
+            client.submit(scheme="bogus")
+
+    def test_unknown_route_is_404(self, server):
+        client, _ = server
+        with pytest.raises(ServiceError):
+            client._call("GET", "/nope")
+
+    def test_metrics_payload(self, server):
+        client, _ = server
+        job_id = client.submit(**request_fields())
+        client.wait(job_id, timeout=60)
+        metrics = client.metrics()
+        assert metrics["jobs"]["done"] >= 1
+        assert metrics["queue_depth"] == 0
+        assert metrics["batches"]["count"] >= 1
+        assert metrics["dedup"]["submissions"] >= 1
+        assert "cache" in metrics and "hit_rate" in metrics["cache"]
+        assert metrics["perf"]["counters"]["cell.runs"] >= 1
+        assert metrics["store"]["directory"]
+
+    def test_cancel_endpoint(self, server):
+        client, httpd = server
+        # Stop the worker so the job stays pending and is cancellable.
+        httpd.service.worker.drain(timeout=5)
+        job_id = client.submit(**request_fields(mc=16, seed=99))
+        assert client.cancel(job_id)
+        assert client.status(job_id)["state"] == "cancelled"
+
+    def test_shutdown_endpoint_requests_drain(self, server):
+        client, httpd = server
+        assert client.shutdown()["draining"]
+        assert httpd.shutdown_requested.wait(timeout=1)
+
+    def test_raw_submit_accepts_flat_body(self, server):
+        """The body may be the request itself (no ``request`` wrapper)."""
+        client, httpd = server
+        url = client.base_url + "/submit"
+        blob = json.dumps(request_fields(mc=16, seed=123)).encode()
+        req = urllib.request.Request(
+            url, data=blob, method="POST",
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            doc = json.loads(resp.read().decode())
+        assert doc["id"]
+        HttpClient(client.base_url).wait(doc["id"], timeout=60)

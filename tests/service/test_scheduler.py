@@ -1,0 +1,176 @@
+"""Tests for dedup, priorities and batch coalescing."""
+
+import pytest
+
+from repro.analysis.perf import PERF
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.cache import ResultCache
+from repro.core.calibration import default_mc_settings
+from repro.core.experiment import run_cell
+from repro.service.jobs import (CANCELLED, DONE, FAILED, JobRequest,
+                                PENDING, RUNNING)
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobStore
+
+
+def request(**overrides):
+    fields = dict(scheme="nssa", workload="80r0", time_s=1e8,
+                  mc=8, seed=2017, dt=1e-12, offset_iterations=6)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    sched = Scheduler(JobStore(tmp_path / "store"),
+                      ResultCache(tmp_path / "cache"))
+    yield sched
+    sched.store.close()
+
+
+class TestSubmit:
+    def test_new_submission_is_pending(self, scheduler):
+        job, deduped = scheduler.submit(request())
+        assert job.state == PENDING and not deduped
+        assert job.id == request().cache_key(scheduler.cache)
+
+    def test_duplicate_submission_dedups(self, scheduler):
+        PERF.reset()
+        first, _ = scheduler.submit(request())
+        second, deduped = scheduler.submit(request())
+        assert deduped and second is first
+        assert PERF.counters["service.dedup_hits"] == 1
+        assert len(scheduler.jobs()) == 1
+
+    def test_dedup_bumps_pending_priority(self, scheduler):
+        job, _ = scheduler.submit(request(), priority=0)
+        scheduler.submit(request(), priority=9)
+        assert job.priority == 9
+
+    def test_different_requests_do_not_dedup(self, scheduler):
+        scheduler.submit(request(scheme="nssa"))
+        scheduler.submit(request(scheme="issa"))
+        assert len(scheduler.jobs()) == 2
+
+    def test_cached_result_short_circuits(self, tmp_path):
+        """A submission whose key the result cache already holds is
+        done immediately — no queue, no simulation."""
+        cache = ResultCache(tmp_path / "cache")
+        req = request()
+        run_cell(req.to_cell(),
+                 settings=default_mc_settings(size=8, seed=2017),
+                 timing=ReadTiming(dt=1e-12), offset_iterations=6,
+                 cache=cache)
+        PERF.reset()
+        sched = Scheduler(JobStore(tmp_path / "store"), cache)
+        job, deduped = sched.submit(req)
+        assert job.state == DONE and job.from_cache and not deduped
+        assert job.result_row["spec_mV"] > 0
+        assert PERF.counters["service.cache_short_circuits"] == 1
+        assert sched.claim_batch() == []
+        sched.store.close()
+
+    def test_failed_job_is_revived_on_resubmit(self, scheduler):
+        job, _ = scheduler.submit(request())
+        scheduler.claim_batch()
+        scheduler.fail(job, "boom")
+        assert job.state == FAILED
+        revived, deduped = scheduler.submit(request())
+        assert revived is job and not deduped
+        assert revived.state == PENDING
+        assert revived.attempts == 0 and revived.error is None
+
+
+class TestClaiming:
+    def test_priority_order_then_fifo(self, scheduler):
+        low, _ = scheduler.submit(request(scheme="nssa"), priority=0)
+        high, _ = scheduler.submit(request(scheme="issa"), priority=5)
+        batch = scheduler.claim_batch(max_batch=1)
+        assert batch == [high]
+        assert scheduler.claim_batch(max_batch=1) == [low]
+
+    def test_claim_marks_running_and_counts_attempt(self, scheduler):
+        job, _ = scheduler.submit(request())
+        batch = scheduler.claim_batch()
+        assert batch[0].state == RUNNING
+        assert batch[0].attempts == 1
+        assert batch[0].started_at is not None
+
+    def test_compatible_cells_coalesce_into_one_batch(self, scheduler):
+        scheduler.submit(request(scheme="nssa", workload="80r0"))
+        scheduler.submit(request(scheme="issa", workload="80r0"))
+        scheduler.submit(request(scheme="nssa", workload="20r1"))
+        batch = scheduler.claim_batch(max_batch=8)
+        assert len(batch) == 3
+
+    def test_incompatible_settings_split_batches(self, scheduler):
+        scheduler.submit(request(mc=8))
+        scheduler.submit(request(scheme="issa", mc=16))
+        assert len(scheduler.claim_batch(max_batch=8)) == 1
+        assert len(scheduler.claim_batch(max_batch=8)) == 1
+
+    def test_max_batch_caps_the_claim(self, scheduler):
+        for workload in ("80r0", "80r1", "20r0", "20r1"):
+            scheduler.submit(request(workload=workload))
+        assert len(scheduler.claim_batch(max_batch=2)) == 2
+        assert scheduler.pending_count() == 2
+
+    def test_backoff_gate_defers_claims(self, scheduler):
+        job, _ = scheduler.submit(request())
+        scheduler.claim_batch()
+        scheduler.requeue(job, "flaky", delay_s=60.0)
+        assert scheduler.claim_batch() == []
+        assert scheduler.claim_batch(now=job.not_before + 1) == [job]
+
+    def test_unbatchable_job_claims_alone(self, scheduler):
+        first, _ = scheduler.submit(request(workload="80r0"))
+        scheduler.submit(request(workload="20r0"))
+        scheduler.claim_batch()  # both
+        scheduler.requeue(first, "poisoned batch", delay_s=0.0,
+                          batchable=False)
+        batch = scheduler.claim_batch()
+        assert batch == [first] and len(batch) == 1
+
+
+class TestLifecycle:
+    def test_complete_stores_the_row(self, scheduler):
+        job, _ = scheduler.submit(request())
+        scheduler.claim_batch()
+        scheduler.complete(job, {"spec_mV": 100.0})
+        assert job.state == DONE and job.result_row == {"spec_mV": 100.0}
+
+    def test_cancel_pending_only(self, scheduler):
+        job, _ = scheduler.submit(request())
+        assert scheduler.cancel(job.id)
+        assert job.state == CANCELLED
+        assert not scheduler.cancel(job.id)
+        assert not scheduler.cancel("unknown")
+
+    def test_running_job_cannot_be_cancelled(self, scheduler):
+        job, _ = scheduler.submit(request())
+        scheduler.claim_batch()
+        assert not scheduler.cancel(job.id)
+        assert job.state == RUNNING
+
+    def test_metrics_counts_states_and_batches(self, scheduler):
+        scheduler.submit(request(scheme="nssa"))
+        scheduler.submit(request(scheme="issa"))
+        scheduler.claim_batch(max_batch=8)
+        metrics = scheduler.metrics()
+        assert metrics["jobs"] == {"running": 2}
+        assert metrics["queue_depth"] == 0
+        assert metrics["batches"]["count"] == 1
+        assert metrics["batches"]["max_size"] == 2
+
+    def test_state_survives_scheduler_restart(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        sched = Scheduler(JobStore(tmp_path / "store"), cache)
+        job, _ = sched.submit(request())
+        sched.store.close()
+        again = Scheduler(JobStore(tmp_path / "store"), cache)
+        recovered = again.get(job.id)
+        assert recovered is not None and recovered.state == PENDING
+        # Sequence numbering continues, so FIFO order is preserved.
+        newer, _ = again.submit(request(scheme="issa"))
+        assert newer.seq > recovered.seq
+        again.store.close()

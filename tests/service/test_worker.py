@@ -1,0 +1,174 @@
+"""Tests for the worker loop: retries, backoff, timeout, drain.
+
+The batch executor is injected (``runner=``), so these tests exercise
+the failure machinery without simulating circuits.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.perf import PERF
+from repro.core.cache import ResultCache
+from repro.core.parallel import GridTimeout
+from repro.service.jobs import (DONE, FAILED, JobRequest, PENDING)
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobStore
+from repro.service.worker import Worker
+
+
+def request(**overrides):
+    fields = dict(scheme="nssa", workload="80r0", time_s=1e8,
+                  mc=8, seed=2017, dt=1e-12, offset_iterations=6)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    sched = Scheduler(JobStore(tmp_path / "store"),
+                      ResultCache(tmp_path / "cache"), max_attempts=2)
+    yield sched
+    sched.store.close()
+
+
+def run_worker(scheduler, runner, **kwargs):
+    worker = Worker(scheduler, scheduler.cache, runner=runner,
+                    retry_base_s=0.01, poll_s=0.005, **kwargs)
+    worker.start()
+    return worker
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never held"
+        time.sleep(0.005)
+
+
+class TestSuccess:
+    def test_batch_completes_jobs_in_order(self, scheduler):
+        calls = []
+
+        def runner(batch, timeout, cancel):
+            calls.append([job.request.workload for job in batch])
+            return [{"workload": job.request.workload} for job in batch]
+
+        a, _ = scheduler.submit(request(workload="80r0"))
+        b, _ = scheduler.submit(request(workload="20r0"))
+        worker = run_worker(scheduler, runner)
+        wait_for(lambda: a.terminal and b.terminal)
+        worker.drain(timeout=5)
+        assert a.state == DONE and a.result_row == {"workload": "80r0"}
+        assert b.state == DONE and b.result_row == {"workload": "20r0"}
+        assert calls == [["80r0", "20r0"]]  # one coalesced batch
+
+
+class TestRetries:
+    def test_flaky_runner_retries_with_backoff_then_succeeds(
+            self, scheduler):
+        attempts = []
+
+        def runner(batch, timeout, cancel):
+            attempts.append(time.monotonic())
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return [{} for _ in batch]
+
+        PERF.reset()
+        job, _ = scheduler.submit(request())
+        worker = run_worker(scheduler, runner)
+        wait_for(lambda: job.terminal)
+        worker.drain(timeout=5)
+        assert job.state == DONE
+        assert len(attempts) == 2
+        assert PERF.counters["service.retries"] == 1
+
+    def test_permanent_failure_exhausts_attempts(self, scheduler):
+        def runner(batch, timeout, cancel):
+            raise RuntimeError("broken forever")
+
+        job, _ = scheduler.submit(request())
+        worker = run_worker(scheduler, runner)
+        wait_for(lambda: job.terminal)
+        worker.drain(timeout=5)
+        assert job.state == FAILED
+        assert job.attempts == 2  # max_attempts of the fixture
+        assert "broken forever" in job.error
+        assert "attempt 2/2" in job.error
+
+    def test_timeout_counts_and_retries(self, scheduler):
+        def runner(batch, timeout, cancel):
+            raise GridTimeout(f"exceeded {timeout:g} s")
+
+        PERF.reset()
+        job, _ = scheduler.submit(request(timeout_s=0.01))
+        worker = run_worker(scheduler, runner)
+        wait_for(lambda: job.terminal)
+        worker.drain(timeout=5)
+        assert job.state == FAILED
+        assert PERF.counters["service.timeouts"] == 2
+        assert "timed out" in job.error
+
+    def test_failed_multi_job_batch_retries_unbatched(self, scheduler):
+        batch_sizes = []
+
+        def runner(batch, timeout, cancel):
+            batch_sizes.append(len(batch))
+            if len(batch) > 1:
+                raise RuntimeError("one bad cell poisons the batch")
+            return [{} for _ in batch]
+
+        a, _ = scheduler.submit(request(workload="80r0"))
+        b, _ = scheduler.submit(request(workload="20r0"))
+        worker = run_worker(scheduler, runner)
+        wait_for(lambda: a.terminal and b.terminal)
+        worker.drain(timeout=5)
+        assert a.state == DONE and b.state == DONE
+        assert batch_sizes[0] == 2
+        assert set(batch_sizes[1:]) == {1}
+
+    def test_min_timeout_of_the_batch_applies(self, scheduler):
+        seen = []
+
+        def runner(batch, timeout, cancel):
+            seen.append(timeout)
+            return [{} for _ in batch]
+
+        a, _ = scheduler.submit(request(workload="80r0", timeout_s=5.0))
+        b, _ = scheduler.submit(request(workload="20r0", timeout_s=5.0))
+        worker = run_worker(scheduler, runner)
+        wait_for(lambda: a.terminal and b.terminal)
+        worker.drain(timeout=5)
+        assert seen == [5.0]
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_batch(self, scheduler):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(batch, timeout, cancel):
+            started.set()
+            release.wait(5.0)
+            return [{} for _ in batch]
+
+        job, _ = scheduler.submit(request())
+        worker = run_worker(scheduler, runner)
+        started.wait(5.0)
+        drained = []
+        thread = threading.Thread(
+            target=lambda: drained.append(worker.drain(timeout=10)))
+        thread.start()
+        release.set()
+        thread.join(timeout=10)
+        assert drained == [True]
+        assert job.state == DONE
+
+    def test_drained_worker_leaves_pending_work_queued(self, scheduler):
+        worker = run_worker(scheduler, lambda *a: [])
+        worker.drain(timeout=5)
+        job, _ = scheduler.submit(request())
+        time.sleep(0.05)
+        assert job.state == PENDING

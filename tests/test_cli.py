@@ -27,6 +27,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "evict"])
 
+    def test_bench_only_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["bench", "--only", "toy", "--only", "other"])
+        assert args.only == ["toy", "other"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8972
+        assert args.service_dir is None
+        assert args.pool_workers == 1
+        assert args.max_batch == 8
+        assert args.max_attempts == 3
+        assert args.retry_base == 0.5
+        assert args.snapshot_every == 256
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--pool-workers", "0",
+             "--service-dir", "/tmp/svc", "--max-batch", "4"])
+        assert args.port == 0
+        assert args.pool_workers == 0
+        assert args.service_dir == "/tmp/svc"
+        assert args.max_batch == 4
+
 
 class TestCacheCommand:
     def test_stats_on_empty_store(self, tmp_path, capsys):
@@ -117,6 +142,22 @@ class TestBenchCommand:
         assert code == 0
         doc = json.loads((tmp_path / "BENCH_toy.json").read_text())
         assert doc["argv"] == ["--mc", "4"]
+
+    def test_repeated_only_selects_the_union(self, tmp_path, capsys):
+        self._suite(tmp_path)
+        self._suite(tmp_path, "other_speedup.py")
+        self._suite(tmp_path, "third_speedup.py")
+        assert main(["bench", "--dir", str(tmp_path), "--list",
+                     "--only", "toy", "--only", "other"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["other_speedup", "toy_speedup"]
+
+    def test_only_matches_exact_stem(self, tmp_path, capsys):
+        self._suite(tmp_path)
+        self._suite(tmp_path, "other_speedup.py")
+        assert main(["bench", "--dir", str(tmp_path), "--list",
+                     "--only", "toy_speedup"]) == 0
+        assert capsys.readouterr().out.splitlines() == ["toy_speedup"]
 
     def test_failing_suite_fails_run(self, tmp_path, capsys):
         self._suite(tmp_path, body="def main(argv):\n    return 1\n")
