@@ -1,0 +1,362 @@
+"""Validate the rare-event engine and emit BENCH_rare_event.json.
+
+Three sections:
+
+* ``toy_validation`` — both estimators against an analytically known
+  tail (a linear offset map over the Pelgrom mismatch space), where the
+  exact 1e-9 spec is available in closed form;
+* ``agreement`` — both estimators against a large brute-force
+  Monte-Carlo population on the real sense-amp testbench, at failure
+  rates shallow enough (1e-4, 1e-5) for brute force to resolve: the
+  brute-force Wilson interval and the estimator intervals must overlap;
+* ``speedup`` — simulated-sample cost of the importance-sampling spec
+  at the paper's 1e-9 target versus (a) direct Monte Carlo resolving
+  the same failure rate to the same relative confidence-interval width
+  and (b) the paper's 400-sample normal-fit extrapolation matched to
+  the same spec-interval width.
+
+The asserted criterion is the direct-MC reduction (>= 100x, by a wide
+margin: observing a 1e-9 event at all takes ~1e9 samples); the
+fit-extrapolation efficiency is reported alongside as the honest
+comparison against the paper's own (parametric, assumption-laden)
+method.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/rare_event_speedup.py
+
+CI smoke variant (seconds instead of minutes, criteria reported but
+agreement intervals widen accordingly)::
+
+    PYTHONPATH=src python benchmarks/rare_event_speedup.py \
+        --mc 60 --tail-samples 200 --tail-bootstrap 80 --brute 4000
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import platform
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.analysis.perf import PERF
+from repro.circuits.sense_amp import ReadTiming
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.core.montecarlo import McSettings
+from repro.core.rare_event import EstimatorConfig, estimate_tail
+from repro.models.variation import MismatchModel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Two-sided 95% normal quantile used for the direct-MC cost model.
+Z95 = 1.959964
+
+
+# -- toy validation ---------------------------------------------------------
+
+TOY_RATIOS = {"m1": 4.0, "m2": 4.0, "m3": 8.0}
+TOY_GAINS = {"m1": 1.0, "m2": -1.0, "m3": 0.5}
+
+
+def toy_validation(samples: int, bootstrap: int) -> Dict:
+    """Both estimators against the closed-form linear-offset tail."""
+    model = MismatchModel()
+    sigma_off = math.sqrt(sum(
+        TOY_GAINS[n] ** 2 * model.sigma_vth(TOY_RATIOS[n]) ** 2
+        for n in TOY_RATIOS))
+
+    def offset_fn(shifts):
+        return sum(TOY_GAINS[n] * shifts[n] for n in TOY_GAINS)
+
+    truth = float(norm.isf(0.5e-9) * sigma_off)
+    rng = np.random.default_rng(0)
+    pilot_shifts = model.sample_circuit(TOY_RATIOS, 400, rng)
+    pilot_offsets = offset_fn(pilot_shifts)
+
+    section: Dict = {"exact_spec_V": truth}
+    for kind in ("is", "scaled-sigma"):
+        config = EstimatorConfig(kind=kind, samples=samples,
+                                 bootstrap=bootstrap)
+        est = estimate_tail(offset_fn, model, TOY_RATIOS, config, seed=7,
+                            failure_rate=1e-9,
+                            pilot_shifts=pilot_shifts,
+                            pilot_offsets=pilot_offsets)
+        spec = est.spec_at(1e-9)
+        section[kind] = {
+            "spec_V": spec.value,
+            "spec_ci_V": [spec.lo, spec.hi],
+            "rel_error": (spec.value - truth) / truth,
+            "ci_covers_exact": spec.contains(truth),
+            "n_simulated": est.n_simulated,
+            "ess": est.ess,
+        }
+    return section
+
+
+# -- brute-force agreement --------------------------------------------------
+
+
+def wilson_interval(events: int, n: int) -> List[float]:
+    """95% Wilson score interval of a binomial rate."""
+    if n == 0:
+        return [float("nan"), float("nan")]
+    p = events / n
+    z2 = Z95 * Z95
+    denom = 1.0 + z2 / n
+    centre = (p + z2 / (2 * n)) / denom
+    half = Z95 * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n)) / denom
+    return [max(0.0, centre - half), min(1.0, centre + half)]
+
+
+def _magnitudes(offsets: np.ndarray) -> np.ndarray:
+    mag = np.abs(np.asarray(offsets, dtype=float))
+    return np.where(np.isnan(mag), np.inf, mag)
+
+
+def intervals_overlap(a: List[float], b: List[float]) -> bool:
+    return (all(map(math.isfinite, a)) and all(map(math.isfinite, b))
+            and a[0] <= b[1] and b[0] <= a[1])
+
+
+def agreement(cell: ExperimentCell, timing: ReadTiming, iterations: int,
+              mc: int, tail_samples: int, bootstrap: int, brute: int,
+              chunk_size: Optional[int]) -> Dict:
+    """Estimators vs a brute-force population on the real testbench.
+
+    The probe threshold at each target rate is the brute-force
+    empirical quantile (independent of the estimators under test), and
+    each importance-sampling run is tilted *at that target* — an IS
+    proposal concentrates its samples around its tilt region, so a
+    1e-9-tilted run has nothing to say about the 1e-4 body and vice
+    versa.  One scaled-sigma run covers every shallow rate at once
+    (its ladder spans the body).
+    """
+    print(f"  brute force: {brute} samples ...", flush=True)
+    start = time.perf_counter()
+    brute_run = run_cell(cell, settings=McSettings(size=brute),
+                         timing=timing, measure_delay=False,
+                         offset_iterations=iterations,
+                         chunk_size=chunk_size)
+    brute_seconds = time.perf_counter() - start
+    brute_mag = _magnitudes(brute_run.offset.offsets)
+
+    settings = McSettings(size=mc)
+    print("  estimator scaled-sigma ...", flush=True)
+    sss_config = EstimatorConfig(kind="scaled-sigma",
+                                 samples=tail_samples,
+                                 bootstrap=bootstrap)
+    start = time.perf_counter()
+    sss_run = run_cell(cell, settings=settings, timing=timing,
+                       measure_delay=False, offset_iterations=iterations,
+                       chunk_size=chunk_size, estimator=sss_config)
+    sss_tail = sss_run.offset.tail
+    sss_seconds = time.perf_counter() - start
+
+    section: Dict = {
+        "brute": {"samples": brute, "seconds": round(brute_seconds, 2)},
+        "scaled_sigma": {"n_simulated": sss_tail.n_simulated,
+                         "seconds": round(sss_seconds, 2)},
+        "probes": [],
+    }
+    agree_all = True
+    is_config = EstimatorConfig(kind="is", samples=tail_samples,
+                                bootstrap=bootstrap)
+    for target in (1e-4, 1e-5):
+        v = float(np.quantile(brute_mag, 1.0 - target))
+        events = int(np.sum(brute_mag >= v))
+        brute_ci = wilson_interval(events, brute)
+        print(f"  estimator is (tilt at {target:g}) ...", flush=True)
+        start = time.perf_counter()
+        is_run = run_cell(cell, settings=settings, timing=timing,
+                          measure_delay=False,
+                          offset_iterations=iterations,
+                          chunk_size=chunk_size, estimator=is_config,
+                          failure_rate=target)
+        is_tail = is_run.offset.tail
+        probe: Dict = {
+            "target_failure_rate": target,
+            "probe_spec_V": v,
+            "brute": {"events": events, "rate": events / brute,
+                      "ci95": brute_ci},
+        }
+        for kind, tail in (("is", is_tail), ("scaled-sigma", sss_tail)):
+            rate = tail.failure_rate_at(v)
+            ok = intervals_overlap(brute_ci, [rate.lo, rate.hi])
+            probe[kind] = {"rate": rate.value,
+                           "ci": [rate.lo, rate.hi],
+                           "overlaps_brute": ok}
+            # Agreement is only checkable where brute force actually
+            # resolves the rate (a handful of events at least).
+            if events >= 5:
+                agree_all = agree_all and ok
+        probe["is"]["ess"] = is_tail.ess
+        probe["is"]["n_simulated"] = is_tail.n_simulated
+        probe["is"]["seconds"] = round(time.perf_counter() - start, 2)
+        section["probes"].append(probe)
+    section["agreement_ok"] = agree_all
+    return section
+
+
+# -- speedup ----------------------------------------------------------------
+
+
+def speedup(cell: ExperimentCell, timing: ReadTiming, iterations: int,
+            mc: int, tail_samples: int, bootstrap: int,
+            chunk_size: Optional[int]) -> Dict:
+    """Sample cost of the IS spec at 1e-9 vs direct MC and the fit path."""
+    settings = McSettings(size=mc)
+    print("  fit baseline ...", flush=True)
+    start = time.perf_counter()
+    fit_run = run_cell(cell, settings=settings, timing=timing,
+                       measure_delay=False, offset_iterations=iterations,
+                       chunk_size=chunk_size)
+    fit_seconds = time.perf_counter() - start
+    fit_ci = fit_run.offset.spec_ci(failure_rate=1e-9, bootstrap=bootstrap)
+    fit_relw = fit_ci.width / fit_ci.value
+
+    print("  importance sampling ...", flush=True)
+    config = EstimatorConfig(kind="is", samples=tail_samples,
+                             bootstrap=bootstrap)
+    start = time.perf_counter()
+    is_run = run_cell(cell, settings=settings, timing=timing,
+                      measure_delay=False, offset_iterations=iterations,
+                      chunk_size=chunk_size, estimator=config)
+    is_seconds = time.perf_counter() - start
+    tail = is_run.offset.tail
+    spec = tail.spec_at(1e-9)
+    rate = tail.failure_rate_at(spec.value)
+    is_relw = spec.width / spec.value
+    n_is = mc + tail.n_simulated  # pilot population counted honestly
+
+    # Direct MC matching the IS *failure-rate* interval at the spec:
+    # a binomial estimate of rate fr with relative 95% half-width h
+    # needs about z^2 (1 - fr) / (fr h^2) samples.
+    fr = 1e-9
+    rate_half = (rate.hi - rate.lo) / (2.0 * rate.value)
+    n_direct = Z95 ** 2 * (1.0 - fr) / (fr * rate_half ** 2)
+
+    # Fit-path extrapolation matching the IS *spec* interval: the fit
+    # CI width shrinks as 1/sqrt(N), so matching needs
+    # N = mc (w_fit / w_is)^2.
+    n_fit_matched = mc * (fit_relw / is_relw) ** 2
+
+    return {
+        "cell": {"scheme": cell.scheme, "mc": mc,
+                 "tail_samples": tail_samples, "dt": timing.dt,
+                 "offset_iterations": iterations},
+        "fit": {"spec_V": fit_ci.value,
+                "spec_ci_V": [fit_ci.lo, fit_ci.hi],
+                "rel_ci_width": fit_relw,
+                "n_simulated": mc,
+                "seconds": round(fit_seconds, 2)},
+        "is": {"spec_V": spec.value,
+               "spec_ci_V": [spec.lo, spec.hi],
+               "rel_ci_width": is_relw,
+               "failure_rate_at_spec": [rate.value, rate.lo, rate.hi],
+               "ess": tail.ess,
+               "n_simulated": n_is,
+               "seconds": round(is_seconds, 2)},
+        "direct_mc_samples_matched": n_direct,
+        "fit_samples_matched": n_fit_matched,
+        "sample_reduction_vs_direct_mc": n_direct / n_is,
+        "sample_reduction_vs_fit_extrapolation": n_fit_matched / n_is,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mc", type=int, default=400,
+                        help="nominal MC population (paper: 400)")
+    parser.add_argument("--tail-samples", type=int, default=2000,
+                        help="simulated samples per estimator run")
+    parser.add_argument("--tail-bootstrap", type=int, default=400,
+                        help="bootstrap replicates per interval")
+    parser.add_argument("--brute", type=int, default=120000,
+                        help="brute-force population for the agreement "
+                             "section")
+    parser.add_argument("--dt", type=float, default=2e-12,
+                        help="transient step in seconds")
+    parser.add_argument("--iterations", type=int, default=8,
+                        help="offset bisection depth")
+    parser.add_argument("--chunk-size", type=int, default=4000,
+                        help="MC chunk size (peak-memory control)")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_rare_event.json"))
+    args = parser.parse_args(argv)
+
+    cell = ExperimentCell("nssa", None, 0.0)
+    timing = ReadTiming(dt=args.dt)
+    PERF.reset()
+
+    doc: Dict = {
+        "benchmark": "rare_event_speedup",
+        "host": {"cpu_count": os.cpu_count(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine()},
+        "settings": {"mc": args.mc, "tail_samples": args.tail_samples,
+                     "tail_bootstrap": args.tail_bootstrap,
+                     "brute": args.brute, "dt": args.dt,
+                     "offset_iterations": args.iterations,
+                     "chunk_size": args.chunk_size},
+    }
+    print("toy validation (closed-form tail)")
+    doc["toy_validation"] = toy_validation(args.tail_samples,
+                                           args.tail_bootstrap)
+    print("brute-force agreement (real testbench)")
+    doc["agreement"] = agreement(cell, timing, args.iterations, args.mc,
+                                 args.tail_samples, args.tail_bootstrap,
+                                 args.brute, args.chunk_size)
+    print("speedup (real testbench, 1e-9 target)")
+    doc["speedup"] = speedup(cell, timing, args.iterations, args.mc,
+                             args.tail_samples, args.tail_bootstrap,
+                             args.chunk_size)
+    doc["perf_counters"] = {
+        k: v for k, v in PERF.snapshot()["counters"].items()
+        if k.startswith(("rare_event.", "offset.nan"))}
+
+    reduction = doc["speedup"]["sample_reduction_vs_direct_mc"]
+    fit_eff = doc["speedup"]["sample_reduction_vs_fit_extrapolation"]
+    doc["criteria"] = {
+        "toy_is_ci_covers_exact":
+            doc["toy_validation"]["is"]["ci_covers_exact"],
+        "toy_is_rel_error": doc["toy_validation"]["is"]["rel_error"],
+        "brute_force_agreement": doc["agreement"]["agreement_ok"],
+        "sample_reduction_vs_direct_mc": round(reduction, 1),
+        "sample_reduction_vs_fit_extrapolation": round(fit_eff, 1),
+        "note": "direct-MC reduction is the >=100x criterion (resolving "
+                "a 1e-9 failure rate to the IS interval's relative width "
+                "by counting events needs ~z^2/(fr h^2) samples); the "
+                "fit-extrapolation number compares against the paper's "
+                "400-sample normal-fit method at matched spec-interval "
+                "width, which is cheap but leans on an unverified "
+                "normality assumption 6 sigma past the data.",
+    }
+    assert doc["criteria"]["toy_is_ci_covers_exact"], \
+        "IS interval misses the closed-form toy spec"
+    assert doc["criteria"]["brute_force_agreement"], \
+        "estimator intervals do not overlap brute force"
+    assert reduction >= 100.0, \
+        f"sample reduction vs direct MC only {reduction:.1f}x"
+
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    print(f"toy IS rel error: "
+          f"{doc['toy_validation']['is']['rel_error']:+.4f}")
+    print(f"agreement ok: {doc['agreement']['agreement_ok']}")
+    print(f"sample reduction vs direct MC:  {reduction:,.0f}x")
+    print(f"sample reduction vs fit path:   {fit_eff:,.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

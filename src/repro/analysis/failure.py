@@ -9,6 +9,8 @@ the fitted normal offset distribution.
 
 from __future__ import annotations
 
+import math
+
 from scipy import optimize, stats as scipy_stats
 
 from ..constants import FAILURE_RATE_TARGET
@@ -27,8 +29,10 @@ def sigma_level(failure_rate: float) -> float:
 
 def failure_rate_at(voffset: float, mu: float, sigma: float) -> float:
     """Failure probability of Eq. (3) for a given spec and distribution."""
-    if sigma <= 0.0:
-        raise ValueError("sigma must be positive")
+    if not math.isfinite(sigma) or sigma <= 0.0:
+        raise ValueError("sigma must be positive and finite")
+    if not math.isfinite(mu):
+        raise ValueError("mu must be finite")
     if voffset < 0.0:
         raise ValueError("voffset must be non-negative")
     upper = scipy_stats.norm.cdf((voffset - mu) / sigma)
@@ -45,11 +49,18 @@ def offset_spec(mu: float, sigma: float,
     ``sigma_level(fr) * sigma`` (~6.1 sigma at 1e-9); for shifted
     distributions the far tail dominates and the spec approaches
     ``|mu| + z1 * sigma`` with the one-sided ``z1``.
+
+    A degenerate fit (``sigma <= 0``, non-finite moments — e.g. from an
+    all-NaN offset population) or a failure-rate target at or beyond
+    0.5 (where Eq. (3) stops describing a tail) is rejected rather than
+    silently producing a meaningless spec.
     """
-    if sigma <= 0.0:
-        raise ValueError("sigma must be positive")
-    if not 0.0 < failure_rate < 1.0:
-        raise ValueError("failure rate must be in (0, 1)")
+    if not math.isfinite(sigma) or sigma <= 0.0:
+        raise ValueError("sigma must be positive and finite")
+    if not math.isfinite(mu):
+        raise ValueError("mu must be finite")
+    if not 0.0 < failure_rate < 0.5:
+        raise ValueError("failure rate must be in (0, 0.5)")
     z_two_sided = sigma_level(failure_rate)
     upper = abs(mu) + (z_two_sided + 1.0) * sigma
 

@@ -10,6 +10,9 @@
 * ``overheads`` — the Section IV-C area/energy numbers;
 * ``guardband`` — worst-case margin comparison over the full
   condition set;
+* ``tail`` — rare-event offset-spec estimation (importance sampling /
+  scaled-sigma) with confidence intervals, next to the paper's
+  normal-fit extrapolation;
 * ``report`` — assemble REPORT.md from the benchmark artefacts;
 * ``perf`` — profile one table cell and dump the fast-path counters
   (optionally as JSON);
@@ -67,6 +70,33 @@ def _add_mc_args(parser: argparse.ArgumentParser) -> None:
                              "unchanged)")
 
 
+def _add_estimator_args(parser: argparse.ArgumentParser,
+                        default: str = "fit") -> None:
+    parser.add_argument("--estimator",
+                        choices=("fit", "scaled-sigma", "is"),
+                        default=default,
+                        help="offset-spec tail estimator: the paper's "
+                             "normal fit (default) or a variance-reduced "
+                             "rare-event estimator (see "
+                             "repro.core.rare_event)")
+    parser.add_argument("--tail-samples", type=int, default=2000,
+                        help="simulated samples per estimator run (per "
+                             "sigma scale for scaled-sigma)")
+    parser.add_argument("--tail-bootstrap", type=int, default=400,
+                        help="bootstrap replicates behind the confidence "
+                             "intervals")
+
+
+def _estimator(args):
+    """The :class:`EstimatorConfig` requested by ``--estimator``, or None."""
+    kind = getattr(args, "estimator", "fit")
+    if kind == "fit":
+        return None
+    from .core.rare_event import EstimatorConfig
+    return EstimatorConfig(kind=kind, samples=args.tail_samples,
+                           bootstrap=args.tail_bootstrap)
+
+
 def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
                         default=False,
@@ -99,7 +129,8 @@ def _cell_result(args, scheme: str, workload_name: Optional[str],
                     settings=_settings(args),
                     timing=ReadTiming(dt=args.dt),
                     chunk_size=args.chunk_size,
-                    cache=_cache(args))
+                    cache=_cache(args),
+                    estimator=_estimator(args))
 
 
 def cmd_characterize(args) -> int:
@@ -124,7 +155,7 @@ def cmd_table(args) -> int:
                     timing=ReadTiming(dt=args.dt),
                     workers=args.workers or None,
                     chunk_size=args.chunk_size, cache=_cache(args),
-                    progress=progress)
+                    estimator=_estimator(args), progress=progress)
     rendered = [comparison_row(
         row.result.cell.scheme, row.result.cell.time_s,
         row.result.cell.workload_label, row.result.cell.env.label(),
@@ -207,6 +238,76 @@ def cmd_report(args) -> int:
     return 0 if status.complete else 1
 
 
+def cmd_tail(args) -> int:
+    """Estimate the rare-event offset tail of one cell, with CIs."""
+    import dataclasses
+
+    from .analysis.failure import offset_spec, sigma_level
+
+    env = Environment.from_celsius(args.temp, args.vdd)
+    result = _cell_result(args, args.scheme, args.workload, args.time,
+                          env)
+    offset = result.offset
+    fr = args.failure_rate
+    fit_ci = None
+    try:
+        fit_spec = offset_spec(offset.mu, offset.sigma, fr)
+        # The fit-path interval, even when a tail estimate is attached.
+        fit_ci = dataclasses.replace(offset, tail=None).spec_ci(
+            failure_rate=fr, bootstrap=args.tail_bootstrap)
+    except ValueError:
+        fit_spec = float("nan")
+
+    print(f"corner: {env.label()}  MC={args.mc}  "
+          f"target failure rate {fr:g} (~{sigma_level(fr):.1f} sigma)")
+    print(f"  normal fit      mu={offset.mu * 1e3:+.2f} mV  "
+          f"sigma={offset.sigma * 1e3:.2f} mV")
+    line = f"  fit spec        {fit_spec * 1e3:8.2f} mV"
+    if fit_ci is not None:
+        line += (f"   95% CI [{fit_ci.lo * 1e3:.2f}, "
+                 f"{fit_ci.hi * 1e3:.2f}]")
+    print(line)
+    tail = offset.tail
+    payload = {
+        "scheme": args.scheme, "workload": args.workload,
+        "time_s": args.time, "failure_rate": fr,
+        "estimator": args.estimator,
+        "fit": {"mu": offset.mu, "sigma": offset.sigma,
+                "spec": fit_spec,
+                "spec_ci": ([fit_ci.lo, fit_ci.hi]
+                            if fit_ci is not None else None)},
+    }
+    if tail is None:
+        print("  (no tail estimate: estimator is 'fit' or "
+              "REPRO_NO_RAREEVENT is set)")
+    else:
+        spec = tail.spec_at(fr)
+        print(f"  {args.estimator:15s} {spec.value * 1e3:8.2f} mV"
+              f"   {spec.level * 100:.0f}% CI [{spec.lo * 1e3:.2f}, "
+              f"{spec.hi * 1e3:.2f}]")
+        rate = (tail.failure_rate_at(fit_spec)
+                if fit_spec == fit_spec and fit_spec > 0 else None)
+        if rate is not None:
+            print(f"  fr @ fit spec   {rate.value:12.3e}"
+                  f"   {rate.level * 100:.0f}% CI [{rate.lo:.3e}, "
+                  f"{rate.hi:.3e}]")
+        print(f"  diagnostics     n={tail.n_simulated}  "
+              f"ESS={tail.ess:.1f}  clips={tail.clip_events}  "
+              f"out-of-range={tail.out_of_range}")
+        payload["tail"] = dict(tail.meta())
+        payload["tail"]["spec"] = [spec.value, spec.lo, spec.hi]
+        if rate is not None:
+            payload["tail"]["fr_at_fit_spec"] = [rate.value, rate.lo,
+                                                 rate.hi]
+    if args.json:
+        import json
+        import pathlib
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\ntail JSON written to {path}")
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Characterise one cell under the perf recorder and report."""
     from .analysis.perf import PERF
@@ -235,6 +336,14 @@ def cmd_perf(args) -> int:
           f"{PERF.ratio('transient.known_table_builds', 'transient.runs'):8.2f}")
     print(f"  fused endpoint runs          "
           f"{PERF.counters.get('offset.endpoint_fused_runs', 0):8d}")
+    if PERF.counters.get("rare_event.estimates"):
+        draws = (PERF.counters.get("rare_event.proposal_draws", 0)
+                 + PERF.counters.get("rare_event.scaled_sigma_draws", 0))
+        print(f"  rare-event sampler draws     {draws:8d}")
+        print(f"  rare-event ESS               "
+              f"{PERF.gauges.get('rare_event.ess', 0.0):8.1f}")
+        print(f"  rare-event weight clips      "
+              f"{PERF.counters.get('rare_event.weight_clips', 0):8d}")
     if args.cache:
         print(f"  cache hit rate               "
               f"{PERF.ratio('cache.hits', 'cache.requests'):8.2f}")
@@ -243,7 +352,8 @@ def cmd_perf(args) -> int:
             "config": {"scheme": args.scheme, "workload": args.workload,
                        "time_s": args.time, "temp_c": args.temp,
                        "vdd": args.vdd, "mc": args.mc, "dt": args.dt,
-                       "chunk_size": args.chunk_size},
+                       "chunk_size": args.chunk_size,
+                       "estimator": args.estimator},
             "result": result.row(),
         })
         print(f"\nperf JSON written to {path}")
@@ -354,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stress time in seconds (paper: 1e8)")
     _add_corner_args(p)
     _add_mc_args(p)
+    _add_estimator_args(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_characterize)
 
@@ -363,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processes for the grid (default 1: serial, "
                         "bit-identical; 0 means one per CPU)")
     _add_mc_args(p)
+    _add_estimator_args(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_table)
 
@@ -400,6 +512,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None)
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser("tail",
+                       help="rare-event offset-spec estimate with CIs")
+    p.add_argument("--scheme", choices=("nssa", "issa"), default="nssa")
+    p.add_argument("--workload", default=None,
+                   help="paper workload name (e.g. 80r0); omit for t=0")
+    p.add_argument("--time", type=float, default=0.0,
+                   help="stress time in seconds (paper: 1e8)")
+    p.add_argument("--failure-rate", type=float, default=1e-9,
+                   help="tail failure-rate target (paper: 1e-9)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the estimates as JSON")
+    _add_corner_args(p)
+    _add_mc_args(p)
+    _add_estimator_args(p, default="is")
+    _add_cache_args(p)
+    p.set_defaults(func=cmd_tail)
+
     p = sub.add_parser("perf",
                        help="profile one table cell (fast-path counters)")
     p.add_argument("--scheme", choices=("nssa", "issa"), default="nssa")
@@ -411,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the perf counters as JSON")
     _add_corner_args(p)
     _add_mc_args(p)
+    _add_estimator_args(p)
     _add_cache_args(p)
     p.set_defaults(func=cmd_perf)
 

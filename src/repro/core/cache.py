@@ -8,9 +8,11 @@ result: the canonicalised netlist, the Monte-Carlo seed/size/mismatch
 model, the aging model, the read timing, the spec failure-rate target,
 the measurement flags and bisection depth, the package version, a
 code-version salt (bump :data:`CACHE_SALT` whenever a numerical code
-change invalidates old entries), and the warm-start toggle (so an
+change invalidates old entries), the warm-start toggle (so an
 ``REPRO_NO_WARMSTART=1`` verification run recomputes rather than
-trivially replaying the cached value).  ``chunk_size`` is deliberately
+trivially replaying the cached value), and the resolved rare-event
+estimator configuration (``None`` on the paper's fit path), so tail
+estimates and brute-force entries never share a key.  ``chunk_size`` is deliberately
 excluded — chunking controls peak memory, not the statistics (results
 agree to solver tolerance; bit-identical with warm starts off).
 
@@ -38,8 +40,8 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..analysis.perf import PERF
-from ..analysis.stats import fit_normal
-from .offset import OffsetDistribution
+from .offset import OffsetDistribution, fit_offsets
+from .rare_event import TailEstimate
 
 #: Environment variable overriding the cache directory.
 CACHE_ENV = "REPRO_CACHE_DIR"
@@ -122,8 +124,15 @@ class ResultCache:
     def key_for(self, design: Any, cell: Any, settings: Any, aging: Any,
                 timing: Any, failure_rate: float, measure_offset: bool,
                 measure_delay: bool, offset_iterations: int,
-                warmstart: Optional[bool] = None) -> str:
-        """SHA-256 key of one cell characterisation."""
+                warmstart: Optional[bool] = None,
+                estimator: Any = None) -> str:
+        """SHA-256 key of one cell characterisation.
+
+        ``estimator`` is the *resolved* rare-event configuration
+        (``None`` for the paper's fit path, including when the opt-out
+        env downgraded a request) — a dedicated key field, so
+        importance-sampling and brute-force entries can never collide.
+        """
         from .. import __version__
         if warmstart is None:
             from .testbench import warmstart_default
@@ -146,6 +155,7 @@ class ResultCache:
             "measure_delay": measure_delay,
             "offset_iterations": offset_iterations,
             "warmstart": bool(warmstart),
+            "estimator": _canon(estimator),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -157,7 +167,8 @@ class ResultCache:
                      measure_offset: bool = True,
                      measure_delay: bool = True,
                      offset_iterations: int = 14,
-                     warmstart: Optional[bool] = None) -> str:
+                     warmstart: Optional[bool] = None,
+                     estimator: Any = None) -> str:
         """Key of a cell with the same defaults :func:`run_cell` applies.
 
         The single key-derivation hook shared by the experiment runner
@@ -183,7 +194,8 @@ class ResultCache:
             measure_offset=measure_offset,
             measure_delay=measure_delay,
             offset_iterations=offset_iterations,
-            warmstart=warmstart)
+            warmstart=warmstart,
+            estimator=estimator)
 
     # -- entries ---------------------------------------------------------
 
@@ -211,7 +223,9 @@ class ResultCache:
                 delay_s = float(data["delay_s"])
                 offsets = (np.array(data["offsets"])
                            if "offsets" in data.files else None)
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                tail = self._load_tail(data)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile,
+                json.JSONDecodeError):
             PERF.count("cache.misses")
             return None
         PERF.count("cache.hits")
@@ -219,9 +233,24 @@ class ResultCache:
         offset = None
         if offsets is not None:
             offset = OffsetDistribution(offsets=offsets,
-                                        fit=fit_normal(offsets),
-                                        failure_rate=failure_rate)
+                                        fit=fit_offsets(offsets),
+                                        failure_rate=failure_rate,
+                                        tail=tail)
         return CellResult(cell=cell, offset=offset, delay_s=delay_s)
+
+    @staticmethod
+    def _load_tail(data: Any) -> Optional[TailEstimate]:
+        """Rebuild a stored rare-event tail estimate, if any."""
+        if "tail_offsets" not in data.files:
+            return None
+        meta = json.loads(str(data["tail_meta"]))
+        return TailEstimate.from_parts(
+            offsets=np.array(data["tail_offsets"]),
+            log_weights=(np.array(data["tail_log_weights"])
+                         if "tail_log_weights" in data.files else None),
+            scales=(np.array(data["tail_scales"])
+                    if "tail_scales" in data.files else None),
+            meta=meta)
 
     def store(self, key: str, result: Any) -> None:
         """Atomically write ``result`` under ``key``.
@@ -235,6 +264,14 @@ class ResultCache:
             "delay_s": np.float64(result.delay_s)}
         if result.offset is not None:
             arrays["offsets"] = result.offset.offsets
+            tail = result.offset.tail
+            if tail is not None:
+                arrays["tail_offsets"] = tail.offsets
+                arrays["tail_meta"] = np.array(json.dumps(tail.meta()))
+                if tail.log_weights is not None:
+                    arrays["tail_log_weights"] = tail.log_weights
+                if tail.scales is not None:
+                    arrays["tail_scales"] = tail.scales
         path = self._npz_path(key)
         self._atomic_write(path, lambda fh: np.savez(fh, **arrays))
         from .. import __version__
@@ -250,6 +287,8 @@ class ResultCache:
             "version": __version__,
             "salt": CACHE_SALT,
         }
+        if result.offset is not None and result.offset.tail is not None:
+            sidecar["tail"] = result.offset.tail.meta()
         blob = json.dumps(sidecar, indent=2, sort_keys=True).encode()
         self._atomic_write(path.with_suffix(".json"),
                            lambda fh: fh.write(blob))

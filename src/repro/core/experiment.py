@@ -15,7 +15,6 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from ..analysis.perf import PERF
-from ..analysis.stats import fit_normal
 from ..circuits.sense_amp import ReadTiming, build_issa, build_nssa
 from ..constants import FAILURE_RATE_TARGET
 from ..models.temperature import Environment
@@ -23,8 +22,11 @@ from ..workloads import Workload
 from ..aging.engine import AgingModel
 from .cache import ResultCache
 from .calibration import default_aging_model, default_mc_settings
-from .montecarlo import McSettings, sample_total_shifts
-from .offset import OffsetDistribution, extract_offsets
+from .montecarlo import (McSettings, sample_aging_keyed, sample_mismatch,
+                         sample_total_shifts)
+from .offset import OffsetDistribution, extract_offsets, fit_offsets
+from .rare_event import (EstimatorConfig, TailEstimate, estimate_tail,
+                         rare_event_enabled)
 from .testbench import SenseAmpTestbench
 
 #: Differential input magnitude used for sensing-delay reads [V]; a
@@ -160,6 +162,51 @@ def _chunk_shifts(shifts: Mapping[str, Union[float, np.ndarray]],
     return chunks
 
 
+def _run_tail_estimator(config: EstimatorConfig,
+                        cell: ExperimentCell,
+                        design,
+                        settings: McSettings,
+                        aging: Optional[AgingModel],
+                        timing: ReadTiming,
+                        failure_rate: float,
+                        offset_iterations: int,
+                        chunk_size: Optional[int],
+                        pilot_offsets: np.ndarray) -> TailEstimate:
+    """Run the rare-event engine against the cell's real testbench.
+
+    The engine proposes per-device *mismatch* shift populations; this
+    bridge adds the cell's BTI component (drawn once per population
+    size from its own spawn key, so repeated calls — one per sigma
+    scale — share the same aging draws), chunks for peak memory exactly
+    like the nominal run, and extracts offsets through the standard
+    binary search.  The nominal population doubles as the
+    importance-sampling pilot at zero extra simulation cost.
+    """
+
+    def simulate(mismatch_shifts: Dict[str, np.ndarray]) -> np.ndarray:
+        size = len(next(iter(mismatch_shifts.values())))
+        bti = sample_aging_keyed(design, aging, cell.workload, cell.time_s,
+                                 cell.env, settings, size)
+        total = {name: values + bti.get(name, 0.0)
+                 for name, values in mismatch_shifts.items()}
+        parts = []
+        for chunk in _chunk_shifts(total, size, chunk_size):
+            batch = len(next(iter(chunk.values())))
+            testbench = SenseAmpTestbench(design, cell.env,
+                                          batch_size=batch, timing=timing)
+            testbench.set_vth_shifts(chunk)
+            parts.append(extract_offsets(testbench,
+                                         iterations=offset_iterations))
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    with PERF.timer("cell.tail"):
+        return estimate_tail(simulate, settings.mismatch,
+                             design.circuit.mosfet_ratios(), config,
+                             seed=settings.seed, failure_rate=failure_rate,
+                             pilot_shifts=sample_mismatch(design, settings),
+                             pilot_offsets=pilot_offsets)
+
+
 def run_cell(cell: ExperimentCell,
              settings: Optional[McSettings] = None,
              aging: Optional[AgingModel] = None,
@@ -169,7 +216,8 @@ def run_cell(cell: ExperimentCell,
              measure_delay: bool = True,
              offset_iterations: int = 14,
              chunk_size: Optional[int] = None,
-             cache: Optional[ResultCache] = None) -> CellResult:
+             cache: Optional[ResultCache] = None,
+             estimator: Optional[EstimatorConfig] = None) -> CellResult:
     """Characterise one cell: Monte-Carlo offsets and sensing delay.
 
     Parameters
@@ -200,10 +248,25 @@ def run_cell(cell: ExperimentCell,
         Optional persistent :class:`~repro.core.cache.ResultCache`; on
         a key hit the stored result is returned without simulating, on
         a miss the computed result is stored for the next run.
+    estimator:
+        Optional rare-event tail estimator
+        (:class:`~repro.core.rare_event.EstimatorConfig`).  ``None`` or
+        ``kind="fit"`` keeps the paper's normal-fit extrapolation
+        bit-identically; ``kind="is"``/``"scaled-sigma"`` additionally
+        run the variance-reduction engine on the same testbench and
+        attach the :class:`~repro.core.rare_event.TailEstimate` to the
+        offset distribution, which then answers spec queries from the
+        directly-sampled tail.  ``REPRO_NO_RAREEVENT=1`` forces the
+        fallback.  The resolved estimator is part of the cache key, so
+        fit and tail entries never collide.
     """
     settings = settings or default_mc_settings()
     aging = aging or default_aging_model()
     design = build_design(cell.scheme)
+    active = None
+    if (estimator is not None and estimator.kind != "fit"
+            and measure_offset and rare_event_enabled()):
+        active = estimator
 
     key = None
     if cache is not None:
@@ -212,7 +275,8 @@ def run_cell(cell: ExperimentCell,
                                  failure_rate=failure_rate,
                                  measure_offset=measure_offset,
                                  measure_delay=measure_delay,
-                                 offset_iterations=offset_iterations)
+                                 offset_iterations=offset_iterations,
+                                 estimator=active)
         cached = cache.load(key, cell, failure_rate)
         if cached is not None:
             return cached
@@ -245,9 +309,16 @@ def run_cell(cell: ExperimentCell,
     if measure_offset:
         offsets = (offset_parts[0] if len(offset_parts) == 1
                    else np.concatenate(offset_parts))
+        tail: Optional[TailEstimate] = None
+        if active is not None:
+            tail = _run_tail_estimator(active, cell, design, settings,
+                                       aging, timing, failure_rate,
+                                       offset_iterations, chunk_size,
+                                       offsets)
         offset = OffsetDistribution(offsets=offsets,
-                                    fit=fit_normal(offsets),
-                                    failure_rate=failure_rate)
+                                    fit=fit_offsets(offsets),
+                                    failure_rate=failure_rate,
+                                    tail=tail)
     delay = float("nan")
     if measure_delay:
         directions: Dict[int, Tuple[float, List[np.ndarray]]] = {}

@@ -24,9 +24,14 @@ import numpy as np
 from ..aging.duty import issa_duties, nssa_duties
 from ..aging.engine import AgingModel, age_circuit
 from ..models.temperature import Environment
-from ..models.variation import MismatchModel
+from ..models.variation import MismatchModel, keyed_rng
 from ..workloads import Workload
 from ..circuits.sense_amp import SenseAmpDesign
+
+#: Spawn-key lane separating rare-event sampler draws from the paper's
+#: nominal population (which keeps the legacy ``seed`` / ``seed + 1``
+#: generators untouched for bit parity).
+RARE_EVENT_STREAM = 0x5A7E
 
 
 @dataclasses.dataclass(frozen=True)
@@ -92,3 +97,60 @@ def sample_total_shifts(design: SenseAmpDesign,
     bti = age_circuit(design.circuit, aging, duties, time_s, env,
                       settings.size, rng)
     return {name: shifts[name] + bti.get(name, 0.0) for name in shifts}
+
+
+# -- rare-event sampler hooks ---------------------------------------------
+#
+# The variance-reduction estimators (core/rare_event.py) need draws that
+# are *keyed* rather than sequential: every stream is derived from a
+# (seed, RARE_EVENT_STREAM, lane, ...) spawn key, so a proposal
+# population is identical no matter how the simulation work behind it is
+# chunked or which worker process executes it.
+
+
+def mismatch_sigmas(design: SenseAmpDesign,
+                    settings: McSettings) -> Dict[str, float]:
+    """Per-device Pelgrom sigma [V] of the design's mismatch space."""
+    return settings.mismatch.sigma_circuit(design.circuit.mosfet_ratios())
+
+
+def sample_mismatch_keyed(design: SenseAmpDesign, settings: McSettings,
+                          size: int, lane: int = 0,
+                          scale: float = 1.0) -> Dict[str, np.ndarray]:
+    """Spawn-keyed mismatch population (rare-event sampler draws).
+
+    Unlike :func:`sample_mismatch` this path is order- and
+    chunk-invariant (see
+    :meth:`~repro.models.variation.MismatchModel.sample_circuit_keyed`)
+    and lives on a seed lane disjoint from the nominal population, so an
+    estimator can draw extra samples without perturbing the paper's
+    common-random-numbers discipline.
+    """
+    return settings.mismatch.sample_circuit_keyed(
+        design.circuit.mosfet_ratios(), size, settings.seed,
+        stream=RARE_EVENT_STREAM + lane, scale=scale)
+
+
+def sample_aging_keyed(design: SenseAmpDesign,
+                       aging: Optional[AgingModel],
+                       workload: Optional[Workload],
+                       time_s: float,
+                       env: Environment,
+                       settings: McSettings,
+                       size: int, lane: int = 0,
+                       residual_imbalance: float = 0.0,
+                       ) -> Dict[str, np.ndarray]:
+    """Keyed BTI shift population for ``size`` extra devices.
+
+    The rare-event estimators tilt only the *mismatch* coordinates; the
+    time-dependent BTI component stays distributed as in the target
+    population, drawn here from its own spawn key so repeated calls
+    (e.g. one per sigma scale, for common random numbers) are
+    identical.  Returns an empty dict for fresh cells.
+    """
+    if aging is None or workload is None or time_s == 0.0:
+        return {}
+    duties = duties_for(design, workload, residual_imbalance)
+    rng = keyed_rng(settings.seed + 1, RARE_EVENT_STREAM, lane)
+    return age_circuit(design.circuit, aging, duties, time_s, env,
+                      size, rng)

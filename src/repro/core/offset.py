@@ -16,8 +16,10 @@ import numpy as np
 
 from ..analysis.perf import PERF
 from ..analysis.stats import NormalFit, fit_normal
-from ..analysis.failure import offset_spec
+from ..analysis.failure import failure_rate_at, offset_spec
 from ..constants import FAILURE_RATE_TARGET
+from ..models.variation import keyed_rng
+from .rare_event import Estimate, TailEstimate, percentile_ci
 from .testbench import SenseAmpTestbench
 
 #: Shortened transient window for resolution-sign checks [s]; the latch
@@ -31,6 +33,25 @@ SEARCH_RANGE = 0.25
 #: Default number of bisection iterations (resolution ~ 30 uV over the
 #: default range, far below the ~15 mV distribution sigma).
 SEARCH_ITERATIONS = 14
+
+#: Spawn-key lane of the normal-fit bootstrap (fit-path ``spec_ci``).
+_FIT_BOOT_STREAM = 0x0F17
+
+
+def fit_offsets(offsets: np.ndarray) -> NormalFit:
+    """Normal fit of an offset population, counting discarded samples.
+
+    NaN offsets (binary search could not bracket the sample — its
+    offset exceeds the search range) are excluded by
+    :func:`~repro.analysis.stats.fit_normal`; this wrapper records how
+    many under ``offset.nan_fit_excluded`` so a silently skewed fit is
+    visible in the perf report rather than invisible.
+    """
+    offsets = np.asarray(offsets, dtype=float)
+    invalid = int(offsets.size - np.isfinite(offsets).sum())
+    if invalid:
+        PERF.count("offset.nan_fit_excluded", invalid)
+    return fit_normal(offsets)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,11 +67,17 @@ class OffsetDistribution:
         Normal fit of the valid samples.
     failure_rate:
         Target failure rate used for the specification.
+    tail:
+        Optional rare-event tail estimate (importance sampling or
+        scaled-sigma).  When present, spec queries use it instead of
+        extrapolating the normal fit; the fit itself (``mu``/``sigma``)
+        always describes the nominal population.
     """
 
     offsets: np.ndarray
     fit: NormalFit
     failure_rate: float = FAILURE_RATE_TARGET
+    tail: Optional[TailEstimate] = None
 
     @property
     def mu(self) -> float:
@@ -63,13 +90,75 @@ class OffsetDistribution:
         return self.fit.sigma
 
     @property
-    def spec(self) -> float:
-        """Offset-voltage specification [V] solving Eq. (3)."""
+    def invalid_count(self) -> int:
+        """Samples excluded from the fit (offset out of search range)."""
+        return int(self.offsets.size
+                   - np.isfinite(np.asarray(self.offsets)).sum())
+
+    @property
+    def fit_spec(self) -> float:
+        """Normal-fit (Eq. 3) specification [V], tail ignored."""
         return offset_spec(self.fit.mu, self.fit.sigma, self.failure_rate)
+
+    @property
+    def spec(self) -> float:
+        """Offset-voltage specification [V] at the target failure rate.
+
+        Solves Eq. (3) on the normal fit (the paper's method) unless a
+        rare-event tail estimate is attached, in which case the
+        directly-sampled tail answers instead.
+        """
+        return self.spec_at(self.failure_rate)
 
     def spec_at(self, failure_rate: float) -> float:
         """Specification [V] for an alternative failure-rate target."""
+        if self.tail is not None:
+            return self.tail.spec_point(failure_rate)
         return offset_spec(self.fit.mu, self.fit.sigma, failure_rate)
+
+    def spec_ci(self, failure_rate: Optional[float] = None,
+                bootstrap: int = 400, level: float = 0.95) -> Estimate:
+        """Specification with a bootstrap confidence interval.
+
+        With a tail estimate attached the interval comes from the
+        estimator's own bootstrap (``bootstrap``/``level`` arguments
+        are fixed at estimator configuration time and ignored here);
+        otherwise the nominal population is resampled and re-fitted, so
+        the interval reflects the fit-extrapolation uncertainty of the
+        paper's method.
+        """
+        fr = self.failure_rate if failure_rate is None else failure_rate
+        if self.tail is not None:
+            return self.tail.spec_at(fr)
+        point = offset_spec(self.fit.mu, self.fit.sigma, fr)
+        reps = self._fit_bootstrap(
+            lambda fit: offset_spec(fit.mu, fit.sigma, fr), bootstrap)
+        lo, hi = percentile_ci(reps, level, point)
+        return Estimate(point, lo, hi, level)
+
+    def failure_rate_ci(self, spec: float, bootstrap: int = 400,
+                        level: float = 0.95) -> Estimate:
+        """Failure rate at ``spec`` with a bootstrap confidence interval."""
+        if self.tail is not None:
+            return self.tail.failure_rate_at(spec)
+        point = failure_rate_at(spec, self.fit.mu, self.fit.sigma)
+        reps = self._fit_bootstrap(
+            lambda fit: failure_rate_at(spec, fit.mu, fit.sigma), bootstrap)
+        lo, hi = percentile_ci(reps, level, point)
+        return Estimate(point, lo, hi, level)
+
+    def _fit_bootstrap(self, stat, bootstrap: int) -> np.ndarray:
+        """Resample-and-refit replicates of a fit statistic."""
+        offsets = np.asarray(self.offsets, dtype=float)
+        rng = keyed_rng(offsets.size, _FIT_BOOT_STREAM)
+        reps = np.full(bootstrap, np.nan)
+        for b in range(bootstrap):
+            sample = offsets[rng.integers(0, offsets.size, offsets.size)]
+            try:
+                reps[b] = stat(fit_normal(sample))
+            except ValueError:
+                pass
+        return reps
 
 
 def extract_offsets(testbench: SenseAmpTestbench,
@@ -140,5 +229,5 @@ def offset_distribution(testbench: SenseAmpTestbench,
     """Extract offsets and fit the distribution in one call."""
     with PERF.timer("offset.extract"):
         offsets = extract_offsets(testbench, **kwargs)
-    return OffsetDistribution(offsets=offsets, fit=fit_normal(offsets),
+    return OffsetDistribution(offsets=offsets, fit=fit_offsets(offsets),
                               failure_rate=failure_rate)

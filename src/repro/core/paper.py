@@ -21,6 +21,7 @@ from .cache import ResultCache
 from .calibration import default_mc_settings
 from .experiment import CellResult, ExperimentCell
 from .montecarlo import McSettings
+from .rare_event import EstimatorConfig
 
 #: (scheme, workload name or None, time, temperature C, vdd)
 GridSpec = Tuple[str, Optional[str], float, float, float]
@@ -88,6 +89,7 @@ def run_grid(which: str,
              workers: Optional[int] = 1,
              chunk_size: Optional[int] = None,
              cache: Optional[ResultCache] = None,
+             estimator: Optional[EstimatorConfig] = None,
              progress=None) -> List[GridRow]:
     """Execute one paper table's grid.
 
@@ -108,6 +110,9 @@ def run_grid(which: str,
         Optional persistent :class:`~repro.core.cache.ResultCache`
         shared across runs (and across workers): solved cells are
         loaded instead of recomputed.
+    estimator:
+        Optional rare-event tail estimator forwarded to every cell
+        (see :func:`~repro.core.experiment.run_cell`).
     progress:
         Optional callback ``(index, total, cell)`` for CLI progress
         reporting (start of each cell when serial, completion when
@@ -121,7 +126,8 @@ def run_grid(which: str,
     results = run_cells(cells, settings=settings, timing=timing,
                         offset_iterations=offset_iterations,
                         chunk_size=chunk_size, cache=cache,
-                        workers=workers, progress=progress)
+                        estimator=estimator, workers=workers,
+                        progress=progress)
     rows: List[GridRow] = []
     for cell, result in zip(cells, results):
         paper = lookup(reference, cell.scheme, cell.time_s,

@@ -33,6 +33,7 @@ from ..constants import FAILURE_RATE_TARGET
 from .cache import ResultCache
 from .experiment import CellResult, ExperimentCell, run_cell
 from .montecarlo import McSettings
+from .rare_event import EstimatorConfig
 
 #: Callback invoked as each cell starts (serial) or finishes (parallel):
 #: ``progress(index, total, cell)``.
@@ -117,6 +118,7 @@ def run_cells(cells: Sequence[ExperimentCell],
               offset_iterations: int = 14,
               chunk_size: Optional[int] = None,
               cache: Optional[ResultCache] = None,
+              estimator: Optional[EstimatorConfig] = None,
               workers: Optional[int] = None,
               progress: Optional[ProgressFn] = None,
               timeout: Optional[float] = None,
@@ -128,7 +130,7 @@ def run_cells(cells: Sequence[ExperimentCell],
     cells:
         The grid cells, in the order results should come back.
     settings / aging / timing / failure_rate / measure_offset /
-    measure_delay / offset_iterations / chunk_size / cache:
+    measure_delay / offset_iterations / chunk_size / cache / estimator:
         Forwarded to :func:`~repro.core.experiment.run_cell` for every
         cell (identical configuration per cell, like the serial grids).
         A shared ``cache`` is concurrency-safe: the store pickles into
@@ -158,7 +160,7 @@ def run_cells(cells: Sequence[ExperimentCell],
         settings=settings, aging=aging, timing=timing,
         failure_rate=failure_rate, measure_offset=measure_offset,
         measure_delay=measure_delay, offset_iterations=offset_iterations,
-        chunk_size=chunk_size, cache=cache)
+        chunk_size=chunk_size, cache=cache, estimator=estimator)
     if workers is None:
         workers = default_workers()
     deadline = (None if timeout is None

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -23,6 +23,22 @@ from .ptm45 import L_NOMINAL, gate_area
 
 #: Pelgrom mismatch coefficient [V*m] (1.82 mV*um, calibrated).
 AVT_DEFAULT = 1.82e-9
+
+#: ``ln(2*pi)`` — normal log-density constant.
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+def keyed_rng(*key: int) -> np.random.Generator:
+    """Generator derived from an integer spawn key.
+
+    The key tuple feeds a :class:`numpy.random.SeedSequence`, so two
+    calls with the same key always yield the same stream and *any*
+    difference in the key yields a statistically independent one.  The
+    rare-event sampler threads ``(seed, stream, lane)`` keys through
+    every draw so results never depend on draw order, device
+    enumeration order or ``--workers`` chunk boundaries.
+    """
+    return np.random.default_rng(np.random.SeedSequence(key))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +90,83 @@ class MismatchModel:
         """
         return {name: self.sample(ratio, size, rng)
                 for name, ratio in ratios.items()}
+
+    # -- rare-event sampler hooks ----------------------------------------
+
+    def scaled(self, factor: float) -> "MismatchModel":
+        """A copy with every device sigma inflated by ``factor``.
+
+        The scaled-sigma estimator runs Monte Carlo at ``s * sigma`` and
+        extrapolates the failure rate back to ``s = 1``; scaling ``avt``
+        scales every Pelgrom sigma uniformly.
+        """
+        if factor <= 0.0:
+            raise ValueError("sigma scale factor must be positive")
+        return dataclasses.replace(self, avt=self.avt * factor)
+
+    def sigma_circuit(self, ratios: Mapping[str, float]) -> Dict[str, float]:
+        """Per-device Vth mismatch sigma [V] for a whole circuit."""
+        return {name: self.sigma_vth(ratio)
+                for name, ratio in ratios.items()}
+
+    def sample_circuit_keyed(self, ratios: Mapping[str, float], size: int,
+                             seed: int, stream: int = 0,
+                             start: int = 0,
+                             stop: Optional[int] = None,
+                             scale: float = 1.0,
+                             ) -> Dict[str, np.ndarray]:
+        """Spawn-keyed per-device draws, invariant to order and chunking.
+
+        Unlike :meth:`sample_circuit` (one shared generator consumed in
+        ``ratios`` iteration order), every device gets its own generator
+        keyed by ``(seed, stream, rank)`` where ``rank`` is the device's
+        position in *sorted name order*.  Consequences:
+
+        * reordering the ``ratios`` mapping does not change any draw;
+        * a chunked caller requesting ``[start, stop)`` receives exactly
+          the samples a full-population call would have produced at
+          those indices, so ``--workers`` chunking cannot perturb an
+          importance-sampling run.
+
+        ``scale`` multiplies every sigma (scaled-sigma estimator).
+        """
+        if size <= 0:
+            raise ValueError("sample size must be positive")
+        stop = size if stop is None else stop
+        if not 0 <= start <= stop <= size:
+            raise ValueError(f"bad chunk bounds [{start}, {stop}) "
+                             f"for size {size}")
+        out: Dict[str, np.ndarray] = {}
+        for rank, name in enumerate(sorted(ratios)):
+            rng = keyed_rng(seed, stream, rank)
+            draws = rng.standard_normal(stop)[start:stop]
+            out[name] = draws * (scale * self.sigma_vth(ratios[name]))
+        return out
+
+    def log_density_circuit(self, shifts: Mapping[str, np.ndarray],
+                            ratios: Mapping[str, float],
+                            mean: Optional[Mapping[str, float]] = None,
+                            scale: Union[float, Mapping[str, float]] = 1.0,
+                            ) -> np.ndarray:
+        """Joint log density of per-device shift vectors under this model.
+
+        Devices are independent normals with sigma from the Pelgrom law;
+        ``mean``/``scale`` evaluate a shifted / widened variant (the
+        importance-sampling proposal components) without building a new
+        model.  Returns one log density per Monte-Carlo sample.
+        """
+        total: Optional[np.ndarray] = None
+        for name in sorted(ratios):
+            sigma = self.sigma_vth(ratios[name])
+            sigma *= (scale if isinstance(scale, (int, float))
+                      else scale[name])
+            mu = 0.0 if mean is None else mean.get(name, 0.0)
+            z = (np.asarray(shifts[name], dtype=float) - mu) / sigma
+            term = -0.5 * (z * z + _LOG_2PI) - math.log(sigma)
+            total = term if total is None else total + term
+        if total is None:
+            raise ValueError("no devices to evaluate")
+        return total
 
 
 def pair_offset_sigma(model: MismatchModel, w_over_l: float) -> float:

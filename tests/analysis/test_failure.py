@@ -40,6 +40,18 @@ class TestFailureRateAt:
         with pytest.raises(ValueError):
             failure_rate_at(-1.0, 0.0, 1.0)
 
+    def test_degenerate_fit_rejected(self):
+        """NaN/inf fit parameters (degenerate populations) must raise
+        instead of propagating silently into the tables."""
+        with pytest.raises(ValueError):
+            failure_rate_at(1.0, float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            failure_rate_at(1.0, 0.0, float("nan"))
+        with pytest.raises(ValueError):
+            failure_rate_at(1.0, 0.0, float("inf"))
+        with pytest.raises(ValueError):
+            failure_rate_at(1.0, 0.0, 0.0)
+
 
 class TestOffsetSpec:
     def test_centred_reduces_to_sigma_level(self):
@@ -79,6 +91,23 @@ class TestOffsetSpec:
             offset_spec(0.0, 0.0)
         with pytest.raises(ValueError):
             offset_spec(0.0, 0.01, 0.0)
+
+    def test_failure_rate_domain(self):
+        """The Eq.-3 inversion is only meaningful for rates in (0, 0.5):
+        at fr >= 0.5 the 'spec' would sit inside the distribution body."""
+        with pytest.raises(ValueError):
+            offset_spec(0.0, 0.01, 0.5)
+        with pytest.raises(ValueError):
+            offset_spec(0.0, 0.01, 0.9)
+        offset_spec(0.0, 0.01, 0.499)
+
+    def test_degenerate_fit_rejected(self):
+        with pytest.raises(ValueError):
+            offset_spec(float("nan"), 0.01)
+        with pytest.raises(ValueError):
+            offset_spec(0.0, float("nan"))
+        with pytest.raises(ValueError):
+            offset_spec(0.0, float("inf"))
 
     @settings(max_examples=40, deadline=None)
     @given(mu=st.floats(min_value=-0.08, max_value=0.08),

@@ -32,6 +32,21 @@ class TestParser:
             ["bench", "--only", "toy", "--only", "other"])
         assert args.only == ["toy", "other"]
 
+    def test_estimator_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.estimator == "fit"
+        assert args.tail_samples == 2000
+        assert args.tail_bootstrap == 400
+        # The tail command exists to sample the tail: IS by default.
+        args = build_parser().parse_args(["tail"])
+        assert args.estimator == "is"
+        assert args.failure_rate == 1e-9
+
+    def test_estimator_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--estimator",
+                                       "bogus"])
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1"
@@ -113,6 +128,34 @@ class TestSimulationCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Mdown" in out and "d(offset)/dVth" in out
+
+
+class TestTailCommand:
+    SMALL = ["tail", "--scheme", "nssa", "--mc", "24",
+             "--tail-samples", "40", "--tail-bootstrap", "30",
+             "--dt", "2e-12"]
+
+    def test_importance_sampling_run(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "normal fit" in out and "fit spec" in out
+        assert "is " in out and "ESS=" in out
+
+    def test_fit_estimator_reports_no_tail(self, capsys):
+        assert main(self.SMALL + ["--estimator", "fit"]) == 0
+        out = capsys.readouterr().out
+        assert "no tail estimate" in out
+
+    def test_json_payload(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "tail.json"
+        assert main(self.SMALL + ["--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["estimator"] == "is"
+        assert payload["failure_rate"] == 1e-9
+        assert payload["tail"]["n_simulated"] == 40
+        spec = payload["tail"]["spec"]
+        assert len(spec) == 3 and spec[0] > 0.0
 
 
 class TestBenchCommand:
