@@ -59,6 +59,7 @@ from repro.core.parallel import default_workers, run_cells
 from repro.core.testbench import SenseAmpTestbench
 from repro.core.testbench import WARMSTART_ENV
 from repro.models import Environment, MismatchModel
+from repro.spice.backends import backend_host_info
 from repro.spice.mna import FASTPATH_ENV
 from repro.spice.solver import NewtonOptions
 from repro.workloads import paper_workload
@@ -137,7 +138,7 @@ def run_cell_config(cell: ExperimentCell, config: FastpathConfig,
     testbench = SenseAmpTestbench(
         design, cell.env, batch_size=settings.size, timing=timing,
         newton=NewtonOptions(masked=config.masked),
-        early_decision=config.early_decision)
+        early_decision=config.early_decision, backend="numpy")
     testbench.set_vth_shifts(shifts)
     offsets = extract_offsets(testbench, iterations=iterations,
                               mask_out_of_range=config.mask_out_of_range)
@@ -176,7 +177,8 @@ def time_parallel(cells, settings: McSettings, timing: ReadTiming,
         PERF.reset()
         start = time.perf_counter()
         results = run_cells(cells, settings=settings, timing=timing,
-                            offset_iterations=iterations, workers=workers)
+                            offset_iterations=iterations, workers=workers,
+                            backend="numpy")
         seconds.append(time.perf_counter() - start)
         if repeat == 0:
             outputs = [(r.offset.offsets, r.delay_s) for r in results]
@@ -370,7 +372,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "usable_cpus": default_workers(),
                  "python": platform.python_version(),
                  "numpy": np.__version__,
-                 "machine": platform.machine()},
+                 "machine": platform.machine(),
+                 # The fast-path ablation pins the numpy backend: the
+                 # compiled backend fuses device evaluation, so the
+                 # FASTPATH toggle would not reach it (see
+                 # compiled_speedup.py for the backend comparison).
+                 "backend": backend_host_info("numpy")},
     }
     print(f"reduced Table-II grid: mc={args.mc} dt={args.dt:g} "
           f"iterations={args.iterations}")

@@ -49,6 +49,7 @@ from scipy.stats import norm
 
 from repro.analysis.perf import PERF
 from repro.circuits.sense_amp import ReadTiming
+from repro.spice.backends import backend_host_info
 from repro.core.experiment import ExperimentCell, run_cell
 from repro.core.montecarlo import McSettings
 from repro.core.rare_event import EstimatorConfig, estimate_tail
@@ -301,7 +302,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "host": {"cpu_count": os.cpu_count(),
                  "python": platform.python_version(),
                  "numpy": np.__version__,
-                 "machine": platform.machine()},
+                 "machine": platform.machine(),
+                 "backend": backend_host_info()},
         "settings": {"mc": args.mc, "tail_samples": args.tail_samples,
                      "tail_bootstrap": args.tail_bootstrap,
                      "brute": args.brute, "dt": args.dt,

@@ -40,6 +40,7 @@ from repro.core.montecarlo import McSettings
 from repro.core.paper import grid_cells
 from repro.core.parallel import run_cells
 from repro.models import MismatchModel
+from repro.spice.backends import backend_host_info
 from repro.spice.mna import MnaSystem, REDUCED_ENV
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -73,8 +74,13 @@ def run_grid_once(cells, settings: McSettings, timing: ReadTiming,
     try:
         PERF.reset()
         start = time.perf_counter()
+        # Pinned to the numpy backend: this ablation isolates reduced
+        # assembly against the full-space loop, and the compiled
+        # backend (measured in compiled_speedup.py) would sit on top
+        # of the reduced side only.
         results = run_cells(cells, settings=settings, timing=timing,
-                            offset_iterations=iterations, workers=1)
+                            offset_iterations=iterations, workers=1,
+                            backend="numpy")
         seconds = time.perf_counter() - start
         return results, seconds, PERF.snapshot()["counters"]
     finally:
@@ -156,7 +162,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "host": {"cpu_count": os.cpu_count(),
                  "python": platform.python_version(),
                  "numpy": np.__version__,
-                 "machine": platform.machine()},
+                 "machine": platform.machine(),
+                 "backend": backend_host_info("numpy")},
         "settings": {"mc": args.mc, "dt": args.dt,
                      "offset_iterations": args.iterations,
                      "cells": len(cells), "repeats": args.repeats,

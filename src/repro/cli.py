@@ -68,6 +68,13 @@ def _add_mc_args(parser: argparse.ArgumentParser) -> None:
                         help="split the MC batch into chunks of at most "
                              "this many samples (memory control; results "
                              "unchanged)")
+    from .spice.backends import available_backends
+    parser.add_argument("--backend", choices=available_backends(),
+                        default=None,
+                        help="solver backend for the reduced transient "
+                             "hot loop (default: $REPRO_BACKEND or "
+                             "'compiled'; REPRO_NO_COMPILED=1 forces "
+                             "'numpy')")
 
 
 def _add_estimator_args(parser: argparse.ArgumentParser,
@@ -130,7 +137,8 @@ def _cell_result(args, scheme: str, workload_name: Optional[str],
                     timing=ReadTiming(dt=args.dt),
                     chunk_size=args.chunk_size,
                     cache=_cache(args),
-                    estimator=_estimator(args))
+                    estimator=_estimator(args),
+                    backend=getattr(args, "backend", None))
 
 
 def cmd_characterize(args) -> int:
@@ -155,7 +163,9 @@ def cmd_table(args) -> int:
                     timing=ReadTiming(dt=args.dt),
                     workers=args.workers or None,
                     chunk_size=args.chunk_size, cache=_cache(args),
-                    estimator=_estimator(args), progress=progress)
+                    estimator=_estimator(args),
+                    backend=getattr(args, "backend", None),
+                    progress=progress)
     rendered = [comparison_row(
         row.result.cell.scheme, row.result.cell.time_s,
         row.result.cell.workload_label, row.result.cell.env.label(),
@@ -336,6 +346,17 @@ def cmd_perf(args) -> int:
           f"{PERF.ratio('transient.known_table_builds', 'transient.runs'):8.2f}")
     print(f"  fused endpoint runs          "
           f"{PERF.counters.get('offset.endpoint_fused_runs', 0):8d}")
+    if PERF.counters.get("spice.backend.fused_steps"):
+        from .spice.backends import resolve_backend
+        info = resolve_backend(getattr(args, "backend", None)).describe()
+        print(f"  backend                      "
+              f"{info['backend']:>8s} ({info.get('flavor', '-')})")
+        print(f"  fused iterations/step        "
+              f"{PERF.ratio('spice.backend.fused_iterations', 'spice.backend.fused_steps'):8.2f}")
+        print(f"  kernel compile time [ms]     "
+              f"{PERF.gauges.get('spice.backend.kernel_compile_ms', 0.0):8.1f}")
+        print(f"  jit kernel cache hits        "
+              f"{PERF.counters.get('spice.backend.jit_cache_hits', 0):8d}")
     if PERF.counters.get("rare_event.estimates"):
         draws = (PERF.counters.get("rare_event.proposal_draws", 0)
                  + PERF.counters.get("rare_event.scaled_sigma_draws", 0))
@@ -353,7 +374,8 @@ def cmd_perf(args) -> int:
                        "time_s": args.time, "temp_c": args.temp,
                        "vdd": args.vdd, "mc": args.mc, "dt": args.dt,
                        "chunk_size": args.chunk_size,
-                       "estimator": args.estimator},
+                       "estimator": args.estimator,
+                       "backend": getattr(args, "backend", None)},
             "result": result.row(),
         })
         print(f"\nperf JSON written to {path}")

@@ -22,6 +22,8 @@ from ..analysis.perf import PERF
 from ..circuits.sense_amp import (ReadTiming, SenseAmpDesign,
                                   apply_waveforms)
 from ..models.temperature import Environment
+from ..spice.backends import resolve_backend
+from ..spice.backends.base import SolverBackend
 from ..spice.mna import MnaSystem
 from ..spice.measure import crossing_time, final_sign
 from ..spice.solver import NewtonOptions
@@ -145,6 +147,11 @@ class SenseAmpTestbench:
         Reuse policy for repeated solves (see :class:`WarmStartOptions`);
         defaults to :meth:`WarmStartOptions.from_env`, i.e. fully warm
         unless ``REPRO_NO_WARMSTART`` is set.
+    backend:
+        Solver backend for the transient hot loop — a name, a
+        :class:`~repro.spice.backends.base.SolverBackend` instance, or
+        ``None`` for environment/default resolution
+        (:func:`repro.spice.backends.resolve_backend`).
     """
 
     def __init__(self, design: SenseAmpDesign, env: Environment,
@@ -152,12 +159,17 @@ class SenseAmpTestbench:
                  timing: ReadTiming = ReadTiming(),
                  newton: NewtonOptions = NewtonOptions(),
                  early_decision: bool = True,
-                 warmstart: Optional[WarmStartOptions] = None) -> None:
+                 warmstart: Optional[WarmStartOptions] = None,
+                 backend: Union["SolverBackend", str, None] = None) -> None:
         self.design = design
         self.env = env
         self.timing = timing
         self.newton = newton
         self.early_decision = early_decision
+        #: Solver backend driving every transient of this bench
+        #: (resolved once, so a mid-run environment change cannot split
+        #: a characterisation across backends).
+        self.backend = resolve_backend(backend)
         self.warmstart = (WarmStartOptions.from_env()
                           if warmstart is None else warmstart)
         # Trajectory seeding and chord iterations change the Newton
@@ -269,7 +281,8 @@ class SenseAmpTestbench:
                              guess_trajectory=guess_trajectory,
                              guess_gate=self.warmstart.guess_gate,
                              extrapolate=self.warmstart.extrapolate,
-                             record_states=record_states)
+                             record_states=record_states,
+                             backend=self.backend)
 
     def resolve_sign(self, vin: Union[float, np.ndarray],
                      swapped: bool = False,
@@ -371,7 +384,8 @@ class SenseAmpTestbench:
             options=self._transient_newton,
             decision=self.decision_spec() if self.early_decision else None,
             extrapolate=self.warmstart.extrapolate,
-            record_states=use_traj)
+            record_states=use_traj,
+            backend=self.backend)
         if use_traj and result.states is not None:
             self._trajectories[("sign", swapped, t_window)] = [
                 state[batch:] for state in result.states]

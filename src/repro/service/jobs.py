@@ -40,7 +40,10 @@ class JobRequest:
     Mirrors the knobs of :func:`repro.core.experiment.run_cell` using
     only JSON-representable fields so requests journal, POST and hash
     cleanly.  ``workload`` is a paper workload *name* (``"80r0"``);
-    ``None`` (with ``time_s=0``) is the fresh population.
+    ``None`` (with ``time_s=0``) is the fresh population.  ``backend``
+    is a solver-backend *name* (``"numpy"``/``"compiled"``); ``None``
+    resolves from the worker's environment, exactly like a direct
+    ``run_cell`` call.
     """
 
     scheme: str = "nssa"
@@ -56,17 +59,24 @@ class JobRequest:
     measure_delay: bool = True
     chunk_size: Optional[int] = None
     timeout_s: Optional[float] = None
+    backend: Optional[str] = None
 
     def to_cell(self):
         """The :class:`~repro.core.experiment.ExperimentCell` to run.
 
-        Validates the request as a side effect: unknown schemes and
-        workload names raise ``ValueError`` here, which the submit
-        paths surface as a client error.
+        Validates the request as a side effect: unknown schemes,
+        workload names and solver-backend names raise ``ValueError``
+        here, which the submit paths surface as a client error.
         """
         from ..core.experiment import ExperimentCell
         from ..models.temperature import Environment
+        from ..spice.backends import available_backends
         from ..workloads import paper_workload
+        if (self.backend is not None
+                and self.backend not in available_backends()):
+            raise ValueError(
+                f"unknown solver backend {self.backend!r}; available: "
+                f"{', '.join(available_backends())}")
         workload = (paper_workload(self.workload)
                     if self.workload is not None else None)
         return ExperimentCell(self.scheme, workload, self.time_s,
@@ -83,7 +93,8 @@ class JobRequest:
                     offset_iterations=self.offset_iterations,
                     measure_offset=self.measure_offset,
                     measure_delay=self.measure_delay,
-                    chunk_size=self.chunk_size)
+                    chunk_size=self.chunk_size,
+                    backend=self.backend)
 
     def signature(self) -> Tuple:
         """Batch-compatibility signature.
@@ -95,7 +106,7 @@ class JobRequest:
         """
         return (self.mc, self.seed, self.dt, self.offset_iterations,
                 self.measure_offset, self.measure_delay,
-                self.chunk_size, self.timeout_s)
+                self.chunk_size, self.timeout_s, self.backend)
 
     def cache_key(self, cache) -> str:
         """Content-addressed identity shared with ``run_cell``."""

@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional, Union
 from ..analysis.perf import PERF
 from ..constants import FAILURE_RATE_TARGET
 from ..core.cache import ResultCache
+from ..spice.backends import backend_host_info
 from .jobs import Job, JobRequest, TERMINAL
 from .scheduler import Scheduler
 from .store import JobStore, default_service_dir
@@ -195,6 +196,7 @@ class Service:
             "cache": dict(self.cache.stats(),
                           hit_rate=(counters.get("cache.hits", 0)
                                     / requests if requests else 0.0)),
+            "backend": backend_host_info(),
             "perf": perf,
         })
         return doc

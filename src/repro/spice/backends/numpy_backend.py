@@ -1,0 +1,53 @@
+"""The ``numpy`` backend — the PR-3 reduced path behind the interface.
+
+This backend exists to *be* the reference: its step kernel is a thin
+adapter around the exact objects the transient engine used before the
+backend seam existed (``_ReducedStepper`` + ``newton_solve``), so every
+result it produces is bit-for-bit the pre-backend code path.  The
+``compiled`` backend (and any future one) is validated against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..solver import NewtonOptions, newton_solve
+from .base import SolverBackend, StepKernel
+
+#: Semantics version of the reference kernel; matches the PR-3 reduced
+#: hot loop.  Part of the cache token.
+KERNEL_VERSION = "reduced-1"
+
+
+class NumpyStepKernel(StepKernel):
+    """``_ReducedStepper`` + ``newton_solve``, verbatim."""
+
+    def __init__(self, system, c_over_dt: np.ndarray, batch: int,
+                 options: NewtonOptions) -> None:
+        # Imported here: the transient module imports the backend
+        # registry at module level, so the stepper import must wait
+        # until the package is fully initialised.
+        from ..transient import _ReducedStepper
+        self._stepper = _ReducedStepper(system, c_over_dt, batch)
+        self._unknown = system.unknown_idx
+        self._options = options
+
+    def begin_step(self, t_new: float, v_prev: np.ndarray) -> None:
+        self._stepper.t_new = t_new
+        self._stepper.v_prev = v_prev
+
+    def solve(self, v_new: np.ndarray, active_idx: np.ndarray) -> int:
+        _, iterations = newton_solve(self._stepper, v_new, self._unknown,
+                                     self._options, active=active_idx)
+        return iterations
+
+
+class NumpyBackend(SolverBackend):
+    """Reference backend: the unmodified numpy reduced hot loop."""
+
+    name = "numpy"
+    kernel_version = KERNEL_VERSION
+
+    def step_kernel(self, system, c_over_dt: np.ndarray, dt: float,
+                    batch: int, options: NewtonOptions) -> NumpyStepKernel:
+        return NumpyStepKernel(system, c_over_dt, batch, options)

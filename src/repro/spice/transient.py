@@ -21,11 +21,13 @@ out-of-range).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..analysis.perf import PERF
+from .backends import resolve_backend
+from .backends.base import SolverBackend
 from .mna import MnaSystem
 from .solver import FactorCache, NewtonOptions, newton_solve
 
@@ -126,6 +128,7 @@ def run_transient(system: MnaSystem,
                   guess_gate: float = 0.2,
                   extrapolate: bool = False,
                   record_states: bool = False,
+                  backend: Union[SolverBackend, str, None] = None,
                   ) -> TransientResult:
     """Run a transient simulation.
 
@@ -182,6 +185,14 @@ def run_transient(system: MnaSystem,
         Record the accepted full node vectors in
         :attr:`TransientResult.states` for use as a later
         ``guess_trajectory``.
+    backend:
+        Solver backend for the reduced hot loop — a registered name, a
+        :class:`~repro.spice.backends.base.SolverBackend` instance, or
+        ``None`` for environment/default resolution (``REPRO_BACKEND``,
+        ``REPRO_NO_COMPILED``; see :mod:`repro.spice.backends`).  Only
+        the reduced backward-Euler path dispatches through the backend;
+        the legacy full-space loop (``REPRO_NO_REDUCED=1``, ``trap``,
+        quasi-Newton) is backend-independent.
     """
     if dt <= 0.0:
         raise ValueError("dt must be positive")
@@ -219,7 +230,8 @@ def run_transient(system: MnaSystem,
         return _run_reduced_be(system, times, n_steps, v_prev, batch,
                                active, decided, decision, c_over_dt,
                                options, probes, guess_trajectory,
-                               guess_gate, extrapolate, record_states)
+                               guess_gate, extrapolate, record_states,
+                               backend)
 
     record: Dict[str, List[np.ndarray]] = {p: [] for p in probes}
 
@@ -420,17 +432,22 @@ def _run_reduced_be(system: MnaSystem, times: np.ndarray, n_steps: int,
                     probes: Sequence[str],
                     guess_trajectory: Optional[List[np.ndarray]],
                     guess_gate: float, extrapolate: bool,
-                    record_states: bool) -> TransientResult:
+                    record_states: bool,
+                    backend: Union[SolverBackend, str, None] = None,
+                    ) -> TransientResult:
     """Backward-Euler loop compiled to the unknown-node block.
 
-    Semantics (and bits) match the legacy loop in :func:`run_transient`;
-    the differences are mechanical: the known-voltage table replaces the
-    per-step ``apply_known`` source loop, one :class:`_ReducedStepper`
-    replaces the per-step closures, probe samples land in preallocated
-    ``(n_steps + 1, batch)`` arrays instead of Python lists, and (when
-    states are not recorded) the node vectors cycle through a
-    three-slot ring (``v_prev2`` / ``v_prev`` / target) instead of
-    allocating a fresh copy per step.
+    The per-step Newton solve dispatches through a solver backend (see
+    :mod:`repro.spice.backends`): the ``numpy`` backend reproduces the
+    PR-3 loop (``_ReducedStepper`` + ``newton_solve``) bit for bit, the
+    ``compiled`` backend fuses the whole step into one kernel.  The
+    rest of the loop is backend-independent and mechanical vs the
+    legacy loop in :func:`run_transient`: the known-voltage table
+    replaces the per-step ``apply_known`` source loop, probe samples
+    land in preallocated ``(n_steps + 1, batch)`` arrays instead of
+    Python lists, and (when states are not recorded) the node vectors
+    cycle through a three-slot ring (``v_prev2`` / ``v_prev`` /
+    target) instead of allocating a fresh copy per step.
     """
     if decision is not None:
         diff_a = system.node_index[decision.node_a]
@@ -439,7 +456,9 @@ def _run_reduced_be(system: MnaSystem, times: np.ndarray, n_steps: int,
     table = _build_known_table(system, times)
     known = system.known_idx
     unknown = system.unknown_idx
-    stepper = _ReducedStepper(system, c_over_dt, batch)
+    dt = float(times[1] - times[0]) if n_steps >= 1 else 0.0
+    kernel = resolve_backend(backend).step_kernel(
+        system, c_over_dt, dt, batch, options)
 
     probe_cols = {p: system._index_of(p) for p in probes}
     probe_buf = {p: np.empty((n_steps + 1, batch)) for p in probes}
@@ -504,11 +523,8 @@ def _run_reduced_be(system: MnaSystem, times: np.ndarray, n_steps: int,
             ru = active_idx[:, None], unknown[None, :]
             v_new[ru] = 2.0 * v_prev[ru] - v_prev2[ru]
 
-        stepper.t_new = t_new
-        stepper.v_prev = v_prev
-        v_new, iters = newton_solve(stepper, v_new, unknown, options,
-                                    active=active_idx)
-        total_newton += iters
+        kernel.begin_step(t_new, v_prev)
+        total_newton += kernel.solve(v_new, active_idx)
         if active_idx.size != batch:
             v_new[~active] = v_prev[~active]
         v_prev2 = v_prev

@@ -182,6 +182,62 @@ class TestKeyForCell:
         assert cache.contains(key)
 
 
+class TestBackendKeys:
+    """The solver backend's cache token salts the key (never mix)."""
+
+    def test_backends_get_distinct_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        keys = {cache.key_for_cell(cell, settings=settings(),
+                                   timing=TIMING, backend=name)
+                for name in ("numpy", "compiled")}
+        assert len(keys) == 2
+
+    def test_name_and_instance_agree(self, tmp_path):
+        from repro.spice.backends import get_backend
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        assert cache.key_for_cell(cell, backend="compiled") == \
+            cache.key_for_cell(cell, backend=get_backend("compiled"))
+
+    def test_default_resolution_matches_environment(self, tmp_path,
+                                                    monkeypatch):
+        """``backend=None`` must resolve exactly like ``run_cell`` does,
+        so the job service's dedup key stays aligned."""
+        cache = ResultCache(tmp_path)
+        cell = fresh_cell()
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_NO_COMPILED", raising=False)
+        assert cache.key_for_cell(cell) == \
+            cache.key_for_cell(cell, backend="compiled")
+        monkeypatch.setenv("REPRO_NO_COMPILED", "1")
+        assert cache.key_for_cell(cell) == \
+            cache.key_for_cell(cell, backend="numpy")
+
+    def test_entries_distinct_payloads_identical(self, tmp_path):
+        """Both backends store their own entry; the offset payloads are
+        bit-identical (the parity contract), only the keys differ."""
+        cache = ResultCache(tmp_path)
+        cell = aged_cells()[0]
+        results, keys = {}, {}
+        for name in ("numpy", "compiled"):
+            keys[name] = cache.key_for_cell(
+                cell, settings=settings(), timing=TIMING,
+                offset_iterations=5, measure_delay=False, backend=name)
+            results[name] = run_cell(
+                cell, settings=settings(), timing=TIMING,
+                offset_iterations=5, measure_delay=False, cache=cache,
+                backend=name)
+        assert keys["numpy"] != keys["compiled"]
+        assert cache.stats()["entries"] == 2
+        loaded = {name: cache.load(keys[name], cell, failure_rate=1e-9)
+                  for name in keys}
+        np.testing.assert_array_equal(loaded["numpy"].offset.offsets,
+                                      loaded["compiled"].offset.offsets)
+        np.testing.assert_array_equal(loaded["numpy"].offset.offsets,
+                                      results["numpy"].offset.offsets)
+
+
 def _store_repeatedly(directory, key, delay_s, offsets, repeats):
     """Hammer ``store`` on one key (process-pool entry point)."""
     from repro.analysis.stats import fit_normal

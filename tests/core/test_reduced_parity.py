@@ -5,6 +5,11 @@ pipeline's tables **bit for bit** — offsets, specs and delays — and the
 reduced-only perf counters must appear exactly when the reduced path
 runs.  Also covers the fused endpoint transients against the two
 sequential endpoint reads they replace.
+
+Everything here pins ``backend="numpy"``: the opt-out flips between
+the reduced and the legacy full-space loop, and only the numpy backend
+shares the exact operation order of both (the compiled backend has its
+own bitwise-parity suite in ``tests/spice/test_backends.py``).
 """
 
 import numpy as np
@@ -39,7 +44,8 @@ def run(monkeypatch, disable, kind="nssa", size=8, iterations=6):
     PERF.reset()
     result = run_cell(aged_cell(kind),
                       settings=default_mc_settings(size=size, seed=2017),
-                      timing=TIMING, offset_iterations=iterations)
+                      timing=TIMING, offset_iterations=iterations,
+                      backend="numpy")
     return result, PERF.snapshot()["counters"]
 
 
@@ -75,7 +81,8 @@ class TestFusedEndpoints:
         warmstart = (WarmStartOptions()
                      if warm else WarmStartOptions.disabled())
         bench = SenseAmpTestbench(design, env, batch_size=batch,
-                                  timing=TIMING, warmstart=warmstart)
+                                  timing=TIMING, warmstart=warmstart,
+                                  backend="numpy")
         settings = default_mc_settings(size=batch, seed=7)
         shifts = sample_total_shifts(design, None, None, 0.0, env,
                                      settings)

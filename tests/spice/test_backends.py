@@ -1,0 +1,395 @@
+"""Tests for the pluggable solver backends of the reduced hot loop.
+
+Covers the registry and resolution rules (explicit argument, the
+``REPRO_BACKEND`` environment variable, the ``REPRO_NO_COMPILED`` kill
+switch), the compiled backend's jit ladder and first-use self-check,
+step-kernel parity against the reference ``_ReducedStepper`` path on
+the sense amplifiers and on randomised topologies, and the
+characterisation-level contract: offsets through the compiled backend
+are **bit-identical** to the numpy backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import ReadTiming, build_issa, build_nssa
+from repro.core.calibration import default_mc_settings
+from repro.core.experiment import ExperimentCell, run_cell
+from repro.models import Environment
+from repro.spice.backends import (BACKEND_ENV, NO_COMPILED_ENV,
+                                  available_backends, backend_host_info,
+                                  get_backend, resolve_backend)
+from repro.spice.backends import _cc, _kernel_py
+from repro.spice.backends import compiled as compiled_mod
+from repro.spice.backends.base import SolverBackend
+from repro.spice.backends.compiled import (JIT_ENV, CompiledBackend,
+                                           FusedNumpyKernel,
+                                           ScalarStepKernel,
+                                           _reset_flavor_cache)
+from repro.spice.backends.maps import ReducedKernelMaps
+from repro.spice.backends.numpy_backend import NumpyStepKernel
+from repro.spice.mna import MnaSystem
+from repro.spice.solver import NewtonOptions
+from repro.spice.transient import run_transient
+from repro.workloads import paper_workload
+
+from tests.spice.test_reduced import random_circuit
+
+#: Step-solution agreement between kernel implementations [V].  The
+#: backends share bit-identical *offsets* (sign decisions), not raw
+#: trajectories, which agree to well below Newton tolerance.
+STEP_ATOL = 1e-9
+
+needs_cc = pytest.mark.skipif(not _cc.compiler_available(),
+                              reason="no C compiler on PATH")
+needs_numba = pytest.mark.skipif(compiled_mod.NUMBA_VERSION is None,
+                                 reason="numba not installed")
+
+
+@pytest.fixture()
+def clean_flavor():
+    """Sweep-safe flavor state: reset before and after the test."""
+    _reset_flavor_cache()
+    yield
+    _reset_flavor_cache()
+
+
+def aged_cell(kind="nssa"):
+    return ExperimentCell(kind, paper_workload("80r0"), 1e8,
+                          Environment.from_celsius(25.0, 1.0))
+
+
+def sense_amp_system(build=build_nssa, batch=5, seed=3):
+    design = build()
+    rng = np.random.default_rng(seed)
+    system = MnaSystem(design.circuit, 298.15, batch_size=batch)
+    system.set_vth_shifts({name: rng.normal(0.0, 0.03, batch)
+                           for name in system.vth_shifts()})
+    return system, rng
+
+
+def solve_one_step(kernel, system, v_prev, t_new, batch):
+    """Drive one begin_step/solve cycle; returns (v_new, iterations)."""
+    v_new = v_prev.copy()
+    system.apply_known(v_new, t_new)
+    kernel.begin_step(t_new, v_prev)
+    iterations = kernel.solve(v_new, np.arange(batch))
+    return v_new, iterations
+
+
+def step_state(system, rng, batch):
+    v_prev = system.initial_full_vector(0.0)
+    v_prev[:, system.unknown_idx] = rng.uniform(
+        0.2, 0.8, (batch, system.n_unknown))
+    return v_prev
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ["compiled", "numpy"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            get_backend("fortran")
+
+    def test_instances_are_shared(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("compiled") is get_backend("compiled")
+
+    def test_cache_tokens_are_distinct(self):
+        tokens = [get_backend(name).cache_token()
+                  for name in available_backends()]
+        assert len({tuple(sorted(t.items())) for t in tokens}) == \
+            len(tokens)
+        for token in tokens:
+            assert set(token) == {"name", "kernel"}
+
+    def test_host_info_names_the_backend(self):
+        info = backend_host_info("compiled")
+        assert info["backend"] == "compiled"
+        assert info["kernel_version"] == compiled_mod.KERNEL_VERSION
+        assert "flavor" in info and "numba" in info and "cc" in info
+
+
+class TestResolution:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(NO_COMPILED_ENV, raising=False)
+        assert resolve_backend(None).name == "compiled"
+
+    def test_environment_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend("compiled").name == "compiled"
+
+    def test_unknown_environment_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "fortran")
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            resolve_backend(None)
+
+    def test_instance_passes_through(self):
+        backend = get_backend("compiled")
+        assert resolve_backend(backend) is backend
+
+    def test_kill_switch_forces_numpy(self, monkeypatch):
+        monkeypatch.setenv(NO_COMPILED_ENV, "1")
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("compiled").name == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "compiled")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_kill_switch_spares_numpy_and_instances(self, monkeypatch):
+        monkeypatch.setenv(NO_COMPILED_ENV, "1")
+        assert resolve_backend("numpy").name == "numpy"
+        # A backend *object* is the parity-test escape hatch.
+        assert resolve_backend(get_backend("compiled")).name == "compiled"
+
+
+class TestFlavorLadder:
+    def test_numpy_flavor_forced(self, monkeypatch, clean_flavor):
+        monkeypatch.setenv(JIT_ENV, "numpy")
+        backend = CompiledBackend()
+        assert backend.describe()["flavor"] == "numpy"
+        system, _ = sense_amp_system(batch=3)
+        kernel = backend.step_kernel(system, system.c_matrix / 1e-12,
+                                     1e-12, 3, NewtonOptions())
+        assert isinstance(kernel, FusedNumpyKernel)
+
+    def test_bogus_flavor_rejected(self, monkeypatch, clean_flavor):
+        monkeypatch.setenv(JIT_ENV, "fortran")
+        with pytest.raises(ValueError, match=JIT_ENV):
+            CompiledBackend().describe()
+
+    @needs_cc
+    def test_cc_flavor(self, monkeypatch, clean_flavor):
+        monkeypatch.setenv(JIT_ENV, "cc")
+        info = CompiledBackend().describe()
+        assert info["flavor"] == "cc"
+        assert info["cc"]["available"]
+
+    @needs_numba
+    def test_numba_flavor(self, monkeypatch, clean_flavor):
+        monkeypatch.setenv(JIT_ENV, "numba")
+        info = CompiledBackend().describe()
+        assert info["flavor"] == "numba"
+        assert info["numba"]["version"] == compiled_mod.NUMBA_VERSION
+
+    def test_auto_never_fails(self, monkeypatch, clean_flavor):
+        monkeypatch.delenv(JIT_ENV, raising=False)
+        assert CompiledBackend().describe()["flavor"] in \
+            ("numba", "cc", "numpy")
+
+
+class TestKernelCache:
+    def test_kernel_reused_per_system(self, clean_flavor):
+        backend = CompiledBackend()
+        system, _ = sense_amp_system(batch=4)
+        args = (system, system.c_matrix / 1e-12, 1e-12, 4, NewtonOptions())
+        first = backend.step_kernel(*args)
+        assert backend.step_kernel(*args) is first
+
+    def test_dt_and_options_split_the_cache(self, clean_flavor):
+        backend = CompiledBackend()
+        system, _ = sense_amp_system(batch=4)
+        base = backend.step_kernel(system, system.c_matrix / 1e-12,
+                                   1e-12, 4, NewtonOptions())
+        other_dt = backend.step_kernel(system, system.c_matrix / 2e-12,
+                                       2e-12, 4, NewtonOptions())
+        other_opts = backend.step_kernel(
+            system, system.c_matrix / 1e-12, 1e-12, 4,
+            NewtonOptions(vtol=1e-8))
+        assert base is not other_dt and base is not other_opts
+
+
+class TestFallbackGuards:
+    """Out-of-contract configurations use the exact reference kernel."""
+
+    def _kernel(self, **newton_kwargs):
+        backend = CompiledBackend()
+        system, _ = sense_amp_system(batch=3)
+        return backend.step_kernel(system, system.c_matrix / 1e-12,
+                                   1e-12, 3, NewtonOptions(**newton_kwargs))
+
+    def test_unmasked_falls_back(self):
+        assert isinstance(self._kernel(masked=False), NumpyStepKernel)
+
+    def test_quasi_falls_back(self):
+        assert isinstance(self._kernel(quasi=True), NumpyStepKernel)
+
+    def test_deviceless_falls_back(self):
+        from repro.spice.netlist import Circuit
+        from repro.spice.waveforms import Dc
+        circuit = Circuit("rc")
+        circuit.add_vsource("vin", "a", Dc(1.0))
+        circuit.add_resistor("r", "a", "b", 1e3)
+        circuit.add_capacitor("c", "b", "0", 1e-15)
+        system = MnaSystem(circuit, 300.0, batch_size=2)
+        kernel = CompiledBackend().step_kernel(
+            system, system.c_matrix / 1e-12, 1e-12, 2, NewtonOptions())
+        assert isinstance(kernel, NumpyStepKernel)
+
+    def test_oversized_system_uses_numpy_flavor(self, monkeypatch,
+                                                clean_flavor):
+        monkeypatch.setattr(_cc, "MAX_NU", 1)
+        backend = CompiledBackend()
+        system, _ = sense_amp_system(batch=3)
+        kernel = backend.step_kernel(system, system.c_matrix / 1e-12,
+                                     1e-12, 3, NewtonOptions())
+        assert isinstance(kernel, FusedNumpyKernel)
+
+    def test_selfcheck_failure_demotes_process(self, monkeypatch,
+                                               clean_flavor):
+        monkeypatch.setattr(compiled_mod, "_SELFCHECK", "failed")
+        backend = CompiledBackend()
+        assert backend.describe()["flavor"] == "numpy"
+        system, _ = sense_amp_system(batch=3)
+        kernel = backend.step_kernel(system, system.c_matrix / 1e-12,
+                                     1e-12, 3, NewtonOptions())
+        assert isinstance(kernel, FusedNumpyKernel)
+
+
+class TestStepKernelParity:
+    """Backend kernels agree with the reference stepper per step."""
+
+    def _compare(self, system, rng, batch):
+        dt = 1e-12
+        c_over_dt = system.c_matrix / dt
+        options = NewtonOptions()
+        v_prev = step_state(system, rng, batch)
+        t_new = 1e-11
+
+        reference = NumpyStepKernel(system, c_over_dt, batch, options)
+        v_ref, it_ref = solve_one_step(reference, system, v_prev, t_new,
+                                       batch)
+
+        maps = ReducedKernelMaps(system, c_over_dt, options)
+        kernels = {"fused-numpy":
+                   FusedNumpyKernel(maps, system, batch, options),
+                   "python-reference":
+                   ScalarStepKernel(maps, system, batch, options,
+                                    "pyref", _kernel_py.newton_step)}
+        if _cc.compiler_available():
+            fn, _, _ = _cc.load_kernel()
+            if fn is not None:
+                kernels["cc"] = ScalarStepKernel(maps, system, batch,
+                                                 options, "cc", fn)
+        for label, kernel in kernels.items():
+            v_got, _ = solve_one_step(kernel, system, v_prev, t_new,
+                                      batch)
+            np.testing.assert_allclose(
+                v_got, v_ref, rtol=0.0, atol=STEP_ATOL,
+                err_msg=f"{label} kernel diverged from the stepper")
+
+    @pytest.mark.parametrize("build", [build_nssa, build_issa])
+    def test_sense_amps(self, build):
+        system, rng = sense_amp_system(build, batch=6, seed=11)
+        self._compare(system, rng, 6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomised_topologies(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        circuit = random_circuit(rng)
+        batch = 4
+        system = MnaSystem(circuit, 300.0, batch_size=batch)
+        shifts = {name: rng.normal(0.0, 0.02, batch)
+                  for name in system.vth_shifts()}
+        if shifts:
+            system.set_vth_shifts(shifts)
+        if not system.reduced or system.unknown_idx.size == 0:
+            pytest.skip("topology not on the reduced path")
+        self._compare(system, rng, batch)
+
+    def test_partial_active_rows(self):
+        """Kernels must leave inactive rows untouched."""
+        batch = 6
+        system, rng = sense_amp_system(batch=batch, seed=21)
+        dt = 1e-12
+        options = NewtonOptions()
+        c_over_dt = system.c_matrix / dt
+        maps = ReducedKernelMaps(system, c_over_dt, options)
+        v_prev = step_state(system, rng, batch)
+        active = np.array([0, 2, 5])
+        frozen = np.array([1, 3, 4])
+        for kernel in (NumpyStepKernel(system, c_over_dt, batch, options),
+                       FusedNumpyKernel(maps, system, batch, options),
+                       ScalarStepKernel(maps, system, batch, options,
+                                        "pyref", _kernel_py.newton_step)):
+            v_new = v_prev.copy()
+            system.apply_known(v_new, 1e-11)
+            snapshot = v_new[frozen].copy()
+            kernel.begin_step(1e-11, v_prev)
+            kernel.solve(v_new, active)
+            np.testing.assert_array_equal(v_new[frozen], snapshot)
+
+
+class TestTransientParity:
+    @pytest.mark.parametrize("build", [build_nssa, build_issa])
+    def test_probes_agree(self, build):
+        design = build()
+        batch = 5
+        rng = np.random.default_rng(9)
+        names = MnaSystem(design.circuit, 298.15).vth_shifts()
+        shifts = {name: rng.normal(0.0, 0.02, batch) for name in names}
+        results = {}
+        for backend in ("numpy", "compiled"):
+            system = MnaSystem(design.circuit, 298.15, batch_size=batch)
+            system.set_vth_shifts(shifts)
+            results[backend] = run_transient(
+                system, t_stop=6e-11, dt=1e-12,
+                probes=list(design.output_nodes), extrapolate=True,
+                backend=get_backend(backend))
+        a, b = results["numpy"], results["compiled"]
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_allclose(b.final, a.final, rtol=0.0,
+                                   atol=STEP_ATOL)
+        for node in a.voltages:
+            np.testing.assert_allclose(b.voltages[node],
+                                       a.voltages[node], rtol=0.0,
+                                       atol=STEP_ATOL)
+
+
+class TestOffsetsBitwise:
+    """The characterisation contract: offsets are backend-independent."""
+
+    @pytest.mark.parametrize("kind", ["nssa", "issa"])
+    def test_run_cell_offsets_bit_identical(self, kind):
+        results = {}
+        for backend in ("numpy", "compiled"):
+            results[backend] = run_cell(
+                aged_cell(kind),
+                settings=default_mc_settings(size=6, seed=2017),
+                timing=ReadTiming(dt=1e-12), offset_iterations=5,
+                measure_delay=False,
+                # Backend objects bypass REPRO_NO_COMPILED, so this
+                # parity holds even in an opted-out environment.
+                backend=get_backend(backend))
+        np.testing.assert_array_equal(
+            results["compiled"].offset.offsets,
+            results["numpy"].offset.offsets)
+        assert results["compiled"].offset.spec == \
+            results["numpy"].offset.spec
+
+    def test_compiled_counters_flow(self):
+        from repro.analysis.perf import PERF
+        PERF.reset()
+        run_cell(aged_cell(), settings=default_mc_settings(size=4,
+                                                           seed=2017),
+                 timing=ReadTiming(dt=1e-12), offset_iterations=4,
+                 measure_delay=False, backend=get_backend("compiled"))
+        counters = PERF.snapshot()["counters"]
+        assert counters.get("spice.backend.fused_steps", 0) > 0
+        assert counters.get("spice.backend.fused_iterations", 0) > 0
+        assert counters.get("newton.solves", 0) > 0
+
+    def test_numpy_backend_leaves_no_fused_counters(self):
+        from repro.analysis.perf import PERF
+        PERF.reset()
+        run_cell(aged_cell(), settings=default_mc_settings(size=4,
+                                                           seed=2017),
+                 timing=ReadTiming(dt=1e-12), offset_iterations=4,
+                 measure_delay=False, backend="numpy")
+        counters = PERF.snapshot()["counters"]
+        assert "spice.backend.fused_steps" not in counters

@@ -233,7 +233,13 @@ class TestStackedInto:
 
 
 class TestReducedTransient:
-    """Full reduced transients == legacy transients, bit for bit."""
+    """Full reduced transients == legacy transients, bit for bit.
+
+    Pinned to the numpy backend: the opt-out flips between the reduced
+    and legacy loops, and only the numpy backend shares both loops'
+    exact operation order (the compiled backend's parity suite lives
+    in ``tests/spice/test_backends.py``).
+    """
 
     @pytest.mark.parametrize("build", [build_nssa, build_issa])
     def test_run_transient_parity(self, build):
@@ -250,7 +256,7 @@ class TestReducedTransient:
             results[reduced] = run_transient(
                 system, t_stop=6e-11, dt=1e-12,
                 probes=list(design.output_nodes),
-                extrapolate=True)
+                extrapolate=True, backend="numpy")
         a, b = results[True], results[False]
         np.testing.assert_array_equal(a.times, b.times)
         np.testing.assert_array_equal(a.final, b.final)
