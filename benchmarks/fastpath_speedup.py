@@ -59,6 +59,7 @@ from repro.core.parallel import default_workers, run_cells
 from repro.core.testbench import SenseAmpTestbench
 from repro.core.testbench import WARMSTART_ENV
 from repro.models import Environment, MismatchModel
+from repro.analysis.provenance import git_revision
 from repro.spice.backends import backend_host_info
 from repro.spice.mna import FASTPATH_ENV
 from repro.spice.solver import NewtonOptions
@@ -377,7 +378,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                  # compiled backend fuses device evaluation, so the
                  # FASTPATH toggle would not reach it (see
                  # compiled_speedup.py for the backend comparison).
-                 "backend": backend_host_info("numpy")},
+                 "backend": backend_host_info("numpy"),
+                 "revision": git_revision()},
     }
     print(f"reduced Table-II grid: mc={args.mc} dt={args.dt:g} "
           f"iterations={args.iterations}")

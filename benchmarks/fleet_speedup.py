@@ -1,0 +1,277 @@
+"""Validate the vectorised fleet engine and emit BENCH_fleet.json.
+
+Four measurements, cheapest first (any failure aborts before the JSON
+artefact is written):
+
+* **Invariance** — the policy-comparison summary must be *bitwise*
+  identical across chunk sizes, worker counts and the
+  ``REPRO_NO_FLEETVEC=1`` per-device reference loop (on a small
+  fleet; only the reported ``engine`` tag may differ).
+* **Throughput** — devices/second of the vectorised engine on a large
+  fleet versus the per-device reference loop on a small one, same
+  spec shape.  The headline row pins the fleet to the nominal 25 C
+  temperature (the calibration point); a mixed 25/75/125 C corner row
+  is recorded alongside — hot dies carry ~4x more traps, so the
+  per-device loop is relatively less disadvantaged there.
+* **Peak memory** — subprocess ``ru_maxrss`` at two fleet sizes with
+  the chunk size held fixed: doubling the fleet must not grow the
+  peak (work is streamed chunk by chunk, block by block), while a
+  larger chunk/block may.  This is the bounded-memory contract that
+  lets a million-device fleet run on a laptop.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/fleet_speedup.py
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.provenance import git_revision
+from repro.core.parallel import default_workers
+from repro.fleet import FleetEngine, FleetSpec, MitigationPolicy
+from repro.spice.backends import backend_host_info
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The two policies every run compares (the paper's core claim).
+POLICIES = (MitigationPolicy(scheme="nssa"),
+            MitigationPolicy(scheme="issa"))
+
+#: Nominal-temperature corner profile for the headline rows.
+NOMINAL_TEMPS = ((25.0, 1.0),)
+
+
+def _spec(devices: int, block_size: int = 4096,
+          nominal: bool = True) -> FleetSpec:
+    kwargs = dict(n_devices=devices, block_size=block_size)
+    if nominal:
+        kwargs["temps_c"] = NOMINAL_TEMPS
+    return FleetSpec(**kwargs)
+
+
+def _normalised(report: Dict) -> Dict:
+    """Strip the ``engine`` tag (legitimately differs across paths)."""
+    doc = json.loads(json.dumps(report))
+    for summary in doc["policies"]:
+        summary.pop("engine", None)
+    return doc
+
+
+def _check_invariance(devices: int, block_size: int) -> Dict:
+    spec = _spec(devices, block_size)
+    baseline = FleetEngine(spec, workers=1,
+                           chunk_size=block_size).compare(POLICIES)
+    rechunked = FleetEngine(spec, workers=1,
+                            chunk_size=4 * block_size).compare(POLICIES)
+    multiworker = FleetEngine(spec, workers=2,
+                              chunk_size=block_size).compare(POLICIES)
+    os.environ["REPRO_NO_FLEETVEC"] = "1"
+    try:
+        reference = FleetEngine(spec, workers=1,
+                                chunk_size=block_size).compare(POLICIES)
+    finally:
+        del os.environ["REPRO_NO_FLEETVEC"]
+    if reference["policies"][0]["engine"] != "reference":
+        raise AssertionError("REPRO_NO_FLEETVEC opt-out not honoured")
+    doc = _normalised(baseline)
+    for name, other in (("chunk size", rechunked),
+                        ("worker count", multiworker),
+                        ("REPRO_NO_FLEETVEC reference", reference)):
+        if _normalised(other) != doc:
+            raise AssertionError(
+                f"fleet summary changed with {name} — the bitwise "
+                f"invariance contract is broken")
+    return {"devices": devices, "block_size": block_size,
+            "chunk_sizes": [block_size, 4 * block_size],
+            "workers": [1, 2], "reference_parity": True,
+            "bitwise_identical": True}
+
+
+def _timed_rate(spec: FleetSpec, reference: bool) -> Dict:
+    if reference:
+        os.environ["REPRO_NO_FLEETVEC"] = "1"
+    try:
+        engine = FleetEngine(spec, workers=1)
+        started = time.perf_counter()
+        summary = engine.evaluate(POLICIES[0])
+        elapsed = time.perf_counter() - started
+    finally:
+        if reference:
+            os.environ.pop("REPRO_NO_FLEETVEC", None)
+    expected = "reference" if reference else "vector"
+    if summary["engine"] != expected:
+        raise AssertionError(f"expected the {expected} walker")
+    return {"engine": summary["engine"], "devices": spec.n_devices,
+            "elapsed_s": elapsed,
+            "devices_per_sec": spec.n_devices / elapsed,
+            "year10_fraction_out":
+                summary["years"][-1]["fraction_out"]}
+
+
+def _throughput_row(label: str, devices: int, ref_devices: int,
+                    nominal: bool) -> Dict:
+    vector = _timed_rate(_spec(devices, nominal=nominal),
+                         reference=False)
+    reference = _timed_rate(_spec(ref_devices, block_size=256,
+                                  nominal=nominal), reference=True)
+    return {"label": label,
+            "temps_c": ("nominal-25C" if nominal else "mixed-corner"),
+            "vector": vector, "reference": reference,
+            "speedup": (vector["devices_per_sec"]
+                        / reference["devices_per_sec"])}
+
+
+#: Child body for the RSS probe: run one fleet, print peak RSS (KiB).
+_RSS_CHILD = """
+import resource, sys
+from repro.fleet import FleetEngine, FleetSpec, MitigationPolicy
+devices, block = int(sys.argv[1]), int(sys.argv[2])
+spec = FleetSpec(n_devices=devices, block_size=block,
+                 temps_c=((25.0, 1.0),), years=(1.0,),
+                 phases_per_year=2, reads_per_phase=256)
+FleetEngine(spec, workers=1, chunk_size=block).evaluate(
+    MitigationPolicy())
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def _peak_rss_kib(devices: int, chunk: int) -> int:
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO_ROOT / "src") + os.pathsep
+               + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD, str(devices), str(chunk)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=600.0)
+    if proc.returncode != 0:
+        raise AssertionError(f"RSS probe failed: {proc.stderr}")
+    return int(proc.stdout.strip())
+
+
+def _check_memory(devices: int, chunk: int,
+                  tolerance: float = 1.25) -> Dict:
+    rows = []
+    for n_devices, chunk_size in ((devices, chunk),
+                                  (2 * devices, chunk),
+                                  (devices, 4 * chunk)):
+        rows.append({"devices": n_devices, "chunk_size": chunk_size,
+                     "peak_rss_kib": _peak_rss_kib(n_devices,
+                                                   chunk_size)})
+    same_chunk = [r["peak_rss_kib"] for r in rows[:2]]
+    growth = same_chunk[1] / same_chunk[0]
+    if growth > tolerance:
+        raise AssertionError(
+            f"peak RSS grew {growth:.2f}x when the fleet doubled at a "
+            f"fixed chunk size — memory is not bounded by the chunk")
+    return {"rows": rows, "fleet_doubling_growth": growth,
+            "tolerance": tolerance, "bounded_by_chunk": True}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", type=int, default=1_000_000,
+                        help="fleet size for the vectorised headline "
+                             "row (default 1e6)")
+    parser.add_argument("--ref-devices", type=int, default=1024,
+                        help="fleet size for the per-device reference "
+                             "loop (default 1024; it is slow)")
+    parser.add_argument("--mixed-devices", type=int, default=50_000,
+                        help="fleet size for the mixed-corner row")
+    parser.add_argument("--parity-devices", type=int, default=1000,
+                        help="fleet size for the bitwise-invariance "
+                             "checks (reference loop runs too; keep "
+                             "small)")
+    parser.add_argument("--rss-devices", type=int, default=65_536,
+                        help="base fleet size for the peak-RSS probes")
+    parser.add_argument("--rss-chunk", type=int, default=8192,
+                        help="base chunk size for the peak-RSS probes")
+    parser.add_argument("--min-speedup", type=float, default=100.0,
+                        help="required vector/reference devices-per-"
+                             "second ratio on the headline row")
+    parser.add_argument("--skip-rss", action="store_true",
+                        help="skip the subprocess RSS probes")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_fleet.json"))
+    args = parser.parse_args(argv)
+
+    print("fleet invariance (chunk / workers / reference loop)...",
+          flush=True)
+    invariance = _check_invariance(args.parity_devices, block_size=256)
+    print("  bitwise identical across all paths")
+
+    print("throughput: headline nominal-25C row...", flush=True)
+    headline = _throughput_row("headline", args.devices,
+                               args.ref_devices, nominal=True)
+    print(f"  vector    {headline['vector']['devices_per_sec']:12.0f} "
+          f"devices/s  ({headline['vector']['devices']} devices)")
+    print(f"  reference {headline['reference']['devices_per_sec']:12.0f}"
+          f" devices/s  ({headline['reference']['devices']} devices)")
+    print(f"  speedup   {headline['speedup']:.1f}x")
+
+    print("throughput: mixed-corner row (recorded, no gate)...",
+          flush=True)
+    mixed = _throughput_row("mixed-corner", args.mixed_devices,
+                            args.ref_devices, nominal=False)
+    print(f"  speedup   {mixed['speedup']:.1f}x")
+
+    memory: Optional[Dict] = None
+    if not args.skip_rss:
+        print("peak RSS probes (fleet doubling at fixed chunk)...",
+              flush=True)
+        memory = _check_memory(args.rss_devices, args.rss_chunk)
+        for row in memory["rows"]:
+            print(f"  {row['devices']:>8d} devices, chunk "
+                  f"{row['chunk_size']:>6d}: "
+                  f"{row['peak_rss_kib'] / 1024:.0f} MiB peak")
+        print(f"  growth on fleet doubling: "
+              f"{memory['fleet_doubling_growth']:.2f}x "
+              f"(<= {memory['tolerance']:g} required)")
+
+    if headline["speedup"] < args.min_speedup:
+        print(f"FAIL: headline speedup {headline['speedup']:.1f}x "
+              f"< required {args.min_speedup:g}x", file=sys.stderr)
+        return 1
+
+    doc = {
+        "benchmark": "fleet_speedup",
+        "host": {"cpu_count": os.cpu_count(),
+                 "usable_cpus": default_workers(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine(),
+                 "backend": backend_host_info(),
+                 "revision": git_revision()},
+        "settings": {"devices": args.devices,
+                     "ref_devices": args.ref_devices,
+                     "mixed_devices": args.mixed_devices,
+                     "parity_devices": args.parity_devices,
+                     "min_speedup": args.min_speedup,
+                     "policies": [dataclasses.asdict(p)
+                                  for p in POLICIES]},
+        "invariance": invariance,
+        "throughput": [headline, mixed],
+        "memory": memory,
+        "passed": True,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(doc, indent=2,
+                                                    sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

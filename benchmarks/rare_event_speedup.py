@@ -49,6 +49,7 @@ from scipy.stats import norm
 
 from repro.analysis.perf import PERF
 from repro.circuits.sense_amp import ReadTiming
+from repro.analysis.provenance import git_revision
 from repro.spice.backends import backend_host_info
 from repro.core.experiment import ExperimentCell, run_cell
 from repro.core.montecarlo import McSettings
@@ -303,7 +304,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "python": platform.python_version(),
                  "numpy": np.__version__,
                  "machine": platform.machine(),
-                 "backend": backend_host_info()},
+                 "backend": backend_host_info(),
+                 "revision": git_revision()},
         "settings": {"mc": args.mc, "tail_samples": args.tail_samples,
                      "tail_bootstrap": args.tail_bootstrap,
                      "brute": args.brute, "dt": args.dt,

@@ -40,6 +40,7 @@ from repro.core.montecarlo import McSettings
 from repro.core.paper import grid_cells
 from repro.core.parallel import run_cells
 from repro.models import MismatchModel
+from repro.analysis.provenance import git_revision
 from repro.spice.backends import backend_host_info
 from repro.spice.mna import MnaSystem, REDUCED_ENV
 
@@ -163,7 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "python": platform.python_version(),
                  "numpy": np.__version__,
                  "machine": platform.machine(),
-                 "backend": backend_host_info("numpy")},
+                 "backend": backend_host_info("numpy"),
+                 "revision": git_revision()},
         "settings": {"mc": args.mc, "dt": args.dt,
                      "offset_iterations": args.iterations,
                      "cells": len(cells), "repeats": args.repeats,

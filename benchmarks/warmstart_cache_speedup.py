@@ -42,6 +42,7 @@ from repro.core.montecarlo import McSettings
 from repro.core.paper import grid_cells
 from repro.core.parallel import run_cells
 from repro.core.testbench import WARMSTART_ENV
+from repro.analysis.provenance import git_revision
 from repro.spice.backends import backend_host_info
 from repro.models import MismatchModel
 from repro.workloads import paper_workload  # noqa: F401  (grid cells)
@@ -139,7 +140,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "python": platform.python_version(),
                  "numpy": np.__version__,
                  "machine": platform.machine(),
-                 "backend": backend_host_info()},
+                 "backend": backend_host_info(),
+                 "revision": git_revision()},
         "settings": {"mc": args.mc, "dt": args.dt,
                      "offset_iterations": args.iterations,
                      "cells": len(cells), "repeats": args.repeats,

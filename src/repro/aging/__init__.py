@@ -20,8 +20,8 @@ from .cet import CetMap, DEFAULT_CET_MAP
 from .stress import StressCondition, StressSegment, total_time, \
     equivalent_condition
 from .bti import AtomisticBti, BtiParams
-from .engine import AgingModel, age_circuit, age_circuit_schedule, \
-    expected_shifts
+from .engine import AgingModel, SCHEDULE_STREAM, age_circuit, \
+    age_circuit_schedule, expected_shifts
 from .duty import nssa_duties, issa_duties, latch_duties, shared_duties, \
     inverter_duties, AMPLIFY_FRACTION
 from .hci import HciModel, HciParams, HCI_DEFAULT, SA_EVENTS_PER_READ, \
@@ -35,7 +35,8 @@ __all__ = [
     "CetMap", "DEFAULT_CET_MAP",
     "StressCondition", "StressSegment", "total_time", "equivalent_condition",
     "AtomisticBti", "BtiParams",
-    "AgingModel", "age_circuit", "age_circuit_schedule", "expected_shifts",
+    "AgingModel", "SCHEDULE_STREAM", "age_circuit",
+    "age_circuit_schedule", "expected_shifts",
     "nssa_duties", "issa_duties", "latch_duties", "shared_duties",
     "inverter_duties", "AMPLIFY_FRACTION",
     "HciModel", "HciParams", "HCI_DEFAULT", "SA_EVENTS_PER_READ",

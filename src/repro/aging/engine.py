@@ -15,9 +15,15 @@ from typing import Dict, Mapping, Optional, Sequence
 import numpy as np
 
 from ..models.temperature import Environment
+from ..models.variation import keyed_rng
 from ..spice.netlist import Circuit
 from .bti import AtomisticBti
 from .stress import StressCondition, StressSegment
+
+#: Spawn-key stream tag for the seed mode of
+#: :func:`age_circuit_schedule` (distinct from the mismatch and
+#: rare-event streams so schedule draws never collide with them).
+SCHEDULE_STREAM = 0x5CED
 
 
 @dataclasses.dataclass(frozen=True)
@@ -91,12 +97,31 @@ def age_circuit_schedule(circuit: Circuit, aging: AgingModel,
                          duty_segments: Mapping[str,
                                                 Sequence[StressSegment]],
                          size: int,
-                         rng: np.random.Generator) -> Dict[str, np.ndarray]:
+                         rng: Optional[np.random.Generator] = None, *,
+                         seed: Optional[int] = None,
+                         stream: int = SCHEDULE_STREAM,
+                         ) -> Dict[str, np.ndarray]:
     """Sample shifts for per-device piecewise stress histories.
 
     ``duty_segments`` maps device names to their stress-segment lists;
     devices missing from the mapping receive zero shift.
+
+    Exactly one of ``rng`` / ``seed`` must be given:
+
+    * ``rng`` — legacy shared-stream mode: one generator is consumed
+      in netlist iteration order, so draws depend on device order and
+      on which devices carry segments.
+    * ``seed`` — keyed mode: every device gets its own generator
+      spawn-keyed by ``(seed, stream, rank)`` with ``rank`` the
+      device's position in *sorted name order* (the
+      :meth:`~repro.models.variation.MismatchModel
+      .sample_circuit_keyed` discipline).  Draws are invariant to
+      netlist ordering and to which other devices are stressed.
     """
+    if (rng is None) == (seed is None):
+        raise ValueError("pass exactly one of rng= or seed=")
+    ranks = {name: rank for rank, name in
+             enumerate(sorted(m.name for m in circuit.mosfets))}
     shifts: Dict[str, np.ndarray] = {}
     for mosfet in circuit.mosfets:
         segments = duty_segments.get(mosfet.name)
@@ -105,8 +130,10 @@ def age_circuit_schedule(circuit: Circuit, aging: AgingModel,
             continue
         model = aging.model_for(mosfet.params.is_nmos)
         area = mosfet.width * mosfet.length
-        shifts[mosfet.name] = model.sample_shift_schedule(area, segments,
-                                                          size, rng)
+        device_rng = (rng if rng is not None
+                      else keyed_rng(seed, stream, ranks[mosfet.name]))
+        shifts[mosfet.name] = model.sample_shift_schedule(
+            area, segments, size, device_rng)
     return shifts
 
 

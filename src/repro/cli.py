@@ -464,6 +464,66 @@ def cmd_serve(args) -> int:
     return serve(service, host=args.host, port=args.port)
 
 
+def cmd_fleet(args) -> int:
+    """Fleet-scale lifetime distributions and mitigation comparison."""
+    import json as json_module
+
+    from .fleet import FleetEngine, FleetSpec, MitigationPolicy
+
+    spec_kwargs = dict(n_devices=args.devices, seed=args.seed,
+                       block_size=args.block_size,
+                       years=tuple(float(y) for y
+                                   in args.years.split(",")),
+                       phases_per_year=args.phases_per_year,
+                       reads_per_phase=args.reads_per_phase,
+                       swing_mv=args.swing_mv)
+    if args.temp is not None:
+        spec_kwargs["temps_c"] = ((args.temp, 1.0),)
+    if args.vdd is not None:
+        spec_kwargs["vdds"] = ((args.vdd, 1.0),)
+    spec = FleetSpec(**spec_kwargs)
+    policies = []
+    for scheme in args.policies.split(","):
+        scheme = scheme.strip()
+        policies.append(MitigationPolicy(
+            scheme=scheme,
+            residual_imbalance=(args.residual_imbalance
+                                if scheme == "issa" else 0.0),
+            rejuvenation_interval_years=args.rejuvenation_years,
+            rejuvenation_phases=args.rejuvenation_phases,
+            guardband_trim=args.guardband_trim))
+    engine = FleetEngine(spec, workers=args.workers or None,
+                         chunk_size=args.chunk_size)
+    report = engine.compare(policies)
+    print(f"fleet: {spec.n_devices} devices, "
+          f"{spec.phases_per_year} phases/year, "
+          f"swing {spec.swing_mv:g} mV  "
+          f"[engine: {report['policies'][0]['engine']}]")
+    header = (f"  {'policy':24s} {'year':>6s} {'frac out':>10s} "
+              f"{'chip ppm':>10s} {'std mV':>8s} {'p99 mV':>8s}")
+    print(header)
+    for summary in report["policies"]:
+        name = summary["policy"]["name"]
+        for year in summary["years"]:
+            print(f"  {name:24s} {year['year']:6g} "
+                  f"{year['fraction_out']:10.3e} "
+                  f"{year['chip_loss_ppm']:10.1f} "
+                  f"{year['offset_std_mv']:8.2f} "
+                  f"{year['quantiles_mv']['p99']:8.2f}")
+    for diff in report["comparison"]:
+        last = diff["years"][-1]
+        ratio = last["out_of_spec_ratio"]
+        print(f"  {diff['policy']} vs {diff['baseline']} at year "
+              f"{last['year']:g}: out-of-spec ratio "
+              f"{'n/a' if ratio is None else format(ratio, '.3g')}, "
+              f"{last['chip_loss_ppm_saved']:.1f} ppm chip loss saved")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(report, handle, indent=2, sort_keys=True)
+        print(f"\nfleet report written to {args.json}")
+    return 0
+
+
 def cmd_workloads(args) -> int:
     for workload in PAPER_WORKLOADS:
         print(f"  {str(workload):8s} activation={workload.activation_rate}"
@@ -614,6 +674,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot-every", type=int, default=256,
                    help="journal appends between snapshot compactions")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("fleet",
+                       help="fleet-scale lifetime distributions and "
+                            "mitigation-policy comparison")
+    p.add_argument("--devices", type=int, default=100_000,
+                   help="fleet size (default 100000)")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--block-size", type=int, default=4096,
+                   help="devices per sampling block (part of the "
+                        "statistical identity; default 4096)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="devices per chunk — the peak-memory bound; "
+                        "results are invariant to it")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for chunk fan-out (default 1: "
+                        "serial; 0 means one per CPU); results are "
+                        "invariant to it")
+    p.add_argument("--years", default="1,3,10",
+                   help="comma-separated checkpoint years "
+                        "(default 1,3,10)")
+    p.add_argument("--phases-per-year", type=int, default=4)
+    p.add_argument("--reads-per-phase", type=int, default=1024,
+                   help="observed reads per phase per device (the "
+                        "streamed workload-trace resolution)")
+    p.add_argument("--swing-mv", type=float, default=90.0,
+                   help="offset spec: usable swing in mV (default 90)")
+    p.add_argument("--temp", type=float, default=None,
+                   help="pin the fleet to one temperature in C "
+                        "(default: mixed 25/75/125 profile)")
+    p.add_argument("--vdd", type=float, default=None,
+                   help="pin the fleet to one supply in V "
+                        "(default: mixed 0.9/1.0/1.1 profile)")
+    p.add_argument("--policies", default="nssa,issa",
+                   help="comma-separated schemes to compare; the first "
+                        "is the baseline (default nssa,issa)")
+    p.add_argument("--residual-imbalance", type=float, default=0.0,
+                   help="ISSA residual duty imbalance in [0,1] "
+                        "(0 = perfect internal balancing)")
+    p.add_argument("--rejuvenation-years", type=float, default=0.0,
+                   help="park the amplifier for recovery every N years "
+                        "(0 = never)")
+    p.add_argument("--rejuvenation-phases", type=int, default=1,
+                   help="phases parked per rejuvenation interval")
+    p.add_argument("--guardband-trim", type=float, default=0.0,
+                   help="fraction of the swing spec given back "
+                        "(tightens the offset spec)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the full comparison report as JSON")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("workloads", help="list the paper's workloads")
     p.set_defaults(func=cmd_workloads)

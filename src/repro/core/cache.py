@@ -321,6 +321,60 @@ class ResultCache:
                 os.unlink(tmp)
             raise
 
+    # -- document entries ------------------------------------------------
+    #
+    # Generic JSON-document storage for results that are not cell
+    # characterisations (e.g. fleet lifetime summaries).  Documents get
+    # their own ``.doc.json`` suffix so they never collide with cell
+    # sidecars, and keys are content-addressed over a caller-supplied
+    # payload with the same salt/version discipline as cell keys.
+
+    def key_for_doc(self, payload: Any) -> str:
+        """SHA-256 key of a JSON-document result.
+
+        ``payload`` must describe everything that determines the
+        document (it is canonicalised with :func:`_canon`, so
+        dataclasses and numpy values are fine).
+        """
+        from .. import __version__
+        blob = json.dumps({"salt": CACHE_SALT, "version": __version__,
+                           "doc": _canon(payload)},
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _doc_path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.doc.json"
+
+    def contains_doc(self, key: str) -> bool:
+        """Whether a document entry for ``key`` exists on disk."""
+        return self._doc_path(key).is_file()
+
+    def store_doc(self, key: str, document: Any) -> None:
+        """Atomically write a JSON document under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(document, sort_keys=True).encode()
+        self._atomic_write(self._doc_path(key), lambda fh: fh.write(blob))
+        PERF.count("cache.doc_stores")
+        PERF.count("cache.bytes_written", len(blob))
+
+    def load_doc(self, key: str) -> Optional[Any]:
+        """Return the cached document for ``key``, or ``None``.
+
+        Unreadable or truncated entries count as misses, mirroring
+        :meth:`load`.
+        """
+        PERF.count("cache.requests")
+        path = self._doc_path(key)
+        try:
+            blob = path.read_bytes()
+            document = json.loads(blob)
+        except (OSError, ValueError, json.JSONDecodeError):
+            PERF.count("cache.misses")
+            return None
+        PERF.count("cache.hits")
+        PERF.count("cache.bytes_read", len(blob))
+        return document
+
     # -- maintenance -----------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:

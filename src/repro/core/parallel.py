@@ -221,3 +221,71 @@ def run_cells(cells: Sequence[ExperimentCell],
         raise
     pool.shutdown(wait=True)
     return [results_by_index[index] for index in range(len(cells))]
+
+
+def _run_task(index: int, task: Callable[..., Any], args: Tuple,
+              ) -> Tuple[int, Any, Dict[str, Any]]:
+    """Worker-side generic task execution (see :func:`_run_cell_task`)."""
+    PERF.reset()
+    result = task(*args)
+    return index, result, PERF.snapshot()
+
+
+def run_tasks(task: Callable[..., Any], args_list: Sequence[Tuple],
+              workers: Optional[int] = None,
+              timeout: Optional[float] = None,
+              cancel: Optional[Any] = None) -> List[Any]:
+    """Deterministic ordered map of ``task`` over argument tuples.
+
+    The generic sibling of :func:`run_cells` for work that is not an
+    :class:`ExperimentCell` — e.g. the fleet engine's chunk evaluation.
+    ``task`` must be a picklable module-level callable and each entry of
+    ``args_list`` a picklable argument tuple.  Guarantees match
+    :func:`run_cells`: results come back in submission order, a
+    ``workers <= 1`` (or single-task) run is the plain serial loop,
+    worker perf snapshots merge into the parent recorder, and
+    ``timeout`` / ``cancel`` raise :class:`GridTimeout` /
+    :class:`GridCancelled` after reaping the pool.
+    """
+    args_list = [tuple(args) for args in args_list]
+    if workers is None:
+        workers = default_workers()
+    deadline = (None if timeout is None
+                else time.monotonic() + timeout)
+
+    def check_interrupts() -> None:
+        if cancel is not None and cancel.is_set():
+            raise GridCancelled("task run cancelled")
+        if deadline is not None and time.monotonic() >= deadline:
+            raise GridTimeout(f"task run exceeded {timeout:g} s")
+
+    if workers <= 1 or len(args_list) <= 1:
+        results = []
+        for args in args_list:
+            check_interrupts()
+            results.append(task(*args))
+        return results
+
+    results_by_index: Dict[int, Any] = {}
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(args_list)))
+    pending = set()
+    try:
+        pending = {pool.submit(_run_task, index, task, args)
+                   for index, args in enumerate(args_list)}
+        while pending:
+            check_interrupts()
+            tick: Optional[float] = 0.1 if cancel is not None else None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                tick = remaining if tick is None else min(tick, remaining)
+            done, pending = wait(pending, timeout=tick,
+                                 return_when=FIRST_COMPLETED)
+            for future in done:
+                index, result, snapshot = future.result()
+                results_by_index[index] = result
+                PERF.merge(snapshot)
+    except BaseException:
+        _reap(pool, pending)
+        raise
+    pool.shutdown(wait=True)
+    return [results_by_index[index] for index in range(len(args_list))]

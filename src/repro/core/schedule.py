@@ -76,9 +76,11 @@ def sample_schedule_shifts(design: SenseAmpDesign,
     aging = aging or default_aging_model()
     shifts = sample_mismatch(design, settings)
     segments = device_segments(design, phases)
-    rng = np.random.default_rng(settings.seed + 1)
+    # Keyed mode: one spawn key per device, so the schedule draws are
+    # invariant to netlist ordering and to which devices are stressed
+    # (the old shared default_rng(seed + 1) stream was neither).
     bti = age_circuit_schedule(design.circuit, aging, segments,
-                               settings.size, rng)
+                               settings.size, seed=settings.seed + 1)
     return {name: shifts[name] + bti.get(name, 0.0) for name in shifts}
 
 

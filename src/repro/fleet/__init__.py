@@ -1,0 +1,22 @@
+"""Fleet-scale aging simulation: millions of devices, streamed traces.
+
+Public surface:
+
+* :class:`~repro.fleet.spec.FleetSpec` — population / trace / corner
+  description (JSON round-trippable).
+* :class:`~repro.fleet.spec.MitigationPolicy` — one aging-management
+  strategy (NSSA / ISSA, rejuvenation, guardband trim).
+* :class:`~repro.fleet.engine.FleetEngine` — chunked, worker-parallel,
+  bitwise chunking-invariant evaluation with lifetime-distribution
+  summaries (`evaluate`) and policy comparison (`compare`).
+
+Set ``REPRO_NO_FLEETVEC=1`` to run the per-device reference loop
+instead of the vectorised trap physics (bit-identical, ~orders of
+magnitude slower; see ``docs/simulator.md``).
+"""
+
+from .engine import FleetEngine
+from .spec import FLEET_STREAM, FleetSpec, MitigationPolicy
+
+__all__ = ["FleetEngine", "FleetSpec", "MitigationPolicy",
+           "FLEET_STREAM"]

@@ -17,16 +17,18 @@ cells as jobs, get batching + dedup + persistence + retries for free.
 """
 
 from .client import Client, HttpClient
-from .jobs import (CANCELLED, DONE, FAILED, Job, JobRequest, PENDING,
-                   RUNNING, STATES, TERMINAL)
+from .jobs import (CANCELLED, DONE, FAILED, FleetRequest, Job,
+                   JobRequest, PENDING, RUNNING, STATES, TERMINAL,
+                   request_from_dict)
 from .scheduler import Scheduler
 from .service import Service, ServiceError
 from .store import JobStore, SERVICE_ENV, default_service_dir
 from .worker import Worker
 
 __all__ = [
-    "CANCELLED", "Client", "DONE", "FAILED", "HttpClient", "Job",
-    "JobRequest", "JobStore", "PENDING", "RUNNING", "SERVICE_ENV",
-    "STATES", "Scheduler", "Service", "ServiceError", "TERMINAL",
-    "Worker", "default_service_dir",
+    "CANCELLED", "Client", "DONE", "FAILED", "FleetRequest",
+    "HttpClient", "Job", "JobRequest", "JobStore", "PENDING",
+    "RUNNING", "SERVICE_ENV", "STATES", "Scheduler", "Service",
+    "ServiceError", "TERMINAL", "Worker", "default_service_dir",
+    "request_from_dict",
 ]

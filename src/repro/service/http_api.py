@@ -9,7 +9,11 @@ endpoint   method    semantics
 /healthz   GET       liveness probe — ``{"ok": true}``
 /submit    POST      body ``{"request": {...}, "priority": 0}`` →
                      ``{"id", "state", "deduped"}`` (dedup is free:
-                     resubmitting returns the existing job)
+                     resubmitting returns the existing job).  A
+                     request with ``"kind": "fleet"`` queues a fleet
+                     lifetime-distribution / policy comparison
+                     (:class:`~repro.service.jobs.FleetRequest`);
+                     its ``/result`` row is the comparison document.
 /status    GET       ``?id=`` → full job record; 404 when unknown
 /result    GET       ``?id=`` → ``{"id", "row"}`` when done; 404 when
                      unknown, 409 with the state/error otherwise

@@ -17,7 +17,8 @@ idempotently in any snapshot/journal interleaving.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional, Tuple
+import json
+from typing import Any, Dict, Optional, Tuple, Union
 
 #: Job lifecycle states.
 PENDING = "pending"
@@ -60,6 +61,10 @@ class JobRequest:
     chunk_size: Optional[int] = None
     timeout_s: Optional[float] = None
     backend: Optional[str] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for any field the worker cannot honour."""
+        self.to_cell()
 
     def to_cell(self):
         """The :class:`~repro.core.experiment.ExperimentCell` to run.
@@ -114,6 +119,15 @@ class JobRequest:
         kwargs.pop("chunk_size")  # memory knob; excluded from the key
         return cache.key_for_cell(self.to_cell(), **kwargs)
 
+    def cached_result_row(self, cache, key: str) -> Optional[Dict]:
+        """The result row if the cache already holds this request."""
+        from ..constants import FAILURE_RATE_TARGET
+        if not cache.contains(key):
+            return None
+        cached = cache.load(key, self.to_cell(),
+                            failure_rate=FAILURE_RATE_TARGET)
+        return cached.row() if cached is not None else None
+
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
@@ -127,12 +141,118 @@ class JobRequest:
         return cls(**doc)
 
 
+@dataclasses.dataclass(frozen=True)
+class FleetRequest:
+    """One fleet lifetime-distribution / policy-comparison evaluation.
+
+    The wire shape of a :meth:`repro.fleet.engine.FleetEngine.compare`
+    call: a :class:`~repro.fleet.spec.FleetSpec` document plus one or
+    more :class:`~repro.fleet.spec.MitigationPolicy` documents (the
+    first is the comparison baseline).  ``chunk_size`` / ``workers``
+    only shape *how* the fleet is walked — results are bitwise
+    invariant to them — so they are excluded from the dedup identity,
+    exactly like :attr:`JobRequest.chunk_size`.
+    """
+
+    spec: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    policies: Tuple[Dict[str, Any], ...] = ()
+    chunk_size: Optional[int] = None
+    workers: Optional[int] = 1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; normalise so signatures and
+        # equality behave.
+        object.__setattr__(self, "policies",
+                           tuple(dict(p) for p in self.policies))
+
+    def validate(self):
+        """Parse into engine inputs; raises ``ValueError`` when bad.
+
+        Returns ``(FleetSpec, [MitigationPolicy, ...])`` so the worker
+        validates and constructs in one step.
+        """
+        from ..fleet.spec import FleetSpec, MitigationPolicy
+        if not self.policies:
+            raise ValueError("fleet request needs at least one policy")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk size must be positive")
+        spec = FleetSpec.from_dict(self.spec)
+        policies = [MitigationPolicy.from_dict(doc)
+                    for doc in self.policies]
+        return spec, policies
+
+    def signature(self) -> Tuple:
+        """Fleet runs never coalesce with cell batches (or each other:
+        identical fleet requests are already the *same job* by dedup,
+        so a fleet batch is always a singleton)."""
+        return ("fleet", self._identity_blob(), self.chunk_size,
+                self.workers, self.timeout_s)
+
+    def _identity_blob(self) -> str:
+        return json.dumps({"spec": self.spec,
+                           "policies": list(self.policies)},
+                          sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self, cache) -> str:
+        """Content-addressed identity over the physics, not the knobs."""
+        return cache.key_for_doc({"kind": "fleet", "spec": self.spec,
+                                  "policies": list(self.policies)})
+
+    def cached_result_row(self, cache, key: str) -> Optional[Dict]:
+        """The comparison document if the doc cache already holds it."""
+        if not cache.contains_doc(key):
+            return None
+        return cache.load_doc(key)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc["policies"] = [dict(p) for p in self.policies]
+        doc["kind"] = "fleet"
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FleetRequest":
+        doc = dict(doc)
+        kind = doc.pop("kind", "fleet")
+        if kind != "fleet":
+            raise ValueError(f"not a fleet request: kind={kind!r}")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}")
+        return cls(**doc)
+
+
+#: Requests the service accepts, by wire ``kind``.
+REQUEST_KINDS = ("cell", "fleet")
+
+
+def request_from_dict(doc: Dict[str, Any]):
+    """Build the right request class from a wire/journal document.
+
+    Documents without a ``kind`` field are cell characterisations —
+    the only request type earlier journals could hold — so old job
+    stores replay unchanged.
+    """
+    doc = dict(doc)
+    kind = doc.pop("kind", "cell")
+    if kind == "fleet":
+        return FleetRequest.from_dict(dict(doc, kind="fleet"))
+    if kind != "cell":
+        raise ValueError(
+            f"unknown request kind {kind!r}; expected one of "
+            f"{', '.join(REQUEST_KINDS)}")
+    return JobRequest.from_dict(doc)
+
+
 @dataclasses.dataclass
 class Job:
     """One tracked characterisation with its lifecycle state."""
 
     id: str
-    request: JobRequest
+    request: Union[JobRequest, FleetRequest]
     seq: int = 0
     priority: int = 0
     state: str = PENDING
@@ -168,7 +288,7 @@ class Job:
     @classmethod
     def from_dict(cls, doc: Dict[str, Any]) -> "Job":
         doc = dict(doc)
-        doc["request"] = JobRequest.from_dict(doc["request"])
+        doc["request"] = request_from_dict(doc["request"])
         if doc.get("state") not in STATES:
             raise ValueError(f"unknown job state {doc.get('state')!r}")
         return cls(**doc)

@@ -28,7 +28,6 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.perf import PERF
-from ..constants import FAILURE_RATE_TARGET
 from ..core.cache import ResultCache
 from .jobs import (CANCELLED, DONE, FAILED, Job, JobRequest, PENDING,
                    RUNNING)
@@ -89,15 +88,13 @@ class Scheduler:
                       priority=priority, max_attempts=self.max_attempts,
                       submitted_at=self.clock())
             self._seq += 1
-            if self.cache.contains(key):
-                cached = self.cache.load(key, request.to_cell(),
-                                         failure_rate=FAILURE_RATE_TARGET)
-                if cached is not None:
-                    job.state = DONE
-                    job.from_cache = True
-                    job.finished_at = self.clock()
-                    job.result_row = cached.row()
-                    PERF.count("service.cache_short_circuits")
+            row = request.cached_result_row(self.cache, key)
+            if row is not None:
+                job.state = DONE
+                job.from_cache = True
+                job.finished_at = self.clock()
+                job.result_row = row
+                PERF.count("service.cache_short_circuits")
             self._jobs[key] = job
             self._record(job)
             self._update_depth_gauge()

@@ -27,7 +27,8 @@ from ..analysis.perf import PERF
 from ..constants import FAILURE_RATE_TARGET
 from ..core.cache import ResultCache
 from ..spice.backends import backend_host_info
-from .jobs import Job, JobRequest, TERMINAL
+from .jobs import FleetRequest, Job, JobRequest, TERMINAL, \
+    request_from_dict
 from .scheduler import Scheduler
 from .store import JobStore, default_service_dir
 from .worker import RunnerFn, Worker
@@ -107,22 +108,28 @@ class Service:
 
     # -- the five client verbs ------------------------------------------
 
-    def submit(self, request: Union[JobRequest, Dict[str, Any]],
+    def submit(self,
+               request: Union[JobRequest, FleetRequest, Dict[str, Any]],
                priority: int = 0) -> Job:
         """Queue a characterisation; dedups against live/cached work.
 
-        Returns the (possibly pre-existing) job; ``job.deduped`` is
-        not a field — inspect :meth:`submit_info` when the flag
-        matters (the HTTP layer reports it).
+        Accepts cell characterisations (:class:`JobRequest`) and fleet
+        evaluations (:class:`FleetRequest`; wire documents carry
+        ``"kind": "fleet"``).  Returns the (possibly pre-existing)
+        job; ``job.deduped`` is not a field — inspect
+        :meth:`submit_info` when the flag matters (the HTTP layer
+        reports it).
         """
         job, _ = self.submit_info(request, priority)
         return job
 
-    def submit_info(self, request: Union[JobRequest, Dict[str, Any]],
+    def submit_info(self,
+                    request: Union[JobRequest, FleetRequest,
+                                   Dict[str, Any]],
                     priority: int = 0):
         if isinstance(request, dict):
-            request = JobRequest.from_dict(request)
-        request.to_cell()  # validate before touching the queue
+            request = request_from_dict(request)
+        request.validate()  # reject bad requests before queuing
         return self.scheduler.submit(request, priority)
 
     def status(self, job_id: str) -> Dict[str, Any]:
@@ -133,8 +140,10 @@ class Service:
         return job.to_dict()
 
     def result(self, job_id: str):
-        """The completed job's :class:`CellResult` (from the cache).
+        """The completed job's result payload (from the cache).
 
+        Cell jobs return a :class:`~repro.core.experiment.CellResult`;
+        fleet jobs return the comparison document (a plain dict).
         Raises :class:`ServiceError` while the job is still live or
         once it failed/was cancelled.  Falls back to a row-only result
         if the cache entry was evicted.
@@ -146,6 +155,10 @@ class Service:
             raise ServiceError(
                 f"job {job_id} is {job.state}"
                 + (f": {job.error}" if job.error else ""))
+        if isinstance(job.request, FleetRequest):
+            document = self.cache.load_doc(job.id)
+            return document if document is not None \
+                else (job.result_row or {})
         cached = self.cache.load(job.id, job.request.to_cell(),
                                  failure_rate=FAILURE_RATE_TARGET)
         if cached is not None:
@@ -193,6 +206,16 @@ class Service:
             },
             "retries": counters.get("service.retries", 0),
             "timeouts": counters.get("service.timeouts", 0),
+            "fleet": {
+                "devices": counters.get("fleet.devices", 0),
+                "blocks": counters.get("fleet.blocks", 0),
+                "reference_blocks":
+                    counters.get("fleet.reference_blocks", 0),
+                "chunks": counters.get("fleet.chunks", 0),
+                "policies": counters.get("fleet.policies", 0),
+                "devices_per_sec":
+                    perf["gauges"].get("fleet.devices_per_sec", 0.0),
+            },
             "cache": dict(self.cache.stats(),
                           hit_rate=(counters.get("cache.hits", 0)
                                     / requests if requests else 0.0)),

@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional
 from ..analysis.perf import PERF
 from ..core.cache import ResultCache
 from ..core.parallel import GridCancelled, GridTimeout, run_cells
-from .jobs import Job
+from .jobs import FleetRequest, Job
 from .scheduler import Scheduler
 
 #: Batch executor signature: ``runner(jobs, timeout_s, cancel) -> rows``
@@ -144,9 +144,33 @@ class Worker(threading.Thread):
     def _run_cells_runner(self, batch: List[Job],
                           timeout: Optional[float],
                           cancel: threading.Event) -> List[Dict]:
+        if isinstance(batch[0].request, FleetRequest):
+            return self._run_fleet_runner(batch, timeout, cancel)
         kwargs = batch[0].request.run_kwargs()
         results = run_cells([job.request.to_cell() for job in batch],
                             cache=self.cache,
                             workers=self.pool_workers,
                             timeout=timeout, cancel=cancel, **kwargs)
         return [result.row() for result in results]
+
+    def _run_fleet_runner(self, batch: List[Job],
+                          timeout: Optional[float],
+                          cancel: threading.Event) -> List[Dict]:
+        """Fleet batches (always singletons — see ``FleetRequest``).
+
+        The comparison document is persisted as a cache *doc* entry
+        under the job id so resubmissions short-circuit exactly like
+        cell jobs, and kept as the result row for status queries.
+        """
+        from ..fleet import FleetEngine
+        rows = []
+        for job in batch:
+            request = job.request
+            spec, policies = request.validate()
+            engine = FleetEngine(spec, workers=request.workers,
+                                 chunk_size=request.chunk_size)
+            summary = engine.compare(policies, timeout=timeout,
+                                     cancel=cancel)
+            self.cache.store_doc(job.id, summary)
+            rows.append(summary)
+        return rows

@@ -78,3 +78,50 @@ class TestSwingForYield:
     def test_target_validation(self):
         with pytest.raises(ValueError):
             swing_for_yield(0.0, 0.015, 1.5)
+
+    def test_round_trips_through_failure_probability(self):
+        """The bisected swing is the edge: it meets the target, and
+        5% less swing misses it (for several offset distributions)."""
+        for mu, sigma in ((0.0, 0.0148), (0.02, 0.02), (0.05, 0.03)):
+            swing = swing_for_yield(mu, sigma, 0.99)
+            meets = array_yield(sa_failure_probability(mu, sigma, swing))
+            misses = array_yield(
+                sa_failure_probability(mu, sigma, 0.95 * swing))
+            assert meets >= 0.99
+            assert misses < 0.99
+
+    def test_monotone_in_mean_shift(self):
+        swings = [swing_for_yield(mu, 0.018, 0.999)
+                  for mu in (0.0, 0.02, 0.05, 0.08)]
+        assert swings == sorted(swings)
+        assert swings[-1] > swings[0]
+
+    def test_monotone_in_target(self):
+        relaxed = swing_for_yield(0.01, 0.018, 0.9)
+        strict = swing_for_yield(0.01, 0.018, 0.9999)
+        assert strict > relaxed
+
+
+class TestYieldLossPpm:
+    def test_zero_failure_zero_loss(self):
+        assert yield_loss_ppm(0.0) == 0.0
+
+    def test_certain_failure_total_loss(self):
+        assert yield_loss_ppm(1.0) == pytest.approx(1e6)
+
+    def test_complements_array_yield(self):
+        model = YieldModel(columns_per_macro=128, macros_per_chip=64)
+        for p in (1e-12, 1e-9, 1e-6, 1e-3):
+            assert yield_loss_ppm(p, model) == pytest.approx(
+                (1.0 - array_yield(p, model)) * 1e6, rel=1e-12)
+
+    def test_monotone_in_failure_probability(self):
+        losses = [yield_loss_ppm(p) for p in (0.0, 1e-9, 1e-6, 1e-3)]
+        assert losses == sorted(losses)
+        assert losses[-1] > losses[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            yield_loss_ppm(-0.1)
+        with pytest.raises(ValueError):
+            yield_loss_ppm(1.5)

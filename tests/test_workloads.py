@@ -85,3 +85,31 @@ class TestReadStream:
         a = ReadStream(paper_workload("80r0r1"), seed=3).reads(64)
         b = ReadStream(paper_workload("80r0r1"), seed=3).reads(64)
         np.testing.assert_array_equal(a, b)
+
+    def test_seeds_are_independent_draws(self):
+        a = ReadStream(paper_workload("80r0r1"), seed=3).reads(256)
+        b = ReadStream(paper_workload("80r0r1"), seed=4).reads(256)
+        assert not np.array_equal(a, b)
+
+    def test_reads_are_bits(self):
+        for name in ("80r0r1", "80r0", "80r1", "20r0r1"):
+            reads = ReadStream(paper_workload(name), seed=5).reads(512)
+            assert set(np.unique(reads)) <= {0, 1}
+
+    @pytest.mark.parametrize("name", ("80r0r1", "80r0", "80r1",
+                                      "20r0r1", "20r0", "20r1"))
+    def test_observed_mix_converges_to_zero_fraction(self, name):
+        workload = paper_workload(name)
+        stream = ReadStream(workload, seed=6)
+        assert stream.observed_mix(40000) == pytest.approx(
+            workload.zero_fraction, abs=0.01)
+
+    def test_cycle_reads_match_the_mix(self):
+        workload = paper_workload("80r0r1")
+        values = [c for c in ReadStream(workload, seed=7).cycles(40000)
+                  if c is not None]
+        assert len(values) / 40000 == pytest.approx(
+            workload.activation_rate, abs=0.01)
+        zero_fraction = sum(1 for v in values if v == 0) / len(values)
+        assert zero_fraction == pytest.approx(workload.zero_fraction,
+                                              abs=0.02)
