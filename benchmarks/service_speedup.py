@@ -1,0 +1,309 @@
+"""Validate the scaled job service and emit BENCH_service.json.
+
+Five measurements, cheapest first (any failure aborts before the JSON
+artefact is written):
+
+* **Submission burst** — 10k+ submissions (a few thousand unique)
+  through the full durable intake (content-address, dedup, journal
+  fsync): submissions/second and the exact dedup rate.
+* **Worker scaling curve** — wall-clock drain of a burst at 1, 2 and
+  4 local workers over a synthetic fixed-cost runner (the job cost is
+  a ``time.sleep``, which releases the GIL, so the curve measures the
+  claim/lease/ack machinery, not the simulator).  The headline gate:
+  4 workers must drain >= ``--min-speedup`` x faster than 1.
+* **Latency** — p50/p99 of ``finished_at - submitted_at`` over the
+  4-worker drain (queue wait included; this is a queueing benchmark).
+* **Kill-one-worker** — a worker claims a batch and dies (never acks,
+  never heartbeats); the lease sweep requeues its jobs with the
+  attempt refunded and the surviving pool finishes every job exactly
+  once — nothing lost, nothing duplicated.
+* **Bit identity** — a sharded multi-worker service answers a real
+  characterisation batch bit-identically to a direct serial
+  :func:`~repro.core.parallel.run_cells` call.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/service_speedup.py
+
+or reduced for CI::
+
+    python -m repro bench --only service -- --submissions 2000 \\
+        --unique 400 --curve-jobs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.provenance import git_revision
+from repro.core.cache import ResultCache
+from repro.core.parallel import default_workers, run_cells
+from repro.service import (Client, JobRequest, Scheduler, Service,
+                           ShardedJobStore, WorkerPool)
+from repro.spice.backends import backend_host_info
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def request(i: int = 0, **overrides) -> JobRequest:
+    """Distinct-by-``i`` requests sharing one batch signature."""
+    fields = dict(scheme="nssa", workload="80r0",
+                  time_s=1e8 + i * 1e6, mc=8, seed=2017, dt=1e-12,
+                  offset_iterations=6)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+def _scheduler(directory: pathlib.Path, n_shards: int,
+               fsync: bool = True) -> Scheduler:
+    return Scheduler(
+        ShardedJobStore(directory / "store", n_shards=n_shards,
+                        fsync=fsync),
+        ResultCache(directory / "cache"))
+
+
+def _submission_burst(tmp: pathlib.Path, submissions: int,
+                      unique: int, n_shards: int) -> Dict:
+    """Durable intake throughput and exact dedup at burst scale."""
+    sched = _scheduler(tmp / "burst", n_shards, fsync=True)
+    requests = [request(i % unique) for i in range(submissions)]
+    deduped = 0
+    started = time.perf_counter()
+    for req in requests:
+        _, was_dup = sched.submit(req)
+        deduped += was_dup
+    elapsed = time.perf_counter() - started
+    pending = sched.pending_count()
+    sched.close()
+    if pending != unique:
+        raise AssertionError(
+            f"dedup is not exact: {pending} pending jobs from "
+            f"{unique} unique requests")
+    return {"submissions": submissions, "unique": unique,
+            "n_shards": n_shards, "elapsed_s": elapsed,
+            "submissions_per_sec": submissions / elapsed,
+            "deduped": deduped,
+            "dedup_rate": deduped / submissions,
+            "dedup_exact": True, "fsync": True}
+
+
+def _sleep_runner(cost_s: float):
+    """Fixed-cost synthetic job: sleeping releases the GIL, so N
+    worker threads give real concurrency."""
+    def runner(batch, timeout, cancel):
+        time.sleep(cost_s * len(batch))
+        return [{"spec_mV": 1.0} for _ in batch]
+    return runner
+
+
+def _drain(tmp: pathlib.Path, jobs: int, workers: int, cost_s: float,
+           n_shards: int) -> Dict:
+    """Submit ``jobs`` unique jobs and drain them with ``workers``."""
+    sched = _scheduler(tmp / f"drain-{workers}", n_shards, fsync=False)
+    tracked = [sched.submit(request(i))[0] for i in range(jobs)]
+    pool = WorkerPool(sched, sched.cache, workers=workers,
+                      runner=_sleep_runner(cost_s), poll_s=0.005,
+                      max_batch=1, tick_s=0.05, lease_s=30.0)
+    started = time.perf_counter()
+    pool.start()
+    deadline = started + max(120.0, 10 * jobs * cost_s)
+    while any(job.state != "done" for job in tracked):
+        if time.perf_counter() > deadline:
+            pool.stop(timeout=5)
+            raise AssertionError(
+                f"{workers}-worker drain did not finish in time")
+        time.sleep(0.01)
+    elapsed = time.perf_counter() - started
+    pool.stop(timeout=5)
+    latencies = np.array([job.finished_at - job.submitted_at
+                          for job in tracked])
+    sched.close()
+    return {"workers": workers, "jobs": jobs, "job_cost_s": cost_s,
+            "elapsed_s": elapsed, "jobs_per_sec": jobs / elapsed,
+            "latency_p50_s": float(np.percentile(latencies, 50)),
+            "latency_p99_s": float(np.percentile(latencies, 99)),
+            "fsync": False}
+
+
+def _scaling_curve(tmp: pathlib.Path, jobs: int, cost_s: float,
+                   n_shards: int, counts=(1, 2, 4)) -> List[Dict]:
+    return [_drain(tmp, jobs, workers, cost_s, n_shards)
+            for workers in counts]
+
+
+def _kill_one_worker(tmp: pathlib.Path, jobs: int,
+                     n_shards: int) -> Dict:
+    """A claimed-but-dead worker's jobs requeue and finish exactly
+    once, with the dead attempt refunded."""
+    sched = _scheduler(tmp / "kill", n_shards, fsync=False)
+    tracked = [sched.submit(request(i))[0] for i in range(jobs)]
+    doomed = []
+    while True:
+        batch = sched.claim_batch(max_batch=jobs, worker="doomed",
+                                  lease_s=0.2)
+        if not batch:
+            break
+        doomed.extend(batch)
+    pool = WorkerPool(sched, sched.cache, workers=2,
+                      runner=_sleep_runner(0.002), poll_s=0.005,
+                      max_batch=1, tick_s=0.05, lease_s=30.0)
+    pool.start()
+    deadline = time.perf_counter() + 60.0
+    while any(job.state != "done" for job in tracked):
+        if time.perf_counter() > deadline:
+            pool.stop(timeout=5)
+            raise AssertionError("requeue demo did not converge")
+        time.sleep(0.01)
+    pool.stop(timeout=5)
+    leases = sched.metrics()["leases"]
+    sched.close()
+    if not all(job.attempts == 1 for job in tracked):
+        raise AssertionError("the dead worker's attempt was charged")
+    if leases["expiries"] < len(doomed):
+        raise AssertionError("lease expiries not counted")
+    return {"jobs": jobs, "claimed_by_dead_worker": len(doomed),
+            "lease_expiries": leases["expiries"],
+            "attempts_refunded": True,
+            "all_done_exactly_once": True}
+
+
+def _bit_identity(tmp: pathlib.Path) -> Dict:
+    """Sharded multi-worker service == direct serial run_cells."""
+    requests = [request(0, scheme="nssa"), request(0, scheme="issa"),
+                request(0, scheme="nssa", workload="20r1"),
+                request(0, scheme="issa", workload="20r1")]
+    direct = run_cells([req.to_cell() for req in requests],
+                       workers=1, **requests[0].run_kwargs())
+    with Service(directory=tmp / "identity", workers=2, n_shards=4,
+                 lease_s=30.0) as service:
+        client = Client(service)
+        ids = [client.submit(req) for req in requests]
+        for job_id in ids:
+            client.wait(job_id, timeout=300)
+        for job_id, expected in zip(ids, direct):
+            served = client.result(job_id)
+            if not np.array_equal(served.offset.offsets,
+                                  expected.offset.offsets):
+                raise AssertionError(
+                    "sharded service offsets differ from direct "
+                    "run_cells — bit identity is broken")
+            if served.row() != expected.row():
+                raise AssertionError(
+                    "sharded service row differs from direct run_cells")
+    return {"cells": len(requests), "workers": 2, "n_shards": 4,
+            "bitwise_identical": True}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--submissions", type=int, default=10_000,
+                        help="burst size for the intake measurement "
+                             "(default 10000)")
+    parser.add_argument("--unique", type=int, default=2_000,
+                        help="unique jobs within the burst "
+                             "(default 2000)")
+    parser.add_argument("--curve-jobs", type=int, default=800,
+                        help="unique jobs per scaling-curve drain "
+                             "(default 800)")
+    parser.add_argument("--job-cost", type=float, default=0.005,
+                        help="synthetic per-job cost in seconds "
+                             "(default 5 ms)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="job-store partitions (default 4)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required 4-worker vs 1-worker drain "
+                             "throughput ratio")
+    parser.add_argument("--skip-identity", action="store_true",
+                        help="skip the real-simulation bit-identity "
+                             "check")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a TemporaryDirectory)")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    import tempfile
+    scratch = (pathlib.Path(args.workdir) if args.workdir
+               else pathlib.Path(tempfile.mkdtemp(prefix="bench-svc-")))
+    scratch.mkdir(parents=True, exist_ok=True)
+
+    print(f"submission burst ({args.submissions} submissions, "
+          f"{args.unique} unique, {args.shards} shards)...", flush=True)
+    burst = _submission_burst(scratch, args.submissions, args.unique,
+                              args.shards)
+    print(f"  {burst['submissions_per_sec']:10.0f} submissions/s  "
+          f"(dedup rate {burst['dedup_rate']:.1%}, journal fsync on)")
+
+    print(f"scaling curve ({args.curve_jobs} jobs x "
+          f"{args.job_cost * 1e3:g} ms)...", flush=True)
+    curve = _scaling_curve(scratch, args.curve_jobs, args.job_cost,
+                           args.shards)
+    base = curve[0]["jobs_per_sec"]
+    for row in curve:
+        row["speedup"] = row["jobs_per_sec"] / base
+        print(f"  {row['workers']} worker(s): "
+              f"{row['jobs_per_sec']:8.0f} jobs/s  "
+              f"({row['speedup']:.2f}x, p50 {row['latency_p50_s']:.3f} s,"
+              f" p99 {row['latency_p99_s']:.3f} s)")
+    speedup4 = curve[-1]["speedup"]
+
+    print("kill-one-worker requeue demo...", flush=True)
+    requeue = _kill_one_worker(scratch, jobs=16, n_shards=args.shards)
+    print(f"  {requeue['claimed_by_dead_worker']} jobs reclaimed from "
+          f"the dead worker; attempts refunded; all done exactly once")
+
+    identity: Optional[Dict] = None
+    if not args.skip_identity:
+        print("bit identity vs direct run_cells (real simulation)...",
+              flush=True)
+        identity = _bit_identity(scratch)
+        print(f"  {identity['cells']} cells bit-identical through "
+              f"{identity['workers']} workers / "
+              f"{identity['n_shards']} shards")
+
+    if speedup4 < args.min_speedup:
+        print(f"FAIL: 4-worker drain speedup {speedup4:.2f}x < "
+              f"required {args.min_speedup:g}x", file=sys.stderr)
+        return 1
+
+    doc = {
+        "benchmark": "service_speedup",
+        "host": {"cpu_count": os.cpu_count(),
+                 "usable_cpus": default_workers(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine(),
+                 "backend": backend_host_info(),
+                 "revision": git_revision()},
+        "settings": {"submissions": args.submissions,
+                     "unique": args.unique,
+                     "curve_jobs": args.curve_jobs,
+                     "job_cost_s": args.job_cost,
+                     "n_shards": args.shards,
+                     "min_speedup": args.min_speedup},
+        "submission_burst": burst,
+        "scaling_curve": curve,
+        "latency": {"p50_s": curve[-1]["latency_p50_s"],
+                    "p99_s": curve[-1]["latency_p99_s"],
+                    "workers": curve[-1]["workers"]},
+        "kill_one_worker": requeue,
+        "bit_identity": identity,
+        "passed": True,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(doc, indent=2,
+                                                    sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

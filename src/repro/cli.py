@@ -21,8 +21,11 @@
   repeatable);
 * ``cache`` — inspect or clear the persistent result cache;
 * ``serve`` — run the asynchronous characterisation job service
-  (request batching, dedup, persistent job store) behind a JSON/HTTP
-  frontend — see :mod:`repro.service`;
+  (request batching, dedup, sharded persistent job store, worker
+  leases, ``--workers N --autoscale``) behind a JSON/HTTP frontend —
+  see :mod:`repro.service`;
+* ``worker`` — attach a remote worker (``--attach URL``) that claims,
+  executes and acks jobs from a running ``serve`` instance;
 * ``workloads`` — list the paper's workloads.
 
 ``characterize``, ``table`` and ``perf`` accept ``--cache`` to load
@@ -460,8 +463,42 @@ def cmd_serve(args) -> int:
                       max_batch=args.max_batch,
                       max_attempts=args.max_attempts,
                       retry_base_s=args.retry_base,
-                      snapshot_every=args.snapshot_every)
+                      snapshot_every=args.snapshot_every,
+                      workers=args.workers,
+                      max_workers=args.max_workers,
+                      autoscale=args.autoscale,
+                      high_water=args.high_water,
+                      idle_retire_s=args.idle_retire,
+                      n_shards=args.shards,
+                      lease_s=args.lease or None)
     return serve(service, host=args.host, port=args.port)
+
+
+def cmd_worker(args) -> int:
+    """Attach a remote worker to a running service over HTTP."""
+    import pathlib
+    import signal
+    from .core.cache import ResultCache
+    from .service.worker import RemoteWorker
+
+    cache = (ResultCache(pathlib.Path(args.cache_dir))
+             if args.cache_dir else None)
+    worker = RemoteWorker(args.attach, worker_id=args.id, cache=cache,
+                          pool_workers=args.pool_workers or None,
+                          max_batch=args.max_batch, poll_s=args.poll,
+                          lease_s=args.lease,
+                          exit_when_idle=args.exit_when_idle)
+
+    def _request_stop(signum, frame):
+        worker.stop()
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    print(f"worker {worker.worker_id} attaching to {args.attach}",
+          flush=True)
+    done = worker.run_forever()
+    print(f"worker {worker.worker_id} exiting: {done} job(s) done, "
+          f"{worker.batches_run} batch(es)", flush=True)
+    return 0
 
 
 def cmd_fleet(args) -> int:
@@ -673,7 +710,55 @@ def build_parser() -> argparse.ArgumentParser:
                         "attempt)")
     p.add_argument("--snapshot-every", type=int, default=256,
                    help="journal appends between snapshot compactions")
+    p.add_argument("--workers", type=int, default=1,
+                   help="local claim-loop workers (the autoscale "
+                        "floor; default 1; 0 serves remote workers "
+                        "only)")
+    p.add_argument("--max-workers", type=int, default=None,
+                   help="autoscale ceiling (default: 4x --workers "
+                        "with --autoscale, else --workers)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="scale workers with queue depth between "
+                        "--workers and --max-workers")
+    p.add_argument("--high-water", type=int, default=8,
+                   help="pending-job depth that triggers a spawn "
+                        "(default 8)")
+    p.add_argument("--idle-retire", type=float, default=5.0,
+                   help="seconds of empty queue before one worker "
+                        "retires (default 5)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="job-store partitions; identical requests "
+                        "always land in the same shard (default 1: "
+                        "the legacy flat layout)")
+    p.add_argument("--lease", type=float, default=30.0,
+                   help="worker lease seconds; a silent worker's jobs "
+                        "requeue after this (0 disables leasing)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("worker",
+                       help="attach a remote worker to a running "
+                            "service and drain its queue over HTTP")
+    p.add_argument("--attach", required=True, metavar="URL",
+                   help="service base URL, e.g. http://host:8972")
+    p.add_argument("--id", default=None,
+                   help="worker identity for leases (default "
+                        "remote-<host>-<pid>)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="local result cache; point at shared storage "
+                        "to publish full payloads to the service")
+    p.add_argument("--pool-workers", type=int, default=1,
+                   help="processes per batch (default 1: in-thread "
+                        "serial; 0 means one per CPU)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="max jobs claimed per request")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="idle seconds between empty claims")
+    p.add_argument("--lease", type=float, default=60.0,
+                   help="requested lease seconds (heartbeats renew at "
+                        "a third of this)")
+    p.add_argument("--exit-when-idle", action="store_true",
+                   help="exit after the first empty claim (batch mode)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser("fleet",
                        help="fleet-scale lifetime distributions and "

@@ -97,6 +97,18 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def worker_share(consumers: int) -> int:
+    """CPU slots per consumer when ``consumers`` pools run side by side.
+
+    The job service runs N claim loops, each of which may open its own
+    ``run_cells`` process pool; giving every loop ``default_workers()``
+    processes would oversubscribe the machine N-fold.  Dividing the
+    usable-CPU count evenly (never below one) keeps the aggregate pool
+    at the machine's width regardless of how many consumers share it.
+    """
+    return max(1, default_workers() // max(1, int(consumers)))
+
+
 def _run_cell_task(index: int, cell: ExperimentCell,
                    kwargs: Dict[str, Any],
                    ) -> Tuple[int, CellResult, Dict[str, Any]]:

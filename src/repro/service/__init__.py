@@ -6,11 +6,15 @@ cells as jobs, get batching + dedup + persistence + retries for free.
 * :mod:`~repro.service.jobs` — the job/request model (content-addressed
   identity, priorities, lifecycle states);
 * :mod:`~repro.service.store` — crash-safe JSONL journal + snapshot
-  under ``$REPRO_SERVICE_DIR``;
+  under ``$REPRO_SERVICE_DIR``, optionally partitioned by the job
+  id's hash (:class:`ShardedJobStore`);
 * :mod:`~repro.service.scheduler` — dedup against the result cache,
-  priority queue, batch coalescing;
+  per-shard priority queues, batch coalescing, worker leases;
 * :mod:`~repro.service.worker` — batch execution with timeout, bounded
-  exponential-backoff retry and graceful drain;
+  jittered-backoff retry and graceful drain, locally
+  (:class:`Worker`) or attached over HTTP (:class:`RemoteWorker`);
+* :mod:`~repro.service.pool` — N local workers, lease sweeping and
+  queue-depth autoscaling (:class:`WorkerPool`);
 * :mod:`~repro.service.service` — the :class:`Service` facade;
 * :mod:`~repro.service.client` — in-process and HTTP clients;
 * :mod:`~repro.service.http_api` — ``python -m repro serve``.
@@ -20,15 +24,21 @@ from .client import Client, HttpClient
 from .jobs import (CANCELLED, DONE, FAILED, FleetRequest, Job,
                    JobRequest, PENDING, RUNNING, STATES, TERMINAL,
                    request_from_dict)
-from .scheduler import Scheduler
+from .pool import WorkerPool
+from .scheduler import (AckError, DoubleAckError, Scheduler,
+                        StaleLeaseError, UnknownJobError, backoff_delay)
 from .service import Service, ServiceError
-from .store import JobStore, SERVICE_ENV, default_service_dir
-from .worker import Worker
+from .store import (JobStore, SERVICE_ENV, ShardedJobStore,
+                    default_service_dir, shard_of)
+from .worker import RemoteWorker, Worker, run_batch
 
 __all__ = [
-    "CANCELLED", "Client", "DONE", "FAILED", "FleetRequest",
-    "HttpClient", "Job", "JobRequest", "JobStore", "PENDING",
-    "RUNNING", "SERVICE_ENV", "STATES", "Scheduler", "Service",
-    "ServiceError", "TERMINAL", "Worker", "default_service_dir",
-    "request_from_dict",
+    "AckError", "CANCELLED", "Client", "DONE", "DoubleAckError",
+    "FAILED", "FleetRequest", "HttpClient", "Job", "JobRequest",
+    "JobStore", "PENDING", "RUNNING", "RemoteWorker", "SERVICE_ENV",
+    "STATES", "Scheduler", "Service", "ServiceError",
+    "ShardedJobStore", "StaleLeaseError", "TERMINAL",
+    "UnknownJobError", "Worker", "WorkerPool", "backoff_delay",
+    "default_service_dir", "request_from_dict", "run_batch",
+    "shard_of",
 ]

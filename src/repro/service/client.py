@@ -126,6 +126,42 @@ class HttpClient:
                                    f"{doc.get('state')}")
             time.sleep(poll_s)
 
+    # -- the worker protocol (used by RemoteWorker) ----------------------
+
+    def claim(self, worker: str, max_batch: int = 8,
+              lease_s: Optional[float] = 60.0) -> list:
+        """Claim a batch of jobs for ``worker``; returns job dicts."""
+        doc = self._call("POST", "/claim",
+                         body={"worker": worker, "max_batch": max_batch,
+                               "lease_s": lease_s})
+        return doc.get("jobs", [])
+
+    def heartbeat(self, worker: str, job_ids: list,
+                  lease_s: float = 60.0) -> int:
+        doc = self._call("POST", "/heartbeat",
+                         body={"worker": worker, "ids": list(job_ids),
+                               "lease_s": lease_s})
+        return int(doc.get("renewed", 0))
+
+    def ack_done(self, worker: str, job_id: str,
+                 row: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call("POST", "/ack",
+                          body={"worker": worker, "id": job_id,
+                                "row": row})
+
+    def ack_error(self, worker: str, job_id: str, error: str,
+                  batchable: Optional[bool] = None) -> Dict[str, Any]:
+        body = {"worker": worker, "id": job_id, "error": error}
+        if batchable is not None:
+            body["batchable"] = batchable
+        return self._call("POST", "/ack", body=body)
+
+    def ack_release(self, worker: str, job_id: str,
+                    reason: str) -> Dict[str, Any]:
+        return self._call("POST", "/ack",
+                          body={"worker": worker, "id": job_id,
+                                "release": True, "error": reason})
+
     # -- observability ---------------------------------------------------
 
     def metrics(self) -> Dict[str, Any]:

@@ -18,15 +18,29 @@ endpoint   method    semantics
 /result    GET       ``?id=`` → ``{"id", "row"}`` when done; 404 when
                      unknown, 409 with the state/error otherwise
 /cancel    POST      ``?id=`` → ``{"cancelled": bool}`` (pending only)
-/metrics   GET       queue depth, batch sizes, dedup/cache hit rates,
-                     retries/timeouts and the perf counters
+/claim     POST      body ``{"worker": "...", "max_batch": 8,
+                     "lease_s": 60}`` → ``{"jobs": [job docs]}``; the
+                     remote-worker intake (jobs lease to ``worker``)
+/heartbeat POST      body ``{"worker": "...", "ids": [...],
+                     "lease_s": 60}`` → ``{"renewed": n}``
+/ack       POST      body ``{"worker", "id"}`` plus one of ``"row"``
+                     (done), ``"error"`` (retry-or-fail, optional
+                     ``"batchable"``), ``"release": true`` (hand back
+                     untouched) → ``{"id", "state"}``; 409 on a
+                     double ack or a stale lease
+/metrics   GET       queue depth, per-shard depth, batch sizes,
+                     dedup/cache hit rates, lease expiries, active
+                     workers, retries/timeouts and the perf counters
 /shutdown  POST      drain gracefully and stop the server (also wired
                      to SIGTERM when run via the CLI)
 =========  ========  ====================================================
 
-Errors are JSON: ``{"error": "..."}`` with a 4xx/5xx status.  The
+Errors are JSON: ``{"error": "..."}`` with a 4xx/5xx status — 400 for
+a malformed body (e.g. a claim without a worker name), 404 for an
+unknown job or route, 409 for an ack the lease protocol rejects.  The
 server threads only touch the thread-safe scheduler surface, so any
-number of concurrent clients may mix submissions with polls.
+number of concurrent clients may mix submissions, polls and worker
+claims.
 """
 
 from __future__ import annotations
@@ -39,6 +53,7 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
+from .scheduler import AckError, UnknownJobError
 from .service import Service, ServiceError
 
 #: Default TCP port (no meaning; "8972" ~ "VYRA" on a phone keypad).
@@ -118,11 +133,22 @@ class _Handler(BaseHTTPRequestHandler):
                     200,
                     {"id": jid,
                      "cancelled": self.server.service.cancel(jid)}))
+            elif route == "/claim":
+                self._claim()
+            elif route == "/heartbeat":
+                self._heartbeat()
+            elif route == "/ack":
+                self._ack()
             elif route == "/shutdown":
                 self._reply(200, {"draining": True})
                 self.server.shutdown_requested.set()
             else:
                 self._error(404, f"no route {route}")
+        except UnknownJobError as exc:
+            self._error(404, str(exc))
+        except AckError as exc:
+            # Double ack / stale lease: the protocol conflict code.
+            self._error(409, str(exc))
         except ServiceError as exc:
             self._error(404, str(exc))
         except (ValueError, TypeError) as exc:
@@ -154,6 +180,77 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(200, {"id": job.id, "state": job.state,
                           "deduped": deduped,
                           "from_cache": job.from_cache})
+
+    # -- the worker protocol ---------------------------------------------
+
+    def _worker_body(self) -> Tuple[str, Dict[str, Any]]:
+        """Parse and validate the common ``{"worker": ...}`` body."""
+        body = self._body()
+        if not isinstance(body, dict):
+            raise ValueError("body must be a JSON object")
+        worker = body.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ValueError("malformed claim: 'worker' must be a "
+                             "non-empty string")
+        return worker, body
+
+    def _claim(self) -> None:
+        worker, body = self._worker_body()
+        max_batch = body.get("max_batch", 8)
+        lease_s = body.get("lease_s", 60.0)
+        if not isinstance(max_batch, int) or max_batch < 1:
+            raise ValueError("malformed claim: 'max_batch' must be a "
+                             "positive integer")
+        if lease_s is not None \
+                and (not isinstance(lease_s, (int, float))
+                     or lease_s <= 0):
+            raise ValueError("malformed claim: 'lease_s' must be a "
+                             "positive number (or null)")
+        jobs = self.server.service.claim(worker, max_batch=max_batch,
+                                         lease_s=lease_s)
+        self._reply(200, {"worker": worker, "jobs": jobs})
+
+    def _heartbeat(self) -> None:
+        worker, body = self._worker_body()
+        ids = body.get("ids", [])
+        lease_s = body.get("lease_s", 60.0)
+        if not isinstance(ids, list) \
+                or not all(isinstance(jid, str) for jid in ids):
+            raise ValueError("malformed heartbeat: 'ids' must be a "
+                             "list of job ids")
+        renewed = self.server.service.heartbeat(worker, ids,
+                                                float(lease_s))
+        self._reply(200, {"worker": worker, "renewed": renewed})
+
+    def _ack(self) -> None:
+        worker, body = self._worker_body()
+        job_id = body.get("id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ValueError("malformed ack: 'id' must be a job id")
+        scheduler = self.server.service.scheduler
+        if body.get("release"):
+            job = scheduler.release(worker, job_id,
+                                    body.get("error")
+                                    or "released by worker")
+        elif "row" in body:
+            if not isinstance(body["row"], dict):
+                raise ValueError("malformed ack: 'row' must be an "
+                                 "object")
+            job = scheduler.ack_done(worker, job_id, body["row"])
+        elif "error" in body:
+            batchable = body.get("batchable")
+            if batchable is not None \
+                    and not isinstance(batchable, bool):
+                raise ValueError("malformed ack: 'batchable' must be "
+                                 "a boolean")
+            job = scheduler.ack_failed(worker, job_id,
+                                       str(body["error"]),
+                                       batchable=batchable)
+        else:
+            raise ValueError("malformed ack: need one of 'row', "
+                             "'error' or 'release'")
+        self._reply(200, {"id": job.id, "state": job.state,
+                          "attempts": job.attempts})
 
     def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
         doc = self.server.service.status(job_id)

@@ -249,7 +249,16 @@ def request_from_dict(doc: Dict[str, Any]):
 
 @dataclasses.dataclass
 class Job:
-    """One tracked characterisation with its lifecycle state."""
+    """One tracked characterisation with its lifecycle state.
+
+    ``worker`` / ``lease_expires_at`` implement the multi-consumer
+    claim protocol: a claim leases the job to one named worker until
+    the expiry timestamp; heartbeats extend the lease, and the lease
+    sweeper requeues expired ``running`` jobs (the attempt is refunded
+    — a dead worker is not the job's fault).  Both fields default to
+    ``None`` so journals written before leases existed replay
+    unchanged.
+    """
 
     id: str
     request: Union[JobRequest, FleetRequest]
@@ -267,6 +276,8 @@ class Job:
     from_cache: bool = False
     error: Optional[str] = None
     result_row: Optional[Dict[str, Any]] = None
+    worker: Optional[str] = None
+    lease_expires_at: Optional[float] = None
 
     @property
     def terminal(self) -> bool:

@@ -1,7 +1,9 @@
-"""Submission intake, dedup, priority queue and batch assembly.
+"""Submission intake, dedup, sharded queue, leases and batch assembly.
 
 The scheduler owns the in-memory job table (backed by the persistent
-:class:`~repro.service.store.JobStore`) and makes three decisions:
+:class:`~repro.service.store.JobStore` /
+:class:`~repro.service.store.ShardedJobStore`) and makes four
+decisions:
 
 * **Dedup on submit.**  A job's id *is* the content-addressed
   :class:`~repro.core.cache.ResultCache` key of its request, so a
@@ -9,47 +11,135 @@ The scheduler owns the in-memory job table (backed by the persistent
   instead of queuing a second simulation.  If the result cache already
   holds the key, the job completes instantly without ever queuing
   (``from_cache``).
+* **Sharding.**  The job table is partitioned by the id's hash, one
+  lock and one journal per shard.  Identical requests hash to the
+  same shard, so dedup stays exact; different shards submit, claim
+  and fsync concurrently.
 * **Priority order.**  Pending work is claimed highest-priority first,
-  FIFO within a priority (monotonic submission sequence).
-* **Batch coalescing.**  A claim gathers up to ``max_batch`` pending
-  jobs whose requests share a batch signature (same Monte-Carlo /
-  timing / measurement configuration) so the worker amortises them
-  over one :func:`~repro.core.parallel.run_cells` invocation — the
-  request shape of an aging sign-off campaign: one grid, many cells.
+  FIFO within a priority (monotonic submission sequence).  A claim
+  scans shards round-robin and coalesces up to ``max_batch`` pending
+  jobs sharing the head's request signature (same Monte-Carlo /
+  timing / measurement configuration) *within that shard*, so the
+  worker amortises them over one
+  :func:`~repro.core.parallel.run_cells` invocation.
+* **Leases.**  A claim leases its jobs to the named worker until
+  ``lease_s`` from now; heartbeats (:meth:`renew`) extend the lease
+  and :meth:`expire_leases` requeues jobs whose worker went silent —
+  the attempt is refunded, a dead worker is not the job's fault.
+  Completion goes through :meth:`ack_done` / :meth:`ack_failed`,
+  which verify the acking worker still holds the lease; a double ack
+  or an ack from a superseded worker raises instead of corrupting the
+  journal.
 
-All public methods are thread-safe (one internal lock); the HTTP
-frontend and the worker loop share a scheduler instance.
+All public methods are thread-safe; the HTTP frontend and any number
+of worker loops share a scheduler instance.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..analysis.perf import PERF
 from ..core.cache import ResultCache
 from .jobs import (CANCELLED, DONE, FAILED, Job, JobRequest, PENDING,
-                   RUNNING)
+                   RUNNING, TERMINAL)
 from .store import JobStore
 
 
-class Scheduler:
-    """Thread-safe job table with dedup, priorities and batching."""
+class AckError(RuntimeError):
+    """An ack the scheduler cannot apply (see subclasses)."""
 
-    def __init__(self, store: JobStore, cache: ResultCache,
+
+class UnknownJobError(AckError):
+    """Acked a job id the scheduler has never seen."""
+
+
+class DoubleAckError(AckError):
+    """Acked a job that already reached a terminal state."""
+
+
+class StaleLeaseError(AckError):
+    """Acked a job whose lease the worker no longer holds (it expired
+    and was requeued, possibly claimed by someone else)."""
+
+
+def backoff_delay(attempts: int, base_s: float,
+                  rng: Optional[random.Random] = None) -> float:
+    """Jittered exponential backoff for retry ``attempts`` (1-based).
+
+    ``base_s * 2**(attempts-1)`` scaled by a uniform factor in
+    ``[0.5, 1.5)``.  Without the jitter, batch-mates requeued by one
+    shared failure all become claimable at the same instant and
+    stampede the scheduler in lockstep on every retry round.
+    """
+    delay = base_s * 2 ** (max(1, attempts) - 1)
+    if rng is None:
+        return delay
+    return delay * (0.5 + rng.random())
+
+
+class _Shard:
+    """One partition: its job table, lock and journal."""
+
+    __slots__ = ("index", "store", "jobs", "lock")
+
+    def __init__(self, index: int, store: JobStore) -> None:
+        self.index = index
+        self.store = store
+        self.jobs: Dict[str, Job] = {}
+        self.lock = threading.RLock()
+
+
+class Scheduler:
+    """Thread-safe sharded job table with dedup, leases and batching."""
+
+    def __init__(self, store, cache: ResultCache,
                  max_attempts: int = 3,
-                 clock=time.time) -> None:
+                 clock=time.time,
+                 retry_base_s: float = 0.5,
+                 rng: Optional[random.Random] = None) -> None:
         self.store = store
         self.cache = cache
         self.max_attempts = max_attempts
         self.clock = clock
-        self._lock = threading.Lock()
-        self._jobs, self._seq = store.recover()
-        # Batch statistics for /metrics.
+        self.retry_base_s = retry_base_s
+        self.rng = rng if rng is not None else random.Random()
+        # A plain JobStore is a 1-shard store; ShardedJobStore brings
+        # its own partitions and router.
+        stores = list(getattr(store, "shards", None) or [store])
+        self._route = getattr(store, "shard_of", None) or (lambda _: 0)
+        self._shards = [_Shard(index, shard_store)
+                        for index, shard_store in enumerate(stores)]
+        jobs, self._seq = store.recover()
+        for job in jobs.values():
+            self._shards[self._route(job.id)].jobs[job.id] = job
+        self._seq_lock = threading.Lock()
+        self._rotor = 0
+        # Batch / lease statistics for /metrics.
+        self._stats_lock = threading.Lock()
         self._batches = 0
         self._batched_jobs = 0
         self._max_batch_size = 0
+        self._lease_expiries = 0
+        self._lease_renewals = 0
+        self._stale_acks = 0
+        self._double_acks = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def _shard(self, job_id: str) -> _Shard:
+        return self._shards[self._route(job_id)]
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            seq = self._seq
+            self._seq += 1
+            return seq
 
     # -- intake ----------------------------------------------------------
 
@@ -63,13 +153,14 @@ class Scheduler:
         is the retry-escalation path.
         """
         key = request.cache_key(self.cache)
-        with self._lock:
+        shard = self._shard(key)
+        with shard.lock:
             PERF.count("service.submissions")
-            job = self._jobs.get(key)
+            job = shard.jobs.get(key)
             if job is not None and job.state not in (FAILED, CANCELLED):
                 if job.state == PENDING and priority > job.priority:
                     job.priority = priority
-                    self._record(job)
+                    self._record(shard, job)
                 PERF.count("service.dedup_hits")
                 return job, True
             if job is not None:
@@ -82,12 +173,13 @@ class Scheduler:
                 job.error = None
                 job.started_at = None
                 job.finished_at = None
-                self._record(job)
+                job.worker = None
+                job.lease_expires_at = None
+                self._record(shard, job)
                 return job, False
-            job = Job(id=key, request=request, seq=self._seq,
+            job = Job(id=key, request=request, seq=self._next_seq(),
                       priority=priority, max_attempts=self.max_attempts,
                       submitted_at=self.clock())
-            self._seq += 1
             row = request.cached_result_row(self.cache, key)
             if row is not None:
                 job.state = DONE
@@ -95,25 +187,47 @@ class Scheduler:
                 job.finished_at = self.clock()
                 job.result_row = row
                 PERF.count("service.cache_short_circuits")
-            self._jobs[key] = job
-            self._record(job)
-            self._update_depth_gauge()
+            shard.jobs[key] = job
+            self._record(shard, job)
             return job, False
 
     # -- claiming --------------------------------------------------------
 
     def claim_batch(self, max_batch: int = 8,
-                    now: Optional[float] = None) -> List[Job]:
+                    now: Optional[float] = None,
+                    worker: str = "local",
+                    lease_s: Optional[float] = None) -> List[Job]:
         """Claim the next compatible batch of pending jobs (may be []).
 
-        The head is the highest-priority eligible pending job; the rest
-        of the batch is filled with eligible jobs sharing its request
-        signature.  Claimed jobs transition to ``running`` with their
-        attempt counted, so a crash mid-run is visible in the journal.
+        Shards are scanned round-robin from a rotating start index so
+        concurrent workers spread across partitions instead of
+        contending for the same head-of-line shard.  Within the chosen
+        shard the head is the highest-priority eligible pending job
+        and the rest of the batch fills with eligible jobs sharing its
+        request signature.  Claimed jobs transition to ``running``
+        with their attempt counted and (when ``lease_s`` is given) a
+        lease to ``worker``; expired leases encountered during the
+        scan are requeued first, so a crashed consumer's work is
+        reclaimable by whoever polls next.
         """
         now = self.clock() if now is None else now
-        with self._lock:
-            eligible = [job for job in self._jobs.values()
+        with self._stats_lock:
+            start = self._rotor
+            self._rotor = (self._rotor + 1) % len(self._shards)
+        for offset in range(len(self._shards)):
+            shard = self._shards[(start + offset) % len(self._shards)]
+            batch = self._claim_from_shard(shard, max_batch, now,
+                                           worker, lease_s)
+            if batch:
+                return batch
+        return []
+
+    def _claim_from_shard(self, shard: _Shard, max_batch: int,
+                          now: float, worker: str,
+                          lease_s: Optional[float]) -> List[Job]:
+        with shard.lock:
+            self._expire_shard_leases(shard, now)
+            eligible = [job for job in shard.jobs.values()
                         if job.state == PENDING and job.not_before <= now]
             if not eligible:
                 return []
@@ -132,115 +246,321 @@ class Scheduler:
                 job.state = RUNNING
                 job.started_at = now
                 job.attempts += 1
-                self._record(job)
-            self._batches += 1
-            self._batched_jobs += len(batch)
-            self._max_batch_size = max(self._max_batch_size, len(batch))
+                job.worker = worker
+                job.lease_expires_at = (now + lease_s
+                                        if lease_s is not None else None)
+                self._record(shard, job)
+            with self._stats_lock:
+                self._batches += 1
+                self._batched_jobs += len(batch)
+                self._max_batch_size = max(self._max_batch_size,
+                                           len(batch))
             PERF.count("service.batches")
             PERF.count("service.batched_jobs", len(batch))
-            self._update_depth_gauge()
             return batch
 
-    # -- completion ------------------------------------------------------
+    # -- leases ----------------------------------------------------------
 
-    def complete(self, job: Job, result_row: Dict) -> None:
-        with self._lock:
+    def renew(self, worker: str, job_ids: Iterable[str],
+              lease_s: float) -> int:
+        """Heartbeat: extend the lease on each still-held job.
+
+        Returns the number renewed.  In-memory only — lease expiry is
+        not a durability concern (a restart requeues ``running`` jobs
+        anyway), so heartbeats cost no journal fsync.
+        """
+        renewed = 0
+        now = self.clock()
+        for job_id in job_ids:
+            shard = self._shard(job_id)
+            with shard.lock:
+                job = shard.jobs.get(job_id)
+                if job is not None and job.state == RUNNING \
+                        and job.worker == worker \
+                        and job.lease_expires_at is not None:
+                    job.lease_expires_at = now + lease_s
+                    renewed += 1
+        if renewed:
+            with self._stats_lock:
+                self._lease_renewals += renewed
+            PERF.count("service.lease_renewals", renewed)
+        return renewed
+
+    def expire_leases(self, now: Optional[float] = None) -> int:
+        """Requeue running jobs whose lease lapsed; returns the count.
+
+        The attempt is *refunded* — the worker died, the job did not
+        fail — so lease churn never burns the retry budget.
+        """
+        now = self.clock() if now is None else now
+        expired = 0
+        for shard in self._shards:
+            with shard.lock:
+                expired += self._expire_shard_leases(shard, now)
+        return expired
+
+    def _expire_shard_leases(self, shard: _Shard, now: float) -> int:
+        expired = 0
+        for job in shard.jobs.values():
+            if job.state == RUNNING \
+                    and job.lease_expires_at is not None \
+                    and job.lease_expires_at <= now:
+                worker = job.worker
+                job.state = PENDING
+                job.attempts = max(0, job.attempts - 1)
+                job.started_at = None
+                job.worker = None
+                job.lease_expires_at = None
+                job.not_before = now
+                job.error = (f"lease expired; worker {worker!r} "
+                             f"presumed dead")
+                self._record(shard, job)
+                expired += 1
+        if expired:
+            with self._stats_lock:
+                self._lease_expiries += expired
+            PERF.count("service.lease_expiries", expired)
+        return expired
+
+    # -- acked completion (the multi-worker protocol) --------------------
+
+    def _checked_ack(self, shard: _Shard, worker: str,
+                     job_id: str) -> Job:
+        """Validate that ``worker`` may ack ``job_id`` (lock held)."""
+        job = shard.jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        if job.state in TERMINAL:
+            with self._stats_lock:
+                self._double_acks += 1
+            PERF.count("service.double_acks")
+            raise DoubleAckError(
+                f"job {job_id} already {job.state}; double ack "
+                f"from worker {worker!r}")
+        if job.state != RUNNING or job.worker != worker:
+            with self._stats_lock:
+                self._stale_acks += 1
+            PERF.count("service.stale_acks")
+            raise StaleLeaseError(
+                f"job {job_id} is {job.state} and leased to "
+                f"{job.worker!r}, not {worker!r} — the lease expired "
+                f"and the job was requeued")
+        return job
+
+    def ack_done(self, worker: str, job_id: str,
+                 result_row: Dict) -> Job:
+        """Worker ``worker`` finished ``job_id`` with ``result_row``."""
+        shard = self._shard(job_id)
+        with shard.lock:
+            job = self._checked_ack(shard, worker, job_id)
             job.state = DONE
             job.finished_at = self.clock()
             job.error = None
             job.result_row = result_row
-            self._record(job)
+            job.worker = None
+            job.lease_expires_at = None
+            self._record(shard, job)
             PERF.count("service.jobs_done")
-            self._maybe_snapshot()
+            self._maybe_snapshot(shard)
+            return job
+
+    def ack_failed(self, worker: str, job_id: str, error: str,
+                   base_s: Optional[float] = None,
+                   batchable: Optional[bool] = None) -> Job:
+        """Worker ``worker`` failed ``job_id``: retry or fail for good.
+
+        Applies the bounded jittered-backoff retry policy: while
+        attempts remain the job requeues with
+        :func:`backoff_delay` (``base_s`` defaults to the scheduler's
+        ``retry_base_s``); once ``max_attempts`` is exhausted it fails
+        terminally.
+        """
+        shard = self._shard(job_id)
+        with shard.lock:
+            job = self._checked_ack(shard, worker, job_id)
+            if job.attempts >= job.max_attempts:
+                job.state = FAILED
+                job.finished_at = self.clock()
+                job.error = (f"{error} (attempt {job.attempts}/"
+                             f"{job.max_attempts})")
+                job.worker = None
+                job.lease_expires_at = None
+                self._record(shard, job)
+                PERF.count("service.jobs_failed")
+                self._maybe_snapshot(shard)
+                return job
+            delay = backoff_delay(job.attempts,
+                                  self.retry_base_s if base_s is None
+                                  else base_s, self.rng)
+            job.state = PENDING
+            job.error = error
+            job.not_before = self.clock() + delay
+            if batchable is not None:
+                job.batchable = batchable
+            job.worker = None
+            job.lease_expires_at = None
+            self._record(shard, job)
+            PERF.count("service.retries")
+            return job
+
+    def release(self, worker: str, job_id: str, reason: str) -> Job:
+        """Hand a claimed job back untouched (drain/shutdown path).
+
+        The attempt is refunded: the interruption is not the job's
+        fault.  Lease validation matches the ack paths.
+        """
+        shard = self._shard(job_id)
+        with shard.lock:
+            job = self._checked_ack(shard, worker, job_id)
+            job.state = PENDING
+            job.attempts = max(0, job.attempts - 1)
+            job.started_at = None
+            job.error = reason
+            job.not_before = 0.0
+            job.worker = None
+            job.lease_expires_at = None
+            self._record(shard, job)
+            return job
+
+    # -- direct completion (single-owner callers, e.g. tests) ------------
+
+    def complete(self, job: Job, result_row: Dict) -> None:
+        shard = self._shard(job.id)
+        with shard.lock:
+            job.state = DONE
+            job.finished_at = self.clock()
+            job.error = None
+            job.result_row = result_row
+            job.worker = None
+            job.lease_expires_at = None
+            self._record(shard, job)
+            PERF.count("service.jobs_done")
+            self._maybe_snapshot(shard)
 
     def requeue(self, job: Job, error: str, delay_s: float,
                 batchable: Optional[bool] = None) -> None:
         """Send a failed attempt back to the queue with a backoff gate."""
-        with self._lock:
+        shard = self._shard(job.id)
+        with shard.lock:
             job.state = PENDING
             job.error = error
             job.not_before = self.clock() + delay_s
             if batchable is not None:
                 job.batchable = batchable
-            self._record(job)
+            job.worker = None
+            job.lease_expires_at = None
+            self._record(shard, job)
             PERF.count("service.retries")
-            self._update_depth_gauge()
 
     def fail(self, job: Job, error: str) -> None:
-        with self._lock:
+        shard = self._shard(job.id)
+        with shard.lock:
             job.state = FAILED
             job.finished_at = self.clock()
             job.error = error
-            self._record(job)
+            job.worker = None
+            job.lease_expires_at = None
+            self._record(shard, job)
             PERF.count("service.jobs_failed")
-            self._maybe_snapshot()
+            self._maybe_snapshot(shard)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a pending job; running/terminal jobs are not touched."""
-        with self._lock:
-            job = self._jobs.get(job_id)
+        shard = self._shard(job_id)
+        with shard.lock:
+            job = shard.jobs.get(job_id)
             if job is None or job.state != PENDING:
                 return False
             job.state = CANCELLED
             job.finished_at = self.clock()
-            self._record(job)
+            self._record(shard, job)
             PERF.count("service.jobs_cancelled")
-            self._update_depth_gauge()
             return True
 
     # -- queries ---------------------------------------------------------
 
     def get(self, job_id: str) -> Optional[Job]:
-        with self._lock:
-            return self._jobs.get(job_id)
+        shard = self._shard(job_id)
+        with shard.lock:
+            return shard.jobs.get(job_id)
 
     def jobs(self) -> List[Job]:
-        with self._lock:
-            return list(self._jobs.values())
+        out: List[Job] = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend(shard.jobs.values())
+        return out
 
     def pending_count(self) -> int:
-        with self._lock:
-            return sum(1 for j in self._jobs.values()
-                       if j.state == PENDING)
+        count = 0
+        for shard in self._shards:
+            with shard.lock:
+                count += sum(1 for j in shard.jobs.values()
+                             if j.state == PENDING)
+        # Refresh the advisory gauge here — the pool's control loop
+        # polls this every tick — rather than on every submit/claim,
+        # which would put an O(jobs) scan on the intake hot path.
+        PERF.gauge("service.queue_depth", count)
+        return count
 
     def metrics(self) -> Dict:
-        with self._lock:
-            counts: Dict[str, int] = {}
-            for job in self._jobs.values():
-                counts[job.state] = counts.get(job.state, 0) + 1
-            return {
-                "jobs": counts,
-                "queue_depth": counts.get(PENDING, 0),
-                "batches": {
-                    "count": self._batches,
-                    "jobs": self._batched_jobs,
-                    "max_size": self._max_batch_size,
-                    "mean_size": (self._batched_jobs / self._batches
-                                  if self._batches else 0.0),
-                },
-                "store": self.store.stats(),
+        counts: Dict[str, int] = {}
+        per_shard = []
+        for shard in self._shards:
+            with shard.lock:
+                shard_counts: Dict[str, int] = {}
+                for job in shard.jobs.values():
+                    shard_counts[job.state] = \
+                        shard_counts.get(job.state, 0) + 1
+                per_shard.append({
+                    "shard": shard.index,
+                    "pending": shard_counts.get(PENDING, 0),
+                    "running": shard_counts.get(RUNNING, 0),
+                    "jobs": sum(shard_counts.values()),
+                })
+                for state, n in shard_counts.items():
+                    counts[state] = counts.get(state, 0) + n
+        with self._stats_lock:
+            batches = {
+                "count": self._batches,
+                "jobs": self._batched_jobs,
+                "max_size": self._max_batch_size,
+                "mean_size": (self._batched_jobs / self._batches
+                              if self._batches else 0.0),
             }
+            leases = {
+                "expiries": self._lease_expiries,
+                "renewals": self._lease_renewals,
+                "stale_acks": self._stale_acks,
+                "double_acks": self._double_acks,
+            }
+        return {
+            "jobs": counts,
+            "queue_depth": counts.get(PENDING, 0),
+            "shards": per_shard,
+            "batches": batches,
+            "leases": leases,
+            "store": self.store.stats(),
+        }
 
     # -- persistence -----------------------------------------------------
 
     def snapshot(self) -> None:
-        with self._lock:
-            self.store.write_snapshot(self._jobs)
+        for shard in self._shards:
+            with shard.lock:
+                shard.store.write_snapshot(shard.jobs)
 
     def close(self) -> None:
-        with self._lock:
-            self.store.write_snapshot(self._jobs)
-            self.store.close()
+        for shard in self._shards:
+            with shard.lock:
+                shard.store.write_snapshot(shard.jobs)
+                shard.store.close()
 
-    def _record(self, job: Job) -> None:
+    def _record(self, shard: _Shard, job: Job) -> None:
         job.touch()
-        self.store.record(job)
+        shard.store.record(job)
 
-    def _maybe_snapshot(self) -> None:
-        if self.store.should_snapshot():
-            self.store.write_snapshot(self._jobs)
+    def _maybe_snapshot(self, shard: _Shard) -> None:
+        if shard.store.should_snapshot():
+            shard.store.write_snapshot(shard.jobs)
 
-    def _update_depth_gauge(self) -> None:
-        PERF.gauge("service.queue_depth",
-                   sum(1 for j in self._jobs.values()
-                       if j.state == PENDING))

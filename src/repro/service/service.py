@@ -1,11 +1,13 @@
-"""The characterisation service facade: store + scheduler + worker.
+"""The characterisation service facade: store + scheduler + workers.
 
-A :class:`Service` wires the persistent job store, the dedup/batching
-scheduler and the background worker into one object with the lifecycle
-the frontends (Python :class:`~repro.service.client.Client`, HTTP
+A :class:`Service` wires the persistent (optionally sharded) job
+store, the dedup/batching/lease scheduler and the autoscaling local
+worker pool into one object with the lifecycle the frontends (Python
+:class:`~repro.service.client.Client`, HTTP
 :mod:`~repro.service.http_api`) build on::
 
-    with Service(directory, cache=ResultCache.default()) as svc:
+    with Service(directory, cache=ResultCache.default(),
+                 workers=4, n_shards=4) as svc:
         job = svc.submit(JobRequest(scheme="issa", workload="80r0",
                                     time_s=1e8, mc=64))
         svc.wait(job.id)
@@ -15,6 +17,9 @@ Results are persisted in the content-addressed result cache (the same
 store ``run_cell --cache`` uses), so a service answer is bit-identical
 to the equivalent direct call and survives restarts; the job record
 additionally carries the paper-table row for cheap status queries.
+Remote workers (``python -m repro worker --attach URL``) drain the
+same queue over HTTP — see
+:class:`~repro.service.worker.RemoteWorker`.
 """
 
 from __future__ import annotations
@@ -26,12 +31,14 @@ from typing import Any, Dict, Optional, Union
 from ..analysis.perf import PERF
 from ..constants import FAILURE_RATE_TARGET
 from ..core.cache import ResultCache
+from ..core.parallel import worker_share
 from ..spice.backends import backend_host_info
 from .jobs import FleetRequest, Job, JobRequest, TERMINAL, \
     request_from_dict
+from .pool import WorkerPool
 from .scheduler import Scheduler
-from .store import JobStore, default_service_dir
-from .worker import RunnerFn, Worker
+from .store import ShardedJobStore, default_service_dir
+from .worker import RunnerFn
 
 
 class ServiceError(RuntimeError):
@@ -49,13 +56,28 @@ class Service:
     cache:
         Result cache shared with direct ``run_cell`` users; defaults
         to ``<directory>/results`` so the service is self-contained.
+    workers / max_workers / autoscale / high_water / idle_retire_s:
+        Local worker-pool size and scaling policy (see
+        :class:`~repro.service.pool.WorkerPool`).  ``workers`` is the
+        floor (and the fixed size without ``autoscale``).
+    n_shards:
+        Job-store partitions (see
+        :class:`~repro.service.store.ShardedJobStore`); 1 keeps the
+        legacy flat layout.
+    lease_s:
+        Claim lease duration; a worker that stops heartbeating for
+        this long has its jobs requeued with the attempt refunded.
     pool_workers / max_batch / max_attempts / retry_base_s:
-        Worker configuration (see :class:`~repro.service.worker.Worker`
-        and :class:`~repro.service.scheduler.Scheduler`).
+        Per-worker batch-execution configuration (see
+        :class:`~repro.service.worker.Worker` and
+        :class:`~repro.service.scheduler.Scheduler`).
+        ``pool_workers=None`` divides the machine's CPUs across
+        ``max_workers`` concurrent batch runs
+        (:func:`~repro.core.parallel.worker_share`).
     runner:
         Batch-executor override for tests.
     autostart:
-        Start the worker thread immediately (set False to stage jobs,
+        Start the worker pool immediately (set False to stage jobs,
         e.g. for recovery tests).
     """
 
@@ -66,27 +88,47 @@ class Service:
                  max_attempts: int = 3, retry_base_s: float = 0.5,
                  snapshot_every: int = 256,
                  runner: Optional[RunnerFn] = None,
-                 autostart: bool = True) -> None:
+                 autostart: bool = True,
+                 workers: int = 1,
+                 max_workers: Optional[int] = None,
+                 autoscale: bool = False,
+                 high_water: int = 8,
+                 idle_retire_s: float = 5.0,
+                 n_shards: int = 1,
+                 lease_s: Optional[float] = 30.0) -> None:
         directory = pathlib.Path(directory) if directory is not None \
             else default_service_dir()
         self.cache = cache if cache is not None \
             else ResultCache(directory / "results")
-        self.store = JobStore(directory, snapshot_every=snapshot_every)
+        self.store = ShardedJobStore(directory, n_shards=n_shards,
+                                     snapshot_every=snapshot_every)
         self.scheduler = Scheduler(self.store, self.cache,
-                                   max_attempts=max_attempts)
-        self.worker = Worker(self.scheduler, self.cache,
-                             pool_workers=pool_workers,
-                             max_batch=max_batch,
-                             retry_base_s=retry_base_s, runner=runner)
+                                   max_attempts=max_attempts,
+                                   retry_base_s=retry_base_s)
+        self.pool = WorkerPool(
+            self.scheduler, self.cache,
+            workers=workers, max_workers=max_workers,
+            autoscale=autoscale, high_water=high_water,
+            idle_retire_s=idle_retire_s,
+            pool_workers=(pool_workers if pool_workers is not None
+                          else worker_share(
+                              max_workers if max_workers is not None
+                              else workers)),
+            max_batch=max_batch, retry_base_s=retry_base_s,
+            runner=runner, lease_s=lease_s)
         self.started_at = time.time()
         if autostart:
             self.start()
 
+    @property
+    def worker(self) -> WorkerPool:
+        """Back-compat alias: the pool drives like a single worker."""
+        return self.pool
+
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "Service":
-        if not self.worker.is_alive():
-            self.worker.start()
+        self.pool.start()
         return self
 
     def __enter__(self) -> "Service":
@@ -96,14 +138,14 @@ class Service:
         self.close()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Graceful shutdown: finish the in-flight batch, snapshot."""
-        joined = self.worker.drain(timeout)
+        """Graceful shutdown: finish in-flight batches, snapshot."""
+        joined = self.pool.drain(timeout)
         self.scheduler.close()
         return joined
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Hard shutdown: cancel in-flight work, snapshot, close."""
-        self.worker.stop(timeout)
+        self.pool.stop(timeout)
         self.scheduler.close()
 
     # -- the five client verbs ------------------------------------------
@@ -146,7 +188,8 @@ class Service:
         fleet jobs return the comparison document (a plain dict).
         Raises :class:`ServiceError` while the job is still live or
         once it failed/was cancelled.  Falls back to a row-only result
-        if the cache entry was evicted.
+        if the cache entry was evicted (or the work ran on a remote
+        worker without a shared cache).
         """
         job = self.scheduler.get(job_id)
         if job is None:
@@ -187,17 +230,33 @@ class Service:
                     f"{timeout:g} s")
             time.sleep(poll_s)
 
+    # -- the worker protocol (claim / heartbeat / ack) -------------------
+
+    def claim(self, worker: str, max_batch: int = 8,
+              lease_s: Optional[float] = 60.0) -> list:
+        """Claim a batch for a (remote) worker; returns job dicts."""
+        batch = self.scheduler.claim_batch(max_batch, worker=worker,
+                                           lease_s=lease_s)
+        PERF.count("service.remote_claims", 1 if batch else 0)
+        return [job.to_dict() for job in batch]
+
+    def heartbeat(self, worker: str, job_ids: list,
+                  lease_s: float = 60.0) -> int:
+        """Renew a worker's leases; returns the count renewed."""
+        return self.scheduler.renew(worker, job_ids, lease_s)
+
     # -- observability ---------------------------------------------------
 
     def metrics(self) -> Dict[str, Any]:
-        """Queue/batch/dedup/cache/perf counters for ``/metrics``."""
+        """Queue/batch/dedup/lease/cache/perf counters for ``/metrics``."""
         perf = PERF.snapshot()
         counters = perf["counters"]
         requests = counters.get("cache.requests", 0)
         doc = self.scheduler.metrics()
         doc.update({
             "uptime_s": time.time() - self.started_at,
-            "worker_alive": self.worker.is_alive(),
+            "worker_alive": self.pool.is_alive(),
+            "workers": self.pool.metrics(),
             "dedup": {
                 "submissions": counters.get("service.submissions", 0),
                 "hits": counters.get("service.dedup_hits", 0),

@@ -23,6 +23,14 @@ Robustness against every crash window:
   regress a job's state;
 * jobs recovered in ``running`` state belonged to a dead worker and
   are reset to ``pending`` (their attempt stays counted).
+
+:class:`ShardedJobStore` horizontally partitions the journal by the
+job's content-addressed id — shard 0 keeps the legacy flat layout so
+pre-shard stores open unchanged, shards 1..N-1 live in ``shard-NN/``
+subdirectories.  Identical requests hash to identical keys and
+therefore to the same shard, so dedup stays *exact* per shard, and
+per-shard journals mean concurrent submissions fsync independent files
+instead of serialising on one.
 """
 
 from __future__ import annotations
@@ -31,7 +39,8 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Dict, TextIO, Tuple
+import zlib
+from typing import Dict, List, TextIO, Tuple
 
 from .jobs import Job, PENDING, RUNNING
 
@@ -94,6 +103,8 @@ class JobStore:
             if job.state == RUNNING:
                 job.state = PENDING
                 job.started_at = None
+                job.worker = None
+                job.lease_expires_at = None
                 job.error = "interrupted by service restart"
                 job.touch()
         next_seq = 1 + max((job.seq for job in jobs.values()), default=-1)
@@ -177,3 +188,104 @@ class JobStore:
                 "journal_bytes": size(self.journal_path),
                 "snapshot_bytes": size(self.snapshot_path),
                 "appends_since_snapshot": self._appends}
+
+
+def shard_of(key: str, n_shards: int) -> int:
+    """Deterministic shard index of a content-addressed job id.
+
+    CRC32 over the key bytes rather than ``int(key[:8], 16)`` so ids
+    that are not hex digests (tests, future request kinds) still route
+    stably, and rather than ``hash()`` because that is salted per
+    process — the shard of a job must survive restarts.
+    """
+    if n_shards <= 1:
+        return 0
+    return zlib.crc32(key.encode()) % n_shards
+
+
+class ShardedJobStore:
+    """N :class:`JobStore` partitions keyed by the job id's hash.
+
+    Shard 0 *is* the store directory (the pre-shard flat layout), so
+    any existing single-journal store opens as a 1+ shard store with
+    its history intact.  Recovery reads every shard directory that
+    exists on disk — including ``shard-NN/`` directories left by a
+    previous, larger shard count — and re-homes jobs whose shard
+    assignment changed, so resharding up or down is just reopening
+    with a different ``n_shards``.
+    """
+
+    def __init__(self, directory: pathlib.Path, n_shards: int = 1,
+                 snapshot_every: int = 256, fsync: bool = True) -> None:
+        self.directory = pathlib.Path(directory)
+        self.n_shards = max(1, int(n_shards))
+        self.shards: List[JobStore] = [
+            JobStore(self.shard_dir(index),
+                     snapshot_every=snapshot_every, fsync=fsync)
+            for index in range(self.n_shards)]
+
+    def shard_dir(self, index: int) -> pathlib.Path:
+        return (self.directory if index == 0
+                else self.directory / f"shard-{index:02d}")
+
+    def shard_of(self, key: str) -> int:
+        return shard_of(key, self.n_shards)
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self) -> Tuple[Dict[str, Job], int]:
+        """Merge recovery across shards; returns ``(jobs, next_seq)``.
+
+        Per-job merging keeps the highest ``rev`` wherever it was
+        journalled.  A job found only outside its home shard (the
+        store was re-opened with a different ``n_shards``) is recorded
+        into its home shard so dedup and claims find it there; the
+        stale copy is inert because replay is rev-idempotent.
+        """
+        jobs: Dict[str, Job] = {}
+        found_in: Dict[str, set] = {}
+        next_seq = 0
+        stores = list(enumerate(self.shards))
+        # Orphaned shard directories from a larger previous n_shards.
+        index = self.n_shards
+        while self.shard_dir(index).is_dir():
+            stores.append((index, JobStore(self.shard_dir(index))))
+            index += 1
+        extra_stores = [store for idx, store in stores
+                        if idx >= self.n_shards]
+        for index, store in stores:
+            shard_jobs, shard_seq = store.recover()
+            next_seq = max(next_seq, shard_seq)
+            for job_id, job in shard_jobs.items():
+                current = jobs.get(job_id)
+                if current is None or job.rev >= current.rev:
+                    jobs[job_id] = job
+                found_in.setdefault(job_id, set()).add(index)
+        for job_id, job in jobs.items():
+            home = self.shard_of(job_id)
+            if home not in found_in[job_id]:
+                self.shards[home].record(job)
+        for store in extra_stores:
+            store.close()
+        return jobs, next_seq
+
+    # -- delegation ------------------------------------------------------
+
+    def record(self, job: Job) -> None:
+        self.shards[self.shard_of(job.id)].record(job)
+
+    def close(self) -> None:
+        for store in self.shards:
+            store.close()
+
+    def stats(self) -> Dict[str, object]:
+        per_shard = [store.stats() for store in self.shards]
+        return {"directory": str(self.directory),
+                "n_shards": self.n_shards,
+                "journal_bytes": sum(s["journal_bytes"]
+                                     for s in per_shard),
+                "snapshot_bytes": sum(s["snapshot_bytes"]
+                                      for s in per_shard),
+                "appends_since_snapshot":
+                    sum(s["appends_since_snapshot"] for s in per_shard),
+                "shards": per_shard}

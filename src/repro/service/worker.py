@@ -1,29 +1,48 @@
-"""Worker loop: executes claimed batches with timeout, retry, drain.
+"""Worker loops: execute claimed batches with leases, retry, drain.
 
-One background thread repeatedly claims the next compatible batch from
-the :class:`~repro.service.scheduler.Scheduler` and runs it through
-:func:`~repro.core.parallel.run_cells` (optionally across a process
-pool), with three failure-handling layers:
+Two consumers share one execution core (:func:`run_batch`):
+
+* :class:`Worker` — a local background thread over an in-process
+  :class:`~repro.service.scheduler.Scheduler`.  Any number of them
+  may run against one scheduler; each claims under its own
+  ``worker_id`` with a lease and heartbeats while a batch is in
+  flight, so a wedged or killed worker's jobs requeue after lease
+  expiry (attempt refunded) instead of being lost.
+* :class:`RemoteWorker` — the same loop over HTTP: it attaches to a
+  ``python -m repro serve`` instance (``python -m repro worker
+  --attach URL``), claims with ``/claim``, heartbeats with
+  ``/heartbeat`` and reports with ``/ack``.  This is the horizontal
+  scale-out path — any host that can reach the service can drain its
+  queue.
+
+Failure handling (both loops):
 
 * **Per-batch timeout** — the smallest ``timeout_s`` of the batch
   bounds the whole ``run_cells`` call; a pooled run is torn down
   pre-emptively (worker processes terminated), a serial run stops at
   the next cell boundary.
-* **Bounded retry with exponential backoff** — a failed or timed-out
-  attempt re-queues each job with ``retry_base_s * 2**(attempts-1)``
-  delay until ``max_attempts`` is exhausted, then the job fails for
-  good.  Jobs that failed *as part of a multi-cell batch* are retried
-  unbatched, so one poisoned cell cannot repeatedly take down its
-  batch mates.
+* **Bounded retry with jittered exponential backoff** — a failed or
+  timed-out attempt requeues each job with
+  ``retry_base_s * 2**(attempts-1)`` scaled by a uniform factor in
+  ``[0.5, 1.5)`` (see
+  :func:`~repro.service.scheduler.backoff_delay`) until
+  ``max_attempts`` is exhausted, then the job fails for good.  Jobs
+  that failed *as part of a multi-cell batch* are retried unbatched,
+  so one poisoned cell cannot repeatedly take down its batch mates.
 * **Graceful drain** — :meth:`Worker.drain` (the SIGTERM path) lets
   the in-flight batch finish, then exits the loop; :meth:`Worker.stop`
   additionally fires the ``cancel`` event through ``run_cells``, which
-  reaps the pool and re-queues the interrupted batch untouched (the
+  reaps the pool and releases the interrupted batch untouched (the
   attempt is not charged).
+* **Stale acks** — every completion goes through the scheduler's
+  lease-validated ack; if this worker's lease expired mid-run and the
+  job was handed to someone else, the late ack is dropped (counted as
+  ``service.stale_acks``) instead of overwriting the winner's result.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Callable, Dict, List, Optional
 
@@ -31,12 +50,55 @@ from ..analysis.perf import PERF
 from ..core.cache import ResultCache
 from ..core.parallel import GridCancelled, GridTimeout, run_cells
 from .jobs import FleetRequest, Job
-from .scheduler import Scheduler
+from .scheduler import AckError, Scheduler
 
 #: Batch executor signature: ``runner(jobs, timeout_s, cancel) -> rows``
 #: returning one result row (plain dict) per job, in order.
 RunnerFn = Callable[[List[Job], Optional[float], threading.Event],
                     List[Dict]]
+
+_worker_ids = itertools.count(1)
+
+
+def batch_timeout(batch: List[Job]) -> Optional[float]:
+    """The binding per-batch deadline: the smallest requested timeout."""
+    timeouts = [job.request.timeout_s for job in batch
+                if job.request.timeout_s is not None]
+    return min(timeouts) if timeouts else None
+
+
+def run_batch(batch: List[Job], cache: Optional[ResultCache],
+              pool_workers: Optional[int],
+              timeout: Optional[float],
+              cancel: threading.Event) -> List[Dict]:
+    """Execute one claimed batch; returns a result row per job.
+
+    The default executor for local and remote workers alike.  Cell
+    batches go through :func:`~repro.core.parallel.run_cells`
+    (results persist through ``cache``); fleet batches (always
+    singletons — see :class:`~repro.service.jobs.FleetRequest`) run
+    the fleet engine and persist the comparison document as a cache
+    *doc* entry under the job id.
+    """
+    if isinstance(batch[0].request, FleetRequest):
+        from ..fleet import FleetEngine
+        rows = []
+        for job in batch:
+            request = job.request
+            spec, policies = request.validate()
+            engine = FleetEngine(spec, workers=request.workers,
+                                 chunk_size=request.chunk_size)
+            summary = engine.compare(policies, timeout=timeout,
+                                     cancel=cancel)
+            if cache is not None:
+                cache.store_doc(job.id, summary)
+            rows.append(summary)
+        return rows
+    kwargs = batch[0].request.run_kwargs()
+    results = run_cells([job.request.to_cell() for job in batch],
+                        cache=cache, workers=pool_workers,
+                        timeout=timeout, cancel=cancel, **kwargs)
+    return [result.row() for result in results]
 
 
 class Worker(threading.Thread):
@@ -54,38 +116,75 @@ class Worker(threading.Thread):
     max_batch:
         Upper bound on coalesced jobs per claim.
     retry_base_s:
-        First-retry backoff; doubles per attempt.
+        First-retry backoff; doubles per attempt, jittered.
     runner:
         Override the batch executor (tests inject failures/delays).
     poll_s:
         Idle sleep between empty claims.
+    worker_id:
+        Claim identity; auto-numbered ``local-N`` when omitted.
+    lease_s:
+        Lease duration on claimed jobs; heartbeats renew at a third of
+        this period while a batch is in flight.  ``None`` disables
+        leasing (jobs are held until this process dies).
     """
 
     def __init__(self, scheduler: Scheduler, cache: ResultCache,
                  pool_workers: Optional[int] = 1, max_batch: int = 8,
                  retry_base_s: float = 0.5,
                  runner: Optional[RunnerFn] = None,
-                 poll_s: float = 0.05) -> None:
-        super().__init__(name="repro-service-worker", daemon=True)
+                 poll_s: float = 0.05,
+                 worker_id: Optional[str] = None,
+                 lease_s: Optional[float] = 30.0) -> None:
+        self.worker_id = worker_id or f"local-{next(_worker_ids)}"
+        super().__init__(name=f"repro-service-{self.worker_id}",
+                         daemon=True)
         self.scheduler = scheduler
         self.cache = cache
         self.pool_workers = pool_workers
         self.max_batch = max_batch
         self.retry_base_s = retry_base_s
         self.poll_s = poll_s
-        self.runner: RunnerFn = runner or self._run_cells_runner
+        self.lease_s = lease_s
+        self.runner: RunnerFn = runner or self._run_batch_runner
         self._draining = threading.Event()
         self._cancel = threading.Event()
+        self._inflight_lock = threading.Lock()
+        self._inflight: List[str] = []
 
     # -- lifecycle -------------------------------------------------------
 
     def run(self) -> None:
-        while not self._draining.is_set():
-            batch = self.scheduler.claim_batch(self.max_batch)
-            if not batch:
-                self._draining.wait(self.poll_s)
-                continue
-            self._execute(batch)
+        heartbeat = None
+        if self.lease_s is not None:
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"{self.name}-heartbeat", daemon=True)
+            heartbeat.start()
+        try:
+            while not self._draining.is_set():
+                batch = self.scheduler.claim_batch(
+                    self.max_batch, worker=self.worker_id,
+                    lease_s=self.lease_s)
+                if not batch:
+                    self._draining.wait(self.poll_s)
+                    continue
+                self._execute(batch)
+        finally:
+            if heartbeat is not None:
+                heartbeat.join(timeout=5.0)
+
+    def _heartbeat_loop(self) -> None:
+        period = max(0.01, self.lease_s / 3.0)
+        while not self._draining.wait(period):
+            with self._inflight_lock:
+                held = list(self._inflight)
+            if held:
+                self.scheduler.renew(self.worker_id, held, self.lease_s)
+
+    def request_drain(self) -> None:
+        """Ask the loop to stop after the in-flight batch (no join)."""
+        self._draining.set()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Finish the in-flight batch, then stop; True when joined."""
@@ -104,10 +203,13 @@ class Worker(threading.Thread):
 
     # -- execution -------------------------------------------------------
 
+    def _set_inflight(self, job_ids: List[str]) -> None:
+        with self._inflight_lock:
+            self._inflight = job_ids
+
     def _execute(self, batch: List[Job]) -> None:
-        timeouts = [job.request.timeout_s for job in batch
-                    if job.request.timeout_s is not None]
-        timeout = min(timeouts) if timeouts else None
+        timeout = batch_timeout(batch)
+        self._set_inflight([job.id for job in batch])
         try:
             with PERF.timer("service.batch"):
                 rows = self.runner(batch, timeout, self._cancel)
@@ -115,9 +217,8 @@ class Worker(threading.Thread):
             # Drain/stop path: hand the batch back untouched; the
             # interruption is not the jobs' fault.
             for job in batch:
-                job.attempts = max(0, job.attempts - 1)
-                self.scheduler.requeue(job, "cancelled mid-run by "
-                                       "service shutdown", delay_s=0.0)
+                self._checked(self.scheduler.release, job.id,
+                              "cancelled mid-run by service shutdown")
         except GridTimeout:
             PERF.count("service.timeouts")
             self._retry_or_fail(batch, f"timed out after {timeout:g} s")
@@ -125,52 +226,169 @@ class Worker(threading.Thread):
             self._retry_or_fail(batch, repr(exc))
         else:
             for job, row in zip(batch, rows):
-                self.scheduler.complete(job, row)
+                self._checked(self.scheduler.ack_done, job.id, row)
+        finally:
+            self._set_inflight([])
+
+    def _checked(self, ack, job_id: str, *args, **kwargs) -> None:
+        """Apply an ack, dropping it when the lease moved on."""
+        try:
+            ack(self.worker_id, job_id, *args, **kwargs)
+        except AckError:
+            pass  # counted by the scheduler; the winner's result stands
 
     def _retry_or_fail(self, batch: List[Job], error: str) -> None:
         for job in batch:
-            if job.attempts >= job.max_attempts:
-                self.scheduler.fail(
-                    job, f"{error} (attempt {job.attempts}/"
-                         f"{job.max_attempts})")
-            else:
-                delay = self.retry_base_s * 2 ** (job.attempts - 1)
-                self.scheduler.requeue(
-                    job, error, delay_s=delay,
-                    # Retry multi-job batches one by one so a single
-                    # poisoned cell stops sinking its batch mates.
-                    batchable=False if len(batch) > 1 else None)
+            self._checked(
+                self.scheduler.ack_failed, job.id, error,
+                base_s=self.retry_base_s,
+                # Retry multi-job batches one by one so a single
+                # poisoned cell stops sinking its batch mates.
+                batchable=False if len(batch) > 1 else None)
 
-    def _run_cells_runner(self, batch: List[Job],
+    def _run_batch_runner(self, batch: List[Job],
                           timeout: Optional[float],
                           cancel: threading.Event) -> List[Dict]:
-        if isinstance(batch[0].request, FleetRequest):
-            return self._run_fleet_runner(batch, timeout, cancel)
-        kwargs = batch[0].request.run_kwargs()
-        results = run_cells([job.request.to_cell() for job in batch],
-                            cache=self.cache,
-                            workers=self.pool_workers,
-                            timeout=timeout, cancel=cancel, **kwargs)
-        return [result.row() for result in results]
+        return run_batch(batch, self.cache, self.pool_workers,
+                         timeout, cancel)
 
-    def _run_fleet_runner(self, batch: List[Job],
-                          timeout: Optional[float],
-                          cancel: threading.Event) -> List[Dict]:
-        """Fleet batches (always singletons — see ``FleetRequest``).
 
-        The comparison document is persisted as a cache *doc* entry
-        under the job id so resubmissions short-circuit exactly like
-        cell jobs, and kept as the result row for status queries.
+class RemoteWorker:
+    """A worker attached to a remote service over its HTTP API.
+
+    The claim/heartbeat/ack loop of :class:`Worker`, with the
+    scheduler on the far side of ``/claim``, ``/heartbeat`` and
+    ``/ack``.  Results are computed locally (this host needs the repro
+    stack, not the service's disk): the result *row* travels back in
+    the ack, and the full payload persists into this worker's
+    ``cache`` — point ``--cache-dir`` at shared storage to give the
+    service's direct readers the complete result.
+
+    Parameters
+    ----------
+    client:
+        An :class:`~repro.service.client.HttpClient` or a base URL.
+    worker_id:
+        Claim identity; defaults to ``remote-<host>-<pid>``.
+    exit_when_idle:
+        Return from :meth:`run_forever` on the first empty claim
+        (batch mode — lets CI attach, drain, exit).
+    """
+
+    def __init__(self, client, worker_id: Optional[str] = None,
+                 cache: Optional[ResultCache] = None,
+                 pool_workers: Optional[int] = 1, max_batch: int = 8,
+                 poll_s: float = 0.5, lease_s: float = 60.0,
+                 exit_when_idle: bool = False) -> None:
+        from .client import HttpClient
+        if isinstance(client, str):
+            client = HttpClient(client)
+        self.client = client
+        if worker_id is None:
+            import os
+            import socket
+            worker_id = f"remote-{socket.gethostname()}-{os.getpid()}"
+        self.worker_id = worker_id
+        self.cache = cache
+        self.pool_workers = pool_workers
+        self.max_batch = max_batch
+        self.poll_s = poll_s
+        self.lease_s = lease_s
+        self.exit_when_idle = exit_when_idle
+        self._stop = threading.Event()
+        self._inflight_lock = threading.Lock()
+        self._inflight: List[str] = []
+        self.batches_run = 0
+        self.jobs_done = 0
+
+    def stop(self) -> None:
+        """Request exit; the in-flight batch is cancelled and released."""
+        self._stop.set()
+
+    def _heartbeat_loop(self) -> None:
+        from .service import ServiceError
+        period = max(0.01, self.lease_s / 3.0)
+        while not self._stop.wait(period):
+            with self._inflight_lock:
+                held = list(self._inflight)
+            if held:
+                try:
+                    self.client.heartbeat(self.worker_id, held,
+                                          self.lease_s)
+                except (ServiceError, OSError):
+                    pass  # transient; the lease rides out one miss
+
+    def run_forever(self) -> int:
+        """Claim and execute until stopped (or idle, in batch mode).
+
+        Returns the number of jobs completed.
         """
-        from ..fleet import FleetEngine
-        rows = []
-        for job in batch:
-            request = job.request
-            spec, policies = request.validate()
-            engine = FleetEngine(spec, workers=request.workers,
-                                 chunk_size=request.chunk_size)
-            summary = engine.compare(policies, timeout=timeout,
-                                     cancel=cancel)
-            self.cache.store_doc(job.id, summary)
-            rows.append(summary)
-        return rows
+        from .service import ServiceError
+        heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                     name="repro-remote-heartbeat",
+                                     daemon=True)
+        heartbeat.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    docs = self.client.claim(self.worker_id,
+                                             max_batch=self.max_batch,
+                                             lease_s=self.lease_s)
+                except (ServiceError, OSError):
+                    if self.exit_when_idle:
+                        break
+                    self._stop.wait(self.poll_s)
+                    continue
+                if not docs:
+                    if self.exit_when_idle:
+                        break
+                    self._stop.wait(self.poll_s)
+                    continue
+                self._execute([Job.from_dict(doc) for doc in docs])
+        finally:
+            self._stop.set()
+            heartbeat.join(timeout=5.0)
+        return self.jobs_done
+
+    def _execute(self, batch: List[Job]) -> None:
+        from .service import ServiceError
+        timeout = batch_timeout(batch)
+        with self._inflight_lock:
+            self._inflight = [job.id for job in batch]
+        try:
+            with PERF.timer("service.batch"):
+                rows = run_batch(batch, self.cache, self.pool_workers,
+                                 timeout, self._stop)
+        except GridCancelled:
+            for job in batch:
+                self._ack_quietly(self.client.ack_release, job.id,
+                                  "released: remote worker stopping")
+        except GridTimeout:
+            PERF.count("service.timeouts")
+            for job in batch:
+                self._ack_quietly(
+                    self.client.ack_error, job.id,
+                    f"timed out after {timeout:g} s",
+                    batchable=False if len(batch) > 1 else None)
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            for job in batch:
+                self._ack_quietly(
+                    self.client.ack_error, job.id, repr(exc),
+                    batchable=False if len(batch) > 1 else None)
+        else:
+            self.batches_run += 1
+            for job, row in zip(batch, rows):
+                if self._ack_quietly(self.client.ack_done, job.id, row):
+                    self.jobs_done += 1
+        finally:
+            with self._inflight_lock:
+                self._inflight = []
+
+    def _ack_quietly(self, ack, job_id: str, *args, **kwargs) -> bool:
+        from .service import ServiceError
+        try:
+            ack(self.worker_id, job_id, *args, **kwargs)
+            return True
+        except (ServiceError, OSError):
+            PERF.count("service.remote_ack_drops")
+            return False

@@ -93,6 +93,30 @@ class TestBitIdentity:
         # One coalesced batch, not two grid invocations.
         assert PERF.counters["service.batches"] >= 1
 
+    def test_sharded_multiworker_service_matches_direct_run_cells(
+            self, tmp_path):
+        """Four shards, two concurrent workers, leases on: still
+        bit-identical to the plain serial grid call."""
+        requests = [request(scheme="nssa", workload="80r0"),
+                    request(scheme="issa", workload="80r0"),
+                    request(scheme="nssa", workload="20r1"),
+                    request(scheme="issa", workload="20r1")]
+        direct = run_cells([req.to_cell() for req in requests],
+                           workers=1, **requests[0].run_kwargs())
+
+        with Service(directory=tmp_path, workers=2, n_shards=4,
+                     lease_s=30.0) as service:
+            client = Client(service)
+            ids = [client.submit(req) for req in requests]
+            for job_id in ids:
+                client.wait(job_id, timeout=120)
+            for job_id, expected in zip(ids, direct):
+                served = client.result(job_id)
+                np.testing.assert_array_equal(served.offset.offsets,
+                                              expected.offset.offsets)
+                assert served.row() == expected.row()
+            assert len(service.metrics()["workers"]["ids"]) == 2
+
     def test_service_results_populate_the_shared_cache(self, tmp_path):
         """Work done by the service is a cache hit for direct callers."""
         cache = ResultCache(tmp_path / "shared-cache")
@@ -110,11 +134,13 @@ class TestBitIdentity:
 
 class TestClientSurface:
     def test_cancel_pending_job(self, tmp_path):
-        with Service(directory=tmp_path, autostart=False) as service:
-            client = Client(service)
-            job_id = client.submit(request())
-            assert client.cancel(job_id)
-            assert client.status(job_id)["state"] == "cancelled"
+        # No worker pool: cancelling must not race the first claim.
+        service = Service(directory=tmp_path, autostart=False)
+        client = Client(service)
+        job_id = client.submit(request())
+        assert client.cancel(job_id)
+        assert client.status(job_id)["state"] == "cancelled"
+        service.scheduler.close()
 
     def test_wait_times_out(self, tmp_path):
         service = Service(directory=tmp_path, autostart=False)

@@ -102,6 +102,112 @@ class TestEndpoints:
         assert client.shutdown()["draining"]
         assert httpd.shutdown_requested.wait(timeout=1)
 
+class TestWorkerProtocol:
+    """The remote-worker intake: /claim, /heartbeat, /ack."""
+
+    def _park_and_submit(self, server, **overrides):
+        client, httpd = server
+        httpd.service.worker.drain(timeout=5)
+        return client, client.submit(**request_fields(**overrides))
+
+    def test_claim_heartbeat_ack_roundtrip(self, server):
+        client, job_id = self._park_and_submit(server, mc=16)
+        [doc] = client.claim("w1", max_batch=4, lease_s=60.0)
+        assert doc["id"] == job_id
+        assert doc["state"] == "running" and doc["worker"] == "w1"
+        assert client.heartbeat("w1", [job_id], lease_s=60.0) == 1
+        acked = client.ack_done("w1", job_id, {"spec_mV": 1.0})
+        assert acked["state"] == "done"
+        assert client.status(job_id)["result_row"] == {"spec_mV": 1.0}
+
+    def test_empty_claim_returns_no_jobs(self, server):
+        client, _ = server
+        assert client.claim("w1") == []
+
+    def test_malformed_claim_is_400(self, server):
+        client, _ = server
+        with pytest.raises(ServiceError, match="worker"):
+            client._call("POST", "/claim", body={"max_batch": 2})
+        with pytest.raises(ServiceError, match="max_batch"):
+            client._call("POST", "/claim",
+                         body={"worker": "w1", "max_batch": 0})
+        with pytest.raises(ServiceError, match="lease_s"):
+            client._call("POST", "/claim",
+                         body={"worker": "w1", "lease_s": -1})
+
+    def test_ack_without_outcome_is_400(self, server):
+        client, job_id = self._park_and_submit(server, mc=16, seed=3)
+        client.claim("w1")
+        with pytest.raises(ServiceError, match="one of"):
+            client._call("POST", "/ack",
+                         body={"worker": "w1", "id": job_id})
+
+    def test_double_ack_is_409(self, server):
+        client, job_id = self._park_and_submit(server, mc=16, seed=5)
+        client.claim("w1")
+        client.ack_done("w1", job_id, {"spec_mV": 1.0})
+        with pytest.raises(ServiceError, match="double ack"):
+            client.ack_done("w1", job_id, {"spec_mV": 2.0})
+
+    def test_stale_lease_ack_is_409(self, server):
+        client, job_id = self._park_and_submit(server, mc=16, seed=7)
+        [doc] = client.claim("w1", lease_s=0.05)
+        assert doc["id"] == job_id
+        import time
+        time.sleep(0.1)  # lease lapses; the next claim sweeps it
+        [doc] = client.claim("w2", lease_s=60.0)
+        assert doc["id"] == job_id
+        with pytest.raises(ServiceError, match="leased to"):
+            client.ack_done("w1", job_id, {"spec_mV": 1.0})
+        # The winner's ack still lands.
+        assert client.ack_done("w2", job_id,
+                               {"spec_mV": 2.0})["state"] == "done"
+
+    def test_ack_unknown_job_is_404(self, server):
+        client, _ = server
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.ack_done("w1", "no-such-job", {})
+
+    def test_ack_error_requeues_with_backoff(self, server):
+        client, job_id = self._park_and_submit(server, mc=16, seed=9)
+        client.claim("w1")
+        doc = client.ack_error("w1", job_id, "boom", batchable=False)
+        assert doc["state"] == "pending" and doc["attempts"] == 1
+        assert client.status(job_id)["error"] == "boom"
+
+    def test_ack_release_refunds_the_attempt(self, server):
+        client, job_id = self._park_and_submit(server, mc=16, seed=11)
+        client.claim("w1")
+        doc = client.ack_release("w1", job_id, "worker stopping")
+        assert doc["state"] == "pending" and doc["attempts"] == 0
+
+    def test_metrics_report_shards_leases_and_workers(self, server):
+        client, _ = server
+        metrics = client.metrics()
+        assert "shards" in metrics and "leases" in metrics
+        assert "active" in metrics["workers"]
+
+
+class TestRemoteWorker:
+    def test_remote_worker_drains_the_queue(self, server, tmp_path):
+        """An attached worker claims, simulates locally and acks the
+        row back; the service serves it like local work."""
+        from repro.core.cache import ResultCache
+        from repro.service.worker import RemoteWorker
+        client, httpd = server
+        httpd.service.worker.drain(timeout=5)
+        job_id = client.submit(**request_fields())
+        worker = RemoteWorker(client, worker_id="rw-test",
+                              cache=ResultCache(tmp_path / "wcache"),
+                              exit_when_idle=True)
+        assert worker.run_forever() == 1
+        doc = client.status(job_id)
+        assert doc["state"] == "done"
+        assert doc["result_row"]["spec_mV"] > 0
+        assert client.result(job_id)["row"]["spec_mV"] > 0
+
+
+class TestRawBodies:
     def test_raw_submit_accepts_flat_body(self, server):
         """The body may be the request itself (no ``request`` wrapper)."""
         client, httpd = server

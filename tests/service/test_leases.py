@@ -1,0 +1,177 @@
+"""Tests for worker leases, validated acks and jittered backoff."""
+
+import random
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.service.jobs import (DONE, FAILED, JobRequest, PENDING,
+                                RUNNING)
+from repro.service.scheduler import (DoubleAckError, Scheduler,
+                                     StaleLeaseError, UnknownJobError,
+                                     backoff_delay)
+from repro.service.store import JobStore
+
+
+def request(**overrides):
+    fields = dict(scheme="nssa", workload="80r0", time_s=1e8,
+                  mc=8, seed=2017, dt=1e-12, offset_iterations=6)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def scheduler(tmp_path, clock):
+    sched = Scheduler(JobStore(tmp_path / "store"),
+                      ResultCache(tmp_path / "cache"),
+                      clock=clock, rng=random.Random(2017))
+    yield sched
+    sched.store.close()
+
+
+class TestLeases:
+    def test_claim_leases_to_the_worker(self, scheduler, clock):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        assert job.state == RUNNING and job.worker == "w1"
+        assert job.lease_expires_at == clock.now + 30.0
+
+    def test_expiry_requeues_and_refunds_the_attempt(
+            self, scheduler, clock):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        assert job.attempts == 1
+        clock.advance(31.0)
+        assert scheduler.expire_leases() == 1
+        assert job.state == PENDING
+        assert job.attempts == 0  # a dead worker is not the job's fault
+        assert job.worker is None and job.lease_expires_at is None
+        assert "presumed dead" in job.error
+
+    def test_heartbeat_extends_the_lease(self, scheduler, clock):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        clock.advance(20.0)
+        assert scheduler.renew("w1", [job.id], 30.0) == 1
+        clock.advance(20.0)  # would have expired without the renewal
+        assert scheduler.expire_leases() == 0
+        assert job.state == RUNNING
+        clock.advance(11.0)
+        assert scheduler.expire_leases() == 1
+
+    def test_heartbeat_from_the_wrong_worker_renews_nothing(
+            self, scheduler, clock):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        assert scheduler.renew("w2", [job.id], 30.0) == 0
+
+    def test_claim_sweeps_expired_leases_first(self, scheduler, clock):
+        """A crashed consumer's jobs are reclaimable by whoever polls
+        next — no separate sweeper required."""
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="dead", lease_s=5.0)
+        clock.advance(6.0)
+        [again] = scheduler.claim_batch(worker="w2", lease_s=30.0)
+        assert again is job and again.worker == "w2"
+        assert again.attempts == 1  # refund, then the new claim
+
+
+class TestValidatedAcks:
+    def test_ack_done_completes(self, scheduler):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        acked = scheduler.ack_done("w1", job.id, {"spec_mV": 1.0})
+        assert acked is job and job.state == DONE
+        assert job.worker is None and job.lease_expires_at is None
+
+    def test_double_ack_raises(self, scheduler):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        scheduler.ack_done("w1", job.id, {"spec_mV": 1.0})
+        with pytest.raises(DoubleAckError):
+            scheduler.ack_done("w1", job.id, {"spec_mV": 2.0})
+        assert job.result_row == {"spec_mV": 1.0}
+        assert scheduler.metrics()["leases"]["double_acks"] == 1
+
+    def test_stale_lease_ack_raises_and_keeps_the_winner(
+            self, scheduler, clock):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=5.0)
+        clock.advance(6.0)
+        scheduler.expire_leases()
+        [again] = scheduler.claim_batch(worker="w2", lease_s=30.0)
+        assert again is job
+        with pytest.raises(StaleLeaseError):
+            scheduler.ack_done("w1", job.id, {"spec_mV": 1.0})
+        assert job.state == RUNNING and job.worker == "w2"
+        scheduler.ack_done("w2", job.id, {"spec_mV": 2.0})
+        assert job.result_row == {"spec_mV": 2.0}
+        assert scheduler.metrics()["leases"]["stale_acks"] == 1
+
+    def test_unknown_job_ack_raises(self, scheduler):
+        with pytest.raises(UnknownJobError):
+            scheduler.ack_done("w1", "no-such-job", {})
+
+    def test_ack_failed_retries_then_fails_for_good(self, scheduler):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        retried = scheduler.ack_failed("w1", job.id, "boom")
+        assert retried.state == PENDING and retried.error == "boom"
+        for attempt in range(2, scheduler.max_attempts + 1):
+            [job] = scheduler.claim_batch(
+                worker="w1", lease_s=30.0, now=job.not_before + 10)
+            scheduler.ack_failed("w1", job.id, "boom")
+        assert job.state == FAILED
+        assert f"attempt {scheduler.max_attempts}" in job.error
+
+    def test_release_refunds_and_requeues_immediately(self, scheduler):
+        scheduler.submit(request())
+        [job] = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        released = scheduler.release("w1", job.id, "worker stopping")
+        assert released.state == PENDING and released.attempts == 0
+        assert released.not_before == 0.0
+
+
+class TestJitteredBackoff:
+    def test_delay_is_jittered_exponential(self):
+        """Pinned: ``base * 2**(attempts-1)`` scaled into [0.5, 1.5)."""
+        rng = random.Random(7)
+        for attempts in (1, 2, 3, 5):
+            nominal = 0.5 * 2 ** (attempts - 1)
+            for _ in range(100):
+                delay = backoff_delay(attempts, 0.5, rng)
+                assert 0.5 * nominal <= delay < 1.5 * nominal
+
+    def test_no_rng_means_deterministic_schedule(self):
+        assert backoff_delay(1, 0.5) == 0.5
+        assert backoff_delay(3, 0.5) == 2.0
+
+    def test_batch_mates_do_not_stampede(self, scheduler, clock):
+        """Two jobs failed by one shared batch error must not become
+        claimable at the same instant (the retry stampede)."""
+        scheduler.submit(request(workload="80r0"))
+        scheduler.submit(request(workload="20r0"))
+        batch = scheduler.claim_batch(worker="w1", lease_s=30.0)
+        assert len(batch) == 2
+        for job in batch:
+            scheduler.ack_failed("w1", job.id, "shared failure",
+                                 batchable=False)
+        gates = [job.not_before for job in batch]
+        assert gates[0] != gates[1]
+        assert all(gate > clock.now for gate in gates)

@@ -1,0 +1,141 @@
+"""Tests for the autoscaling local worker pool and lease sweeping."""
+
+import time
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.service.jobs import DONE, JobRequest
+from repro.service.pool import WorkerPool
+from repro.service.scheduler import Scheduler
+from repro.service.store import ShardedJobStore
+
+
+def request(**overrides):
+    fields = dict(scheme="nssa", workload="80r0", time_s=1e8,
+                  mc=8, seed=2017, dt=1e-12, offset_iterations=6)
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+def distinct_requests(count):
+    return [request(time_s=1e8 + i * 1e6) for i in range(count)]
+
+
+def wait_until(predicate, timeout=10.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return predicate()
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    sched = Scheduler(ShardedJobStore(tmp_path / "store", n_shards=4),
+                      ResultCache(tmp_path / "cache"))
+    yield sched
+    sched.store.close()
+
+
+def fast_runner(batch, timeout, cancel):
+    return [{"spec_mV": 1.0} for _ in batch]
+
+
+def slow_runner(batch, timeout, cancel):
+    time.sleep(0.1)
+    return [{"spec_mV": 1.0} for _ in batch]
+
+
+class TestFixedPool:
+    def test_n_workers_drain_the_queue(self, scheduler):
+        jobs = [scheduler.submit(req)[0]
+                for req in distinct_requests(12)]
+        pool = WorkerPool(scheduler, scheduler.cache, workers=3,
+                          runner=fast_runner, poll_s=0.01,
+                          max_batch=2, tick_s=0.02).start()
+        try:
+            assert wait_until(lambda: all(j.state == DONE
+                                          for j in jobs))
+            metrics = pool.metrics()
+            assert metrics["active"] == 3
+            assert metrics["autoscale"] is False
+            assert len(set(metrics["ids"])) == 3
+        finally:
+            pool.stop(timeout=5)
+        assert not pool.is_alive()
+
+    def test_pool_presents_the_single_worker_surface(self, scheduler):
+        pool = WorkerPool(scheduler, scheduler.cache, workers=2,
+                          runner=fast_runner, poll_s=0.01).start()
+        assert pool.is_alive()
+        assert pool.drain(timeout=5)
+        assert not pool.is_alive()
+
+
+class TestAutoscale:
+    def test_depth_above_high_water_spawns_workers(self, scheduler):
+        for req in distinct_requests(24):
+            scheduler.submit(req)
+        pool = WorkerPool(scheduler, scheduler.cache, workers=1,
+                          max_workers=3, autoscale=True, high_water=2,
+                          idle_retire_s=60.0, tick_s=0.02,
+                          runner=slow_runner, poll_s=0.01,
+                          max_batch=1).start()
+        try:
+            assert wait_until(
+                lambda: pool.metrics()["active"] == 3)
+            assert pool.metrics()["spawned"] >= 3
+        finally:
+            pool.stop(timeout=5)
+
+    def test_idle_pool_retires_back_to_the_floor(self, scheduler):
+        for req in distinct_requests(12):
+            scheduler.submit(req)
+        pool = WorkerPool(scheduler, scheduler.cache, workers=1,
+                          max_workers=3, autoscale=True, high_water=1,
+                          idle_retire_s=0.05, tick_s=0.02,
+                          runner=slow_runner, poll_s=0.01,
+                          max_batch=1).start()
+        try:
+            assert wait_until(
+                lambda: pool.metrics()["active"] > 1)
+            assert wait_until(
+                lambda: scheduler.pending_count() == 0)
+            assert wait_until(
+                lambda: pool.metrics()["active"] == 1, timeout=20.0)
+            metrics = pool.metrics()
+            assert metrics["retired"] >= 1
+            assert metrics["active"] == metrics["min"] == 1
+        finally:
+            pool.stop(timeout=5)
+
+
+class TestLeaseSweeping:
+    def test_dead_workers_jobs_requeue_and_finish(self, scheduler):
+        """Jobs claimed by a worker that never acks (killed mid-batch)
+        are swept back and completed by the live pool, with the dead
+        worker's attempt refunded."""
+        jobs = [scheduler.submit(req)[0]
+                for req in distinct_requests(4)]
+        doomed = []
+        while True:  # claims coalesce per shard; loop to hold all 4
+            batch = scheduler.claim_batch(max_batch=4, worker="doomed",
+                                          lease_s=0.05)
+            if not batch:
+                break
+            doomed.extend(batch)
+        assert len(doomed) == 4
+        pool = WorkerPool(scheduler, scheduler.cache, workers=2,
+                          runner=fast_runner, poll_s=0.01,
+                          tick_s=0.02, lease_s=30.0).start()
+        try:
+            assert wait_until(lambda: all(j.state == DONE
+                                          for j in jobs))
+            # One claim by the doomed worker (refunded) + one by the
+            # pool: the retry budget was not charged for the death.
+            assert all(j.attempts == 1 for j in jobs)
+            assert scheduler.metrics()["leases"]["expiries"] == 4
+        finally:
+            pool.stop(timeout=5)
