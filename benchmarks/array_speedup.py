@@ -1,0 +1,232 @@
+"""Validate the array-characterisation engine and emit BENCH_array.json.
+
+Four measurements, cheapest first (any failure aborts before the JSON
+artefact is written):
+
+* **Invariance** — the bank comparison document must be *bitwise*
+  identical across worker counts and chunk sizes (the spawn-keyed
+  per-column draw contract).
+* **Service parity** — the same request routed through a sharded job
+  service (``ArrayRequest`` -> claim -> run -> doc cache) must return
+  the byte-for-byte identical document, and a resubmission must dedup
+  to the same job.
+* **Flattening parity** — per-column mismatch draws inside a flattened
+  ``column_array`` netlist must equal the standalone per-column draws
+  name for name (the m-columns == m-single-SAs contract).
+* **Grid throughput** — columns/second over a rows x columns geometry
+  grid, recorded per geometry point (the scaling evidence for the
+  bank-level lifetime tables).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/array_speedup.py
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.provenance import git_revision
+from repro.array import ArrayEngine, ArraySpec
+from repro.array.sampling import column_mismatch, flattened_mismatch
+from repro.array.spec import geometry_grid
+from repro.circuits.column_array import build_sa_column_array
+from repro.core.parallel import default_workers
+from repro.spice.backends import backend_host_info
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SCHEMES = ("nssa", "issa")
+
+
+def _normalised(report: Dict) -> Dict:
+    """JSON round-trip (what the service stores and returns)."""
+    return json.loads(json.dumps(report))
+
+
+def _check_invariance(spec: ArraySpec) -> Dict:
+    baseline = ArrayEngine(spec, workers=1,
+                           chunk_size=1).compare(SCHEMES)
+    doc = _normalised(baseline)
+    variants = (("chunk size", ArrayEngine(spec, workers=1,
+                                           chunk_size=spec.columns)),
+                ("worker count", ArrayEngine(spec, workers=2,
+                                             chunk_size=1)),
+                ("workers and chunk", ArrayEngine(spec, workers=2,
+                                                  chunk_size=2)))
+    for name, engine in variants:
+        if _normalised(engine.compare(SCHEMES)) != doc:
+            raise AssertionError(
+                f"bank document changed with {name} — the bitwise "
+                f"invariance contract is broken")
+    return {"spec": spec.to_dict(), "chunk_sizes": [1, 2, spec.columns],
+            "workers": [1, 2], "bitwise_identical": True}
+
+
+def _check_service_parity(spec: ArraySpec, shards: int) -> Dict:
+    from repro.service import ArrayRequest, Service
+    direct = _normalised(ArrayEngine(spec, workers=1).compare(SCHEMES))
+    request = ArrayRequest(spec=spec.to_dict(), schemes=SCHEMES,
+                           workers=1)
+    with tempfile.TemporaryDirectory() as directory:
+        service = Service(directory=directory, n_shards=shards,
+                          workers=2)
+        try:
+            job = service.submit(request)
+            service.wait(job.id, timeout=600.0)
+            served = service.result(job.id)
+            resubmit, deduped = service.submit_info(request)
+        finally:
+            service.close()
+    if served != direct:
+        raise AssertionError(
+            "service-run bank document differs from the direct "
+            "in-process run")
+    if not deduped or resubmit.id != job.id:
+        raise AssertionError("array resubmission did not dedup")
+    return {"shards": shards, "service_workers": 2,
+            "bit_identical": True, "dedup": True}
+
+
+def _check_flattening(columns: int, mc: int, seed: int) -> Dict:
+    array = build_sa_column_array(columns)
+    flattened = flattened_mismatch(array, mc, seed)
+    checked = 0
+    for index, column in enumerate(array.columns):
+        prefix = f"X{column}."
+        local = {name: ratio
+                 for name, ratio in array.circuit.mosfet_ratios().items()
+                 if name.startswith(prefix)}
+        standalone = column_mismatch(
+            {name[len(prefix):]: ratio for name, ratio in local.items()},
+            mc, seed, index)
+        for name, draws in standalone.items():
+            if not np.array_equal(flattened[prefix + name], draws):
+                raise AssertionError(
+                    f"flattened draw for {prefix + name} differs from "
+                    f"the standalone column draw")
+            checked += 1
+    return {"columns": columns, "mc": mc, "devices_checked": checked,
+            "bit_identical": True}
+
+
+def _grid_throughput(base: ArraySpec, rows, columns,
+                     workers: Optional[int]) -> List[Dict]:
+    rows_out = []
+    for spec in geometry_grid(base, rows=tuple(rows),
+                              columns=tuple(columns)):
+        engine = ArrayEngine(spec, workers=workers)
+        started = time.perf_counter()
+        report = engine.compare(SCHEMES)
+        elapsed = time.perf_counter() - started
+        total_columns = (len(SCHEMES) * len(spec.times_s)
+                         * spec.columns)
+        aged = report["comparison"][-1]
+        rows_out.append({
+            "rows": spec.rows, "columns": spec.columns,
+            "elapsed_s": elapsed,
+            "columns_per_sec": total_columns / elapsed,
+            "nssa_spec_mv": aged["nssa_spec_mv"],
+            "issa_spec_mv": aged["issa_spec_mv"],
+            "issa_latency_gain_pct": aged["issa_latency_gain_pct"],
+            "lifetime": report["lifetime"],
+        })
+    return rows_out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mc", type=int, default=24,
+                        help="MC samples per column for the grid rows "
+                             "(default 24)")
+    parser.add_argument("--parity-mc", type=int, default=8,
+                        help="MC samples per column for the parity "
+                             "checks (default 8)")
+    parser.add_argument("--parity-columns", type=int, default=4,
+                        help="columns for the parity checks (default 4)")
+    parser.add_argument("--rows", default="64,256",
+                        help="grid rows axis (default 64,256)")
+    parser.add_argument("--columns", default="4,16",
+                        help="grid columns axis (default 4,16)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="processes for the grid fan-out "
+                             "(default 0: one per CPU)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="job-store shards for the service parity "
+                             "check (default 2)")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / "BENCH_array.json"))
+    args = parser.parse_args(argv)
+
+    parity_spec = ArraySpec(rows=32, columns=args.parity_columns,
+                            words_per_row=1, mux_factor=1,
+                            mc=args.parity_mc, times_s=(0.0, 1e8))
+
+    print("array invariance (workers / chunk sizes)...", flush=True)
+    invariance = _check_invariance(parity_spec)
+    print("  bitwise identical across all fan-out shapes")
+
+    print("service parity (sharded job service vs direct)...",
+          flush=True)
+    service = _check_service_parity(parity_spec, args.shards)
+    print(f"  bit-identical through {args.shards} shards, dedup ok")
+
+    print("flattening parity (column_array vs standalone columns)...",
+          flush=True)
+    flattening = _check_flattening(args.parity_columns, args.parity_mc,
+                                   parity_spec.seed)
+    print(f"  {flattening['devices_checked']} device populations "
+          f"bit-identical")
+
+    rows_axis = [int(r) for r in args.rows.split(",")]
+    columns_axis = [int(c) for c in args.columns.split(",")]
+    print(f"grid throughput ({rows_axis} rows x {columns_axis} "
+          f"columns)...", flush=True)
+    grid_base = ArraySpec(mc=args.mc, times_s=(0.0, 1e8))
+    grid = _grid_throughput(grid_base, rows_axis, columns_axis,
+                            args.workers or None)
+    for row in grid:
+        print(f"  {row['rows']:>4d}x{row['columns']:<3d} "
+              f"{row['columns_per_sec']:8.2f} columns/s  "
+              f"aged spec {row['nssa_spec_mv']:.1f} -> "
+              f"{row['issa_spec_mv']:.1f} mV  "
+              f"gain {row['issa_latency_gain_pct']:.2f}%")
+
+    doc = {
+        "benchmark": "array_speedup",
+        "host": {"cpu_count": os.cpu_count(),
+                 "usable_cpus": default_workers(),
+                 "python": platform.python_version(),
+                 "numpy": np.__version__,
+                 "machine": platform.machine(),
+                 "backend": backend_host_info(),
+                 "revision": git_revision()},
+        "settings": {"mc": args.mc, "parity_mc": args.parity_mc,
+                     "parity_columns": args.parity_columns,
+                     "rows": rows_axis, "columns": columns_axis,
+                     "schemes": list(SCHEMES)},
+        "invariance": invariance,
+        "service_parity": service,
+        "flattening_parity": flattening,
+        "grid": grid,
+        "passed": True,
+    }
+    pathlib.Path(args.output).write_text(json.dumps(doc, indent=2,
+                                                    sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Array-scale characterisation: per-column read paths, bank verdicts.
+
+The table/figure experiments characterise one sense amplifier; the
+paper's overhead and lifetime arguments (Sec. IV) are made at array
+scale — one control block driving *m* ISSA columns.  This package
+promotes the single-SA pipeline to read-path/bank granularity:
+
+- :mod:`.spec` — ``ArraySpec``: bank geometry (rows x columns x
+  words-per-row x mux factor) plus the characterisation knobs, with the
+  same JSON wire format discipline as ``fleet.spec``.
+- :mod:`.sampling` — spawn-keyed per-column draw lanes.  Mismatch is
+  keyed per (column, device *name*) so the shared latch devices receive
+  identical draws under NSSA and ISSA (common random numbers), and any
+  column's draws are bit-identical whether sampled standalone or inside
+  a flattened ``column_array`` netlist.
+- :mod:`.characterizer` — one column's offset/delay characterisation
+  with geometry-derived bitline loading injected onto the SA inputs.
+- :mod:`.engine` — ``ArrayEngine``: fans columns x checkpoints across
+  processes (bitwise invariant to workers/chunk_size), aggregates
+  per-bank specs through ``memory.yield_model``, and emits the
+  bank-level ISSA-vs-NSSA lifetime and read-latency tables.
+"""
+
+from .spec import ArraySpec, ARRAY_STREAM, geometry_grid
+from .sampling import (LANE_MISMATCH, LANE_AGING, column_mismatch,
+                       column_aging, flattened_mismatch)
+from .characterizer import (characterize_column, characterize_columns,
+                            build_column_design, sense_input_load)
+from .engine import ArrayEngine
+
+__all__ = [
+    "ArraySpec", "ARRAY_STREAM", "geometry_grid",
+    "LANE_MISMATCH", "LANE_AGING", "column_mismatch", "column_aging",
+    "flattened_mismatch",
+    "characterize_column", "characterize_columns", "build_column_design",
+    "sense_input_load",
+    "ArrayEngine",
+]

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..constants import VDD_NOM
+from ..memory.bitline import SwingBudget, develop_time as _bitline_develop_time
 from ..models.mosmodel import MosParams
 from ..models.ptm45 import NMOS_45HP, PMOS_45HP
 from ..spice.mna import MnaSystem
@@ -178,3 +179,36 @@ def simulate_read(stored_value: int,
     swing = np.abs(result.probe("bl")[index] - result.probe("blbar")[index])
     return ReadPathResult(transient=result, correct=correct,
                           swing_at_enable=swing)
+
+
+def develop_time_for_spec(offset_spec_v: float, bitline,
+                          noise_margin_v: float = 0.02) -> float:
+    """Develop time [s] a bitline needs for an SA offset spec.
+
+    The reusable form of what ``examples/memory_readpath.py``
+    demonstrates at transistor level: a larger offset specification
+    demands a larger swing (spec plus noise margin) before SAenable may
+    fire, so the develop time grows monotonically with the spec.
+    ``bitline`` is any ``memory.bitline`` model (lumped or pi).
+    """
+    return _bitline_develop_time(
+        bitline, SwingBudget(offset_spec_v, noise_margin_v))
+
+
+def timing_for_spec(offset_spec_v: float, bitline,
+                    base: ReadPathTiming = ReadPathTiming(),
+                    noise_margin_v: float = 0.02,
+                    settle_s: float = 100e-12) -> ReadPathTiming:
+    """Read-path timing with SAenable placed for an offset spec.
+
+    Keeps ``base``'s wordline instant, edge rate, and step; fires
+    SAenable one spec-derived develop time after the wordline and
+    stretches the window to leave ``settle_s`` for the latch to
+    regenerate.
+    """
+    develop_s = develop_time_for_spec(offset_spec_v, bitline,
+                                      noise_margin_v)
+    t_enable = base.t_wordline + develop_s
+    return dataclasses.replace(
+        base, t_enable=t_enable,
+        t_window=max(base.t_window, t_enable + settle_s))

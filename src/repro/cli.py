@@ -26,6 +26,11 @@
   see :mod:`repro.service`;
 * ``worker`` — attach a remote worker (``--attach URL``) that claims,
   executes and acks jobs from a running ``serve`` instance;
+* ``array`` — bank-level array characterisation over a geometry grid
+  (rows x columns x words-per-row x mux): per-column read paths with
+  geometry-derived bitline loading, ISSA-vs-NSSA lifetime and
+  read-latency tables, optionally routed through the sharded job
+  service (``--service``) — see :mod:`repro.array`;
 * ``workloads`` — list the paper's workloads.
 
 ``characterize``, ``table`` and ``perf`` accept ``--cache`` to load
@@ -321,10 +326,57 @@ def cmd_tail(args) -> int:
     return 0
 
 
+def _perf_array(args) -> int:
+    """Profile a bank characterisation; ``array.*`` counters land in
+    the report and the ``--json`` artefact."""
+    from .analysis.perf import PERF
+    from .array import ArrayEngine, ArraySpec
+
+    try:
+        rows, columns = (int(part) for part
+                         in args.array.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"bad --array geometry: {args.array!r} "
+                         "(expected ROWSxCOLS, e.g. 64x4)")
+    spec = ArraySpec(rows=rows, columns=columns,
+                     workload=args.workload or None,
+                     times_s=((0.0, args.time) if args.time > 0.0
+                              else (0.0,)),
+                     temp_c=args.temp, vdd=args.vdd,
+                     mc=args.mc, seed=args.seed)
+    PERF.reset()
+    with PERF.timer("total"):
+        report = ArrayEngine(spec, workers=1,
+                             backend=getattr(args, "backend", None)
+                             ).compare()
+    print(f"array: {rows}x{columns} bank  MC={args.mc}/column  "
+          f"workload {spec.workload or 'fresh'}")
+    print()
+    print(PERF.report())
+    print()
+    print("derived:")
+    print(f"  columns/sec                  "
+          f"{PERF.gauges.get('array.columns_per_sec', 0.0):8.2f}")
+    print(f"  columns characterised        "
+          f"{PERF.counters.get('array.columns', 0):8d}")
+    if args.json:
+        path = PERF.write_json(args.json, extra={
+            "config": {"array": args.array, "workload": args.workload,
+                       "time_s": args.time, "temp_c": args.temp,
+                       "vdd": args.vdd, "mc": args.mc,
+                       "backend": getattr(args, "backend", None)},
+            "result": report["comparison"],
+        })
+        print(f"\nperf JSON written to {path}")
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Characterise one cell under the perf recorder and report."""
     from .analysis.perf import PERF
 
+    if getattr(args, "array", None):
+        return _perf_array(args)
     env = Environment.from_celsius(args.temp, args.vdd)
     PERF.reset()
     with PERF.timer("total"):
@@ -561,6 +613,117 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def _int_list(text: str, name: str) -> List[int]:
+    try:
+        values = [int(part) for part in str(text).split(",") if part]
+    except ValueError:
+        raise SystemExit(f"bad {name} list: {text!r}")
+    if not values:
+        raise SystemExit(f"empty {name} list")
+    return values
+
+
+def _array_spec(args, rows: int, columns: int):
+    from .array import ArraySpec
+    return ArraySpec(
+        rows=rows, columns=columns,
+        words_per_row=args.words_per_row, mux_factor=args.mux,
+        workload=args.workload or None,
+        times_s=tuple(float(t) for t in args.times.split(",")),
+        temp_c=args.temp, vdd=args.vdd, mc=args.mc, seed=args.seed,
+        swing_mv=args.swing_mv, noise_margin_mv=args.noise_margin_mv)
+
+
+def _array_reports_direct(specs, schemes, args) -> List[dict]:
+    from .array import ArrayEngine
+    return [ArrayEngine(spec, workers=args.workers or None,
+                        chunk_size=args.chunk_size,
+                        backend=getattr(args, "backend", None))
+            .compare(schemes) for spec in specs]
+
+
+def _array_reports_service(specs, schemes, args) -> List[dict]:
+    """Route every geometry point through a sharded job service."""
+    import tempfile
+
+    from .service import ArrayRequest, Service
+    reports = []
+    with tempfile.TemporaryDirectory() as directory:
+        service = Service(directory=directory, n_shards=args.shards,
+                          workers=1)
+        try:
+            jobs = [service.submit(ArrayRequest(
+                        spec=spec.to_dict(), schemes=tuple(schemes),
+                        workers=args.workers or None,
+                        chunk_size=args.chunk_size))
+                    for spec in specs]
+            for job in jobs:
+                service.wait(job.id)
+                reports.append(service.result(job.id))
+        finally:
+            service.close()
+    return reports
+
+
+def cmd_array(args) -> int:
+    """Bank-level ISSA-vs-NSSA lifetime and read-latency tables."""
+    import json as json_module
+
+    from .array.spec import validate_schemes
+
+    schemes = validate_schemes(
+        s.strip() for s in args.schemes.split(","))
+    specs = [_array_spec(args, rows, columns)
+             for rows in _int_list(args.rows, "rows")
+             for columns in _int_list(args.columns, "columns")]
+    runner = (_array_reports_service if args.service
+              else _array_reports_direct)
+    reports = runner(specs, schemes, args)
+
+    for spec, report in zip(specs, reports):
+        geometry = report["geometry"]
+        bitline = report["bitline"]
+        print(f"bank {geometry['rows']}x{geometry['columns']} "
+              f"(words/row {geometry['words_per_row']}, "
+              f"mux {geometry['mux_factor']})  bitline "
+              f"{bitline['capacitance_ff']:.1f} fF / "
+              f"{bitline['resistance_ohm']:.0f} ohm"
+              f"{'  [via job service]' if args.service else ''}")
+        header = f"  {'time [s]':>10s}"
+        for scheme in schemes:
+            header += (f" {scheme + ' spec mV':>14s}"
+                       f" {scheme + ' read ps':>14s}")
+        if len(schemes) > 1:
+            header += f" {'gain %':>8s}"
+        print(header)
+        for entry in report["comparison"]:
+            line = f"  {entry['time_s']:10.3g}"
+            for scheme in schemes:
+                line += (f" {entry[f'{scheme}_spec_mv']:14.2f}"
+                         f" {entry[f'{scheme}_read_ps']:14.2f}")
+            if len(schemes) > 1:
+                gain = entry[f"{schemes[1]}_latency_gain_pct"]
+                line += f" {gain:8.2f}"
+            print(line)
+        for scheme in schemes:
+            life = report["lifetime"][scheme]
+            last = life["last_in_spec_s"]
+            first = life["first_out_of_spec_s"]
+            verdict = ("never in spec" if last is None else
+                       f"in spec through t={last:g} s" +
+                       ("" if first is None
+                        else f", out at t={first:g} s"))
+            print(f"  lifetime {scheme}: {verdict} "
+                  f"(provisioned swing {spec.swing_mv:g} mV)")
+        print()
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else reports
+        with open(args.json, "w") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"array report written to {args.json}")
+    return 0
+
+
 def cmd_workloads(args) -> int:
     for workload in PAPER_WORKLOADS:
         print(f"  {str(workload):8s} activation={workload.activation_rate}"
@@ -657,6 +820,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stress time in seconds (paper: 1e8)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the perf counters as JSON")
+    p.add_argument("--array", default=None, metavar="ROWSxCOLS",
+                   help="profile a bank characterisation instead of a "
+                        "cell (e.g. 64x4); the JSON then carries the "
+                        "array.* counters")
     _add_corner_args(p)
     _add_mc_args(p)
     _add_estimator_args(p)
@@ -808,6 +975,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the full comparison report as JSON")
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("array",
+                       help="bank-level array characterisation: "
+                            "per-column read paths, ISSA-vs-NSSA "
+                            "lifetime and read-latency tables")
+    p.add_argument("--rows", default="64,256",
+                   help="comma-separated rows axis of the geometry "
+                        "grid (default 64,256)")
+    p.add_argument("--columns", default="4,16",
+                   help="comma-separated columns (SAs per bank) axis "
+                        "(default 4,16)")
+    p.add_argument("--words-per-row", type=int, default=4)
+    p.add_argument("--mux", type=int, default=4,
+                   help="bitline pairs muxed per SA (multiple of "
+                        "words-per-row; default 4)")
+    p.add_argument("--workload", default="80r0",
+                   help="paper workload stressing the bank "
+                        "(default 80r0; empty = unstressed)")
+    p.add_argument("--times", default="0,1e8",
+                   help="comma-separated aging checkpoints in seconds "
+                        "(default 0,1e8)")
+    p.add_argument("--temp", type=float, default=25.0)
+    p.add_argument("--vdd", type=float, default=1.0)
+    p.add_argument("--mc", type=int, default=64,
+                   help="Monte-Carlo samples per column (default 64)")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--swing-mv", type=float, default=250.0,
+                   help="provisioned SA input swing in mV; the "
+                        "lifetime verdict compares the bank spec plus "
+                        "noise margin against it (default 250)")
+    p.add_argument("--noise-margin-mv", type=float, default=20.0)
+    p.add_argument("--schemes", default="nssa,issa",
+                   help="comma-separated schemes; the first is the "
+                        "comparison baseline (default nssa,issa)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the column fan-out (default 1: "
+                        "serial; 0 means one per CPU); results are "
+                        "invariant to it")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="columns per parallel task; results are "
+                        "invariant to it")
+    from .spice.backends import available_backends as _backends
+    p.add_argument("--backend", choices=_backends(), default=None)
+    p.add_argument("--service", action="store_true",
+                   help="route every geometry point through an "
+                        "in-process sharded job service (ArrayRequest "
+                        "jobs) instead of calling the engine directly; "
+                        "results are bit-identical")
+    p.add_argument("--shards", type=int, default=2,
+                   help="job-store shards for --service (default 2)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the full report(s) as JSON")
+    p.set_defaults(func=cmd_array)
 
     p = sub.add_parser("workloads", help="list the paper's workloads")
     p.set_defaults(func=cmd_workloads)

@@ -1,19 +1,23 @@
 """Memory-level models: bitline, array latency, scheme overheads."""
 
-from .bitline import BitlineModel, SwingBudget, develop_time
+from .bitline import (BitlineModel, PiBitlineModel, SwingBudget,
+                      bitline_from_geometry, develop_time)
 from .array import ArrayTiming, ReadLatency, read_latency, latency_gain
 from .energy import (MemoryOrganisation, EnergyModel,
                      issa_area_overhead, issa_energy_overhead_per_read,
                      control_logic_transistors, counter_toggles_per_read)
 from .yield_model import (YieldModel, sa_failure_probability, array_yield,
-                          yield_loss_ppm, swing_for_yield)
+                          yield_loss_ppm, swing_for_yield,
+                          bank_failure_probability, bank_spec)
 
 __all__ = [
-    "BitlineModel", "SwingBudget", "develop_time",
+    "BitlineModel", "PiBitlineModel", "SwingBudget",
+    "bitline_from_geometry", "develop_time",
     "ArrayTiming", "ReadLatency", "read_latency", "latency_gain",
     "MemoryOrganisation", "EnergyModel", "issa_area_overhead",
     "issa_energy_overhead_per_read", "control_logic_transistors",
     "counter_toggles_per_read",
     "YieldModel", "sa_failure_probability", "array_yield",
     "yield_loss_ppm", "swing_for_yield",
+    "bank_failure_probability", "bank_spec",
 ]

@@ -15,8 +15,17 @@ generality.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from ..constants import VDD_NOM
+
+#: Per-row bitline loading at the 45 nm node.  Calibrated so a 256-row
+#: column reproduces the lumped default (~100 fF) below.
+CELL_CAP_PER_ROW = 0.25e-15   # access-device junction per attached cell [F]
+WIRE_CAP_PER_ROW = 0.14e-15   # wire capacitance per cell pitch [F]
+WIRE_RES_PER_ROW = 1.4        # wire resistance per cell pitch [ohm]
+#: Column-mux junction load per bitline pair hanging off the SA input [F].
+MUX_JUNCTION_CAP = 0.5e-15
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,6 +79,124 @@ class BitlineModel:
 
 
 @dataclasses.dataclass(frozen=True)
+class PiBitlineModel:
+    """Distributed (pi-segment) bitline: C/2 -- R -- C/2.
+
+    The lumped model above treats the bitline as a single capacitor, so
+    the swing seen at the SA equals the swing at the cell.  A real
+    bitline is a distributed RC line: the accessed cell discharges the
+    far end and the wire resistance delays the swing's arrival at the
+    SA end.  The single-pi approximation (half the capacitance at each
+    end, the full resistance between) captures the first-order effect.
+
+    With a constant discharge current ``I`` at the cell end, the node
+    difference settles with time constant ``tau = R*C/4`` and the
+    SA-end swing is
+
+        ``swing(t) = I*t/C - (I*R/4) * (1 - exp(-t/tau))``
+
+    i.e. the lumped ramp minus a deficit that saturates at ``I*R/4``.
+    The SA therefore always sees *less* swing than the lumped model
+    predicts, and the develop time for a given swing is always longer
+    — by at most ``R*C/4`` seconds.
+    """
+
+    resistance: float = 350.0
+    capacitance: float = 100e-15
+    cell_current: float = 20e-6
+    vdd: float = VDD_NOM
+    leakage_current: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0.0:
+            raise ValueError("resistance must be non-negative")
+        if self.capacitance <= 0.0 or self.cell_current <= 0.0:
+            raise ValueError("capacitance and cell current must be positive")
+        if self.vdd <= 0.0:
+            raise ValueError("vdd must be positive")
+        if not 0.0 <= self.leakage_current < self.cell_current:
+            raise ValueError(
+                "leakage must be non-negative and below the cell current")
+
+    @property
+    def effective_current(self) -> float:
+        """Differential discharge current [A] net of reference leakage."""
+        return self.cell_current - self.leakage_current
+
+    @property
+    def time_constant(self) -> float:
+        """Settling constant of the cell-to-SA voltage difference [s]."""
+        return self.resistance * self.capacitance / 4.0
+
+    @property
+    def sa_end_deficit_v(self) -> float:
+        """Asymptotic swing deficit at the SA end vs the lumped ramp [V]."""
+        return self.effective_current * self.resistance / 4.0
+
+    def swing_at(self, time_s: float) -> float:
+        """Differential swing [V] at the SA end after ``time_s``."""
+        if time_s < 0.0:
+            raise ValueError("time must be non-negative")
+        ramp = self.effective_current * time_s / self.capacitance
+        if self.resistance == 0.0:
+            return ramp
+        tau = self.time_constant
+        return ramp - self.sa_end_deficit_v * (1.0 - math.exp(-time_s / tau))
+
+    def time_to_swing(self, swing_v: float) -> float:
+        """Develop time [s] for the SA end to reach a swing.
+
+        ``swing_at`` is monotone increasing (its derivative is
+        ``(I/C) * (1 - exp(-t/tau)) >= 0``), and the lumped time
+        brackets the answer from below while the lumped time plus
+        ``R*C/4`` brackets it from above; bisect between them.
+        """
+        if swing_v < 0.0:
+            raise ValueError("swing must be non-negative")
+        if swing_v == 0.0:
+            return 0.0
+        lo = swing_v * self.capacitance / self.effective_current
+        if self.resistance == 0.0:
+            return lo
+        hi = lo + self.resistance * self.capacitance / 4.0
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.swing_at(mid) < swing_v:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+def bitline_from_geometry(rows: int,
+                          mux_factor: int = 1,
+                          cell_current: float = 20e-6,
+                          vdd: float = VDD_NOM,
+                          leakage_per_row: float = 0.0) -> PiBitlineModel:
+    """Derive a pi-model bitline from array geometry.
+
+    Every attached row contributes one access-device junction plus one
+    cell pitch of wire capacitance and resistance; the column mux adds
+    one junction per multiplexed bitline pair at the SA end.  The
+    unaccessed ``rows - 1`` cells each contribute ``leakage_per_row``
+    of reference-side leakage.
+    """
+    if rows < 1:
+        raise ValueError("rows must be positive")
+    if mux_factor < 1:
+        raise ValueError("mux factor must be positive")
+    capacitance = (rows * (CELL_CAP_PER_ROW + WIRE_CAP_PER_ROW)
+                   + mux_factor * MUX_JUNCTION_CAP)
+    return PiBitlineModel(
+        resistance=rows * WIRE_RES_PER_ROW,
+        capacitance=capacitance,
+        cell_current=cell_current,
+        vdd=vdd,
+        leakage_current=(rows - 1) * leakage_per_row,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
 class SwingBudget:
     """Swing provisioning for a target offset specification.
 
@@ -90,6 +217,9 @@ class SwingBudget:
         return self.offset_spec_v + self.noise_margin_v
 
 
-def develop_time(bitline: BitlineModel, budget: SwingBudget) -> float:
-    """Bitline develop time [s] for an offset-spec budget."""
+def develop_time(bitline, budget: SwingBudget) -> float:
+    """Bitline develop time [s] for an offset-spec budget.
+
+    Accepts any model with a ``time_to_swing`` method (lumped or pi).
+    """
     return bitline.time_to_swing(budget.required_swing_v)

@@ -78,6 +78,48 @@ def yield_loss_ppm(sa_fail_probability: float,
     return (1.0 - array_yield(sa_fail_probability, model)) * 1e6
 
 
+def bank_failure_probability(column_fits, swing_v: float) -> float:
+    """Probability any column of a bank fails at a provisioned swing.
+
+    ``column_fits`` is a sequence of per-column ``(mu_v, sigma_v)``
+    offset fits; a bank read fails if *any* of its columns does, so the
+    worst columns dominate.  Evaluated in log space for tiny
+    per-column probabilities.
+    """
+    if not column_fits:
+        raise ValueError("at least one column fit is required")
+    log_ok = 0.0
+    for mu_v, sigma_v in column_fits:
+        p = sa_failure_probability(mu_v, sigma_v, swing_v)
+        if p >= 1.0:
+            return 1.0
+        log_ok += math.log1p(-p)
+    return -math.expm1(log_ok)
+
+
+def bank_spec(column_fits, failure_rate: float,
+              upper_v: float = 1.0) -> float:
+    """Smallest swing where the whole bank meets a failure-rate target.
+
+    The bank-level analogue of a single SA's offset spec: bisects the
+    monotone relation swing -> joint failure probability.  Always at
+    least the worst single column's spec.  Raises if even ``upper_v``
+    cannot reach the target.
+    """
+    if not 0.0 < failure_rate < 1.0:
+        raise ValueError("failure rate must be in (0, 1)")
+    if bank_failure_probability(column_fits, upper_v) > failure_rate:
+        raise ValueError("failure-rate target unreachable within the cap")
+    lo, hi = 1e-6, upper_v
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if bank_failure_probability(column_fits, mid) <= failure_rate:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
 def swing_for_yield(mu_v: float, sigma_v: float, target_yield: float,
                     model: YieldModel = YieldModel(),
                     upper_v: float = 1.0) -> float:

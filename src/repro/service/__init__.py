@@ -21,9 +21,9 @@ cells as jobs, get batching + dedup + persistence + retries for free.
 """
 
 from .client import Client, HttpClient
-from .jobs import (CANCELLED, DONE, FAILED, FleetRequest, Job,
-                   JobRequest, PENDING, RUNNING, STATES, TERMINAL,
-                   request_from_dict)
+from .jobs import (ArrayRequest, CANCELLED, DONE, FAILED,
+                   FleetRequest, Job, JobRequest, PENDING, RUNNING,
+                   STATES, TERMINAL, request_from_dict)
 from .pool import WorkerPool
 from .scheduler import (AckError, DoubleAckError, Scheduler,
                         StaleLeaseError, UnknownJobError, backoff_delay)
@@ -33,7 +33,8 @@ from .store import (JobStore, SERVICE_ENV, ShardedJobStore,
 from .worker import RemoteWorker, Worker, run_batch
 
 __all__ = [
-    "AckError", "CANCELLED", "Client", "DONE", "DoubleAckError",
+    "AckError", "ArrayRequest", "CANCELLED", "Client", "DONE",
+    "DoubleAckError",
     "FAILED", "FleetRequest", "HttpClient", "Job", "JobRequest",
     "JobStore", "PENDING", "RUNNING", "RemoteWorker", "SERVICE_ENV",
     "STATES", "Scheduler", "Service", "ServiceError",

@@ -18,7 +18,7 @@ import urllib.parse
 import urllib.request
 from typing import Any, Dict, Optional, Union
 
-from .jobs import FleetRequest, JobRequest, TERMINAL
+from .jobs import ArrayRequest, FleetRequest, JobRequest, TERMINAL
 from .service import Service, ServiceError
 
 
@@ -97,7 +97,8 @@ class HttpClient:
             request = JobRequest(**fields)
         elif fields:
             raise TypeError("pass either a request or keyword fields")
-        if isinstance(request, (JobRequest, FleetRequest)):
+        if isinstance(request, (JobRequest, FleetRequest,
+                                ArrayRequest)):
             request = request.to_dict()
         doc = self._call("POST", "/submit",
                          body={"request": request, "priority": priority})

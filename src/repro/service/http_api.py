@@ -12,8 +12,11 @@ endpoint   method    semantics
                      resubmitting returns the existing job).  A
                      request with ``"kind": "fleet"`` queues a fleet
                      lifetime-distribution / policy comparison
-                     (:class:`~repro.service.jobs.FleetRequest`);
-                     its ``/result`` row is the comparison document.
+                     (:class:`~repro.service.jobs.FleetRequest`) and
+                     ``"kind": "array"`` a bank-level array scheme
+                     comparison (:class:`~repro.service.jobs.
+                     ArrayRequest`); either ``/result`` row is the
+                     comparison document.
 /status    GET       ``?id=`` → full job record; 404 when unknown
 /result    GET       ``?id=`` → ``{"id", "row"}`` when done; 404 when
                      unknown, 409 with the state/error otherwise

@@ -225,8 +225,87 @@ class FleetRequest:
         return cls(**doc)
 
 
+@dataclasses.dataclass(frozen=True)
+class ArrayRequest:
+    """One bank-level array characterisation / scheme comparison.
+
+    The wire shape of a :meth:`repro.array.engine.ArrayEngine.compare`
+    call: an :class:`~repro.array.spec.ArraySpec` document plus the
+    scheme tuple (the first is the comparison baseline).  As with
+    :class:`FleetRequest`, ``chunk_size`` / ``workers`` only shape how
+    the columns are walked — the tables are bitwise invariant to them —
+    so they stay out of the dedup identity.
+    """
+
+    spec: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    schemes: Tuple[str, ...] = ("nssa", "issa")
+    chunk_size: Optional[int] = None
+    workers: Optional[int] = 1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; normalise so signatures and
+        # equality behave.
+        object.__setattr__(self, "schemes",
+                           tuple(str(s) for s in self.schemes))
+
+    def validate(self):
+        """Parse into engine inputs; raises ``ValueError`` when bad.
+
+        Returns ``(ArraySpec, (scheme, ...))`` so the worker validates
+        and constructs in one step.
+        """
+        from ..array.spec import ArraySpec, validate_schemes
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk size must be positive")
+        return (ArraySpec.from_dict(self.spec),
+                validate_schemes(self.schemes))
+
+    def signature(self) -> Tuple:
+        """Array runs never coalesce with cell batches (or each other:
+        identical array requests are already the *same job* by dedup,
+        so an array batch is always a singleton)."""
+        return ("array", self._identity_blob(), self.chunk_size,
+                self.workers, self.timeout_s)
+
+    def _identity_blob(self) -> str:
+        return json.dumps({"spec": self.spec,
+                           "schemes": list(self.schemes)},
+                          sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self, cache) -> str:
+        """Content-addressed identity over the physics, not the knobs."""
+        return cache.key_for_doc({"kind": "array", "spec": self.spec,
+                                  "schemes": list(self.schemes)})
+
+    def cached_result_row(self, cache, key: str) -> Optional[Dict]:
+        """The comparison document if the doc cache already holds it."""
+        if not cache.contains_doc(key):
+            return None
+        return cache.load_doc(key)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = dataclasses.asdict(self)
+        doc["schemes"] = list(self.schemes)
+        doc["kind"] = "array"
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ArrayRequest":
+        doc = dict(doc)
+        kind = doc.pop("kind", "array")
+        if kind != "array":
+            raise ValueError(f"not an array request: kind={kind!r}")
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}")
+        return cls(**doc)
+
+
 #: Requests the service accepts, by wire ``kind``.
-REQUEST_KINDS = ("cell", "fleet")
+REQUEST_KINDS = ("cell", "fleet", "array")
 
 
 def request_from_dict(doc: Dict[str, Any]):
@@ -240,6 +319,8 @@ def request_from_dict(doc: Dict[str, Any]):
     kind = doc.pop("kind", "cell")
     if kind == "fleet":
         return FleetRequest.from_dict(dict(doc, kind="fleet"))
+    if kind == "array":
+        return ArrayRequest.from_dict(dict(doc, kind="array"))
     if kind != "cell":
         raise ValueError(
             f"unknown request kind {kind!r}; expected one of "
@@ -261,7 +342,7 @@ class Job:
     """
 
     id: str
-    request: Union[JobRequest, FleetRequest]
+    request: Union[JobRequest, FleetRequest, ArrayRequest]
     seq: int = 0
     priority: int = 0
     state: str = PENDING

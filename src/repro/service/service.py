@@ -33,8 +33,8 @@ from ..constants import FAILURE_RATE_TARGET
 from ..core.cache import ResultCache
 from ..core.parallel import worker_share
 from ..spice.backends import backend_host_info
-from .jobs import FleetRequest, Job, JobRequest, TERMINAL, \
-    request_from_dict
+from .jobs import ArrayRequest, FleetRequest, Job, JobRequest, \
+    TERMINAL, request_from_dict
 from .pool import WorkerPool
 from .scheduler import Scheduler
 from .store import ShardedJobStore, default_service_dir
@@ -151,13 +151,15 @@ class Service:
     # -- the five client verbs ------------------------------------------
 
     def submit(self,
-               request: Union[JobRequest, FleetRequest, Dict[str, Any]],
+               request: Union[JobRequest, FleetRequest, ArrayRequest,
+                              Dict[str, Any]],
                priority: int = 0) -> Job:
         """Queue a characterisation; dedups against live/cached work.
 
-        Accepts cell characterisations (:class:`JobRequest`) and fleet
+        Accepts cell characterisations (:class:`JobRequest`), fleet
         evaluations (:class:`FleetRequest`; wire documents carry
-        ``"kind": "fleet"``).  Returns the (possibly pre-existing)
+        ``"kind": "fleet"``) and array bank characterisations
+        (:class:`ArrayRequest`; ``"kind": "array"``).  Returns the (possibly pre-existing)
         job; ``job.deduped`` is not a field — inspect
         :meth:`submit_info` when the flag matters (the HTTP layer
         reports it).
@@ -167,7 +169,7 @@ class Service:
 
     def submit_info(self,
                     request: Union[JobRequest, FleetRequest,
-                                   Dict[str, Any]],
+                                   ArrayRequest, Dict[str, Any]],
                     priority: int = 0):
         if isinstance(request, dict):
             request = request_from_dict(request)
@@ -185,7 +187,8 @@ class Service:
         """The completed job's result payload (from the cache).
 
         Cell jobs return a :class:`~repro.core.experiment.CellResult`;
-        fleet jobs return the comparison document (a plain dict).
+        fleet and array jobs return the comparison document (a plain
+        dict).
         Raises :class:`ServiceError` while the job is still live or
         once it failed/was cancelled.  Falls back to a row-only result
         if the cache entry was evicted (or the work ran on a remote
@@ -198,7 +201,7 @@ class Service:
             raise ServiceError(
                 f"job {job_id} is {job.state}"
                 + (f": {job.error}" if job.error else ""))
-        if isinstance(job.request, FleetRequest):
+        if isinstance(job.request, (FleetRequest, ArrayRequest)):
             document = self.cache.load_doc(job.id)
             return document if document is not None \
                 else (job.result_row or {})
@@ -274,6 +277,19 @@ class Service:
                 "policies": counters.get("fleet.policies", 0),
                 "devices_per_sec":
                     perf["gauges"].get("fleet.devices_per_sec", 0.0),
+            },
+            "array": {
+                "columns": counters.get("array.columns", 0),
+                "banks": counters.get("array.banks", 0),
+                "tasks": counters.get("array.tasks", 0),
+                "compares": counters.get("array.compares", 0),
+                "columns_per_sec":
+                    perf["gauges"].get("array.columns_per_sec", 0.0),
+                "geometry": {
+                    name: perf["gauges"].get(f"array.{name}", 0)
+                    for name in ("rows", "columns", "words_per_row",
+                                 "mux_factor", "bitline_pairs", "cells")
+                },
             },
             "cache": dict(self.cache.stats(),
                           hit_rate=(counters.get("cache.hits", 0)

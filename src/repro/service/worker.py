@@ -49,7 +49,7 @@ from typing import Callable, Dict, List, Optional
 from ..analysis.perf import PERF
 from ..core.cache import ResultCache
 from ..core.parallel import GridCancelled, GridTimeout, run_cells
-from .jobs import FleetRequest, Job
+from .jobs import ArrayRequest, FleetRequest, Job
 from .scheduler import AckError, Scheduler
 
 #: Batch executor signature: ``runner(jobs, timeout_s, cancel) -> rows``
@@ -75,11 +75,26 @@ def run_batch(batch: List[Job], cache: Optional[ResultCache],
 
     The default executor for local and remote workers alike.  Cell
     batches go through :func:`~repro.core.parallel.run_cells`
-    (results persist through ``cache``); fleet batches (always
-    singletons — see :class:`~repro.service.jobs.FleetRequest`) run
-    the fleet engine and persist the comparison document as a cache
-    *doc* entry under the job id.
+    (results persist through ``cache``); fleet and array batches
+    (always singletons — see :class:`~repro.service.jobs.FleetRequest`
+    / :class:`~repro.service.jobs.ArrayRequest`) run their engines and
+    persist the comparison document as a cache *doc* entry under the
+    job id.
     """
+    if isinstance(batch[0].request, ArrayRequest):
+        from ..array import ArrayEngine
+        rows = []
+        for job in batch:
+            request = job.request
+            spec, schemes = request.validate()
+            engine = ArrayEngine(spec, workers=request.workers,
+                                 chunk_size=request.chunk_size)
+            summary = engine.compare(schemes, timeout=timeout,
+                                     cancel=cancel)
+            if cache is not None:
+                cache.store_doc(job.id, summary)
+            rows.append(summary)
+        return rows
     if isinstance(batch[0].request, FleetRequest):
         from ..fleet import FleetEngine
         rows = []

@@ -1,0 +1,1 @@
+"""Array-scale characterisation tests."""

@@ -1,0 +1,103 @@
+"""ArraySpec: validation, wire format, geometry grid."""
+
+import json
+
+import pytest
+
+from repro.array import ArraySpec, geometry_grid
+from repro.array.spec import validate_schemes
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ArraySpec()
+        assert spec.rows == 256 and spec.columns == 8
+
+    @pytest.mark.parametrize("field", ["rows", "columns",
+                                       "words_per_row", "mux_factor"])
+    def test_counts_must_be_positive_integers(self, field):
+        with pytest.raises(ValueError):
+            ArraySpec(**{field: 0})
+        with pytest.raises(ValueError):
+            ArraySpec(**{field: 2.5})
+
+    def test_mux_must_cover_words_per_row(self):
+        with pytest.raises(ValueError):
+            ArraySpec(words_per_row=4, mux_factor=2)
+        ArraySpec(words_per_row=2, mux_factor=4)  # fine
+
+    def test_workload_name_validated(self):
+        with pytest.raises(ValueError):
+            ArraySpec(workload="nonsense")
+        assert ArraySpec(workload=None).workload is None
+
+    def test_times_must_increase(self):
+        with pytest.raises(ValueError):
+            ArraySpec(times_s=())
+        with pytest.raises(ValueError):
+            ArraySpec(times_s=(1e8, 1e8))
+        with pytest.raises(ValueError):
+            ArraySpec(times_s=(1e8, 0.0))
+        with pytest.raises(ValueError):
+            ArraySpec(times_s=(-1.0, 0.0))
+
+    def test_mc_and_swing_bounds(self):
+        with pytest.raises(ValueError):
+            ArraySpec(mc=1)
+        with pytest.raises(ValueError):
+            ArraySpec(swing_mv=0.0)
+        with pytest.raises(ValueError):
+            ArraySpec(noise_margin_mv=-1.0)
+
+
+class TestDerived:
+    def test_geometry_block(self):
+        spec = ArraySpec(rows=64, columns=4, words_per_row=2,
+                         mux_factor=4)
+        geometry = spec.geometry()
+        assert geometry["bitline_pairs"] == 16
+        assert geometry["cells"] == 64 * 16
+        assert spec.words == 64 * 2
+
+    def test_unit_conversions(self):
+        spec = ArraySpec(swing_mv=250.0, noise_margin_mv=20.0)
+        assert spec.swing_v == pytest.approx(0.25)
+        assert spec.noise_margin_v == pytest.approx(0.02)
+
+
+class TestWireFormat:
+    def test_json_round_trip(self):
+        spec = ArraySpec(rows=64, columns=4, times_s=(0.0, 3.0e7, 1e8))
+        doc = json.loads(json.dumps(spec.to_dict()))
+        assert ArraySpec.from_dict(doc) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            ArraySpec.from_dict({"rows": 64, "banks": 2})
+
+    def test_times_list_normalised_to_tuple(self):
+        spec = ArraySpec.from_dict({"times_s": [0.0, 1e8]})
+        assert spec.times_s == (0.0, 1e8)
+
+
+class TestGrid:
+    def test_geometry_grid_crosses_axes(self):
+        grid = geometry_grid(ArraySpec(), rows=(64, 256),
+                             columns=(4, 16))
+        assert [(s.rows, s.columns) for s in grid] == \
+            [(64, 4), (64, 16), (256, 4), (256, 16)]
+        # Non-geometry knobs ride along unchanged.
+        assert all(s.mc == ArraySpec().mc for s in grid)
+
+
+class TestSchemes:
+    def test_normalises_and_orders(self):
+        assert validate_schemes(["NSSA", "issa"]) == ("nssa", "issa")
+
+    def test_rejects_unknown_empty_duplicate(self):
+        with pytest.raises(ValueError):
+            validate_schemes(["magic"])
+        with pytest.raises(ValueError):
+            validate_schemes([])
+        with pytest.raises(ValueError):
+            validate_schemes(["issa", "issa"])

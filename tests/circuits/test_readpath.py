@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.circuits.readpath import (ReadPathTiming, build_read_path,
-                                     simulate_read)
+                                     develop_time_for_spec,
+                                     simulate_read, timing_for_spec)
+from repro.memory.bitline import (BitlineModel, SwingBudget,
+                                  bitline_from_geometry, develop_time)
 
 
 class TestTopology:
@@ -64,3 +67,43 @@ class TestReads:
         assert result.correct.shape == (3,)
         assert bool(result.correct[0]) and bool(result.correct[2])
         assert not bool(result.correct[1])
+
+
+class TestSpecDrivenTiming:
+    """The reusable offset-spec -> develop-time -> timing API."""
+
+    BITLINE = bitline_from_geometry(256, mux_factor=4)
+
+    def test_develop_time_monotone_in_spec(self):
+        times = [develop_time_for_spec(spec, self.BITLINE)
+                 for spec in (0.02, 0.05, 0.1, 0.15, 0.2)]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    @pytest.mark.parametrize("bitline",
+                             [BitlineModel(), BITLINE])
+    def test_matches_memory_bitline_develop_time(self, bitline):
+        """The circuits-layer API is exactly the memory-layer budget."""
+        for spec, margin in ((0.08, 0.02), (0.15, 0.03)):
+            assert develop_time_for_spec(spec, bitline, margin) == \
+                develop_time(bitline, SwingBudget(spec, margin))
+
+    def test_timing_for_spec_orders_and_stretches(self):
+        timing = timing_for_spec(0.15, self.BITLINE)
+        assert 0.0 < timing.t_wordline < timing.t_enable \
+            < timing.t_window
+        assert timing.develop_time == pytest.approx(
+            develop_time_for_spec(0.15, self.BITLINE))
+        # A huge spec pushes enable past the base window; the window
+        # must stretch to leave settle time for the latch.
+        late = timing_for_spec(0.9, self.BITLINE, settle_s=100e-12)
+        assert late.t_window == pytest.approx(
+            late.t_enable + 100e-12)
+
+    def test_base_fields_preserved(self):
+        base = ReadPathTiming(t_wordline=30e-12, t_enable=200e-12,
+                              t_rise=4e-12, t_window=400e-12)
+        timing = timing_for_spec(0.05, self.BITLINE, base=base)
+        assert timing.t_wordline == base.t_wordline
+        assert timing.t_rise == base.t_rise
+        assert timing.dt == base.dt

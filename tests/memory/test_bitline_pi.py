@@ -1,0 +1,143 @@
+"""Distributed (pi-model) bitline vs the lumped baseline.
+
+Pins the two analytic contracts the array engine rests on:
+
+* at small RC the pi model agrees with the lumped model;
+* at large RC the divergence has a known *direction* — the SA end
+  always sees **less** swing and needs **more** develop time, never
+  the reverse — and a known bound (``I*R/4`` volts, ``R*C/4`` seconds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.memory.bitline import (CELL_CAP_PER_ROW, MUX_JUNCTION_CAP,
+                                  WIRE_CAP_PER_ROW, WIRE_RES_PER_ROW,
+                                  BitlineModel, PiBitlineModel,
+                                  SwingBudget, bitline_from_geometry,
+                                  develop_time)
+
+
+def lumped_twin(pi: PiBitlineModel) -> BitlineModel:
+    return BitlineModel(capacitance=pi.capacitance,
+                        cell_current=pi.cell_current,
+                        vdd=pi.vdd,
+                        leakage_current=pi.leakage_current)
+
+
+class TestSmallRcAgreement:
+    def test_zero_resistance_is_exactly_lumped(self):
+        pi = PiBitlineModel(resistance=0.0)
+        lumped = lumped_twin(pi)
+        for t in (0.0, 1e-10, 5e-10, 2e-9):
+            assert pi.swing_at(t) == lumped.swing_at(t)
+        for swing in (0.0, 0.05, 0.1, 0.25):
+            assert pi.time_to_swing(swing) == lumped.time_to_swing(swing)
+
+    def test_small_rc_converges_to_lumped(self):
+        """Shrinking R drives the pi answer onto the lumped one."""
+        lumped = BitlineModel()
+        target = 0.1
+        errors = [PiBitlineModel(resistance=r).time_to_swing(target)
+                  - lumped.time_to_swing(target)
+                  for r in (1000.0, 100.0, 10.0, 1.0)]
+        assert all(e >= 0.0 for e in errors)
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-13  # 1 ohm: sub-0.1 ps from lumped
+
+
+class TestLargeRcDivergence:
+    BIG = PiBitlineModel(resistance=5000.0)
+
+    def test_sa_end_swing_below_lumped(self):
+        """The pi SA end never leads the lumped ramp."""
+        lumped = lumped_twin(self.BIG)
+        for t in np.linspace(1e-12, 5e-9, 40):
+            assert self.BIG.swing_at(t) < lumped.swing_at(t)
+
+    def test_deficit_bounded_and_saturating(self):
+        lumped = lumped_twin(self.BIG)
+        bound = self.BIG.sa_end_deficit_v
+        late = 50.0 * self.BIG.time_constant
+        deficit_late = lumped.swing_at(late) - self.BIG.swing_at(late)
+        assert deficit_late == pytest.approx(bound, rel=1e-9)
+        early = 0.1 * self.BIG.time_constant
+        assert lumped.swing_at(early) - self.BIG.swing_at(early) < bound
+
+    def test_develop_time_longer_but_bounded(self):
+        lumped = lumped_twin(self.BIG)
+        for swing in (0.05, 0.1, 0.25):
+            pi_t = self.BIG.time_to_swing(swing)
+            lumped_t = lumped.time_to_swing(swing)
+            assert pi_t > lumped_t
+            assert pi_t <= lumped_t \
+                + self.BIG.resistance * self.BIG.capacitance / 4.0
+
+    def test_time_to_swing_inverts_swing_at(self):
+        for swing in (0.02, 0.1, 0.3):
+            t = self.BIG.time_to_swing(swing)
+            assert self.BIG.swing_at(t) == pytest.approx(swing, rel=1e-9)
+
+    def test_swing_monotone_in_time(self):
+        times = np.linspace(0.0, 10.0 * self.BIG.time_constant, 200)
+        swings = [self.BIG.swing_at(t) for t in times]
+        assert all(b >= a for a, b in zip(swings, swings[1:]))
+
+
+class TestGeometry:
+    def test_256_rows_reproduces_lumped_default(self):
+        """The per-row constants are calibrated so the paper's 256-row
+        column lands on the ~100 fF lumped default."""
+        pi = bitline_from_geometry(256, mux_factor=4)
+        assert pi.capacitance == pytest.approx(100e-15, rel=0.05)
+        assert pi.resistance == pytest.approx(256 * WIRE_RES_PER_ROW)
+
+    def test_loading_monotone_in_rows_and_mux(self):
+        base = bitline_from_geometry(64, mux_factor=4)
+        taller = bitline_from_geometry(256, mux_factor=4)
+        wider = bitline_from_geometry(64, mux_factor=16)
+        assert taller.capacitance > base.capacitance
+        assert taller.resistance > base.resistance
+        assert wider.capacitance > base.capacitance
+        assert wider.resistance == base.resistance  # mux is a cap load
+
+    def test_explicit_composition(self):
+        pi = bitline_from_geometry(64, mux_factor=8,
+                                   leakage_per_row=1e-9)
+        assert pi.capacitance == pytest.approx(
+            64 * (CELL_CAP_PER_ROW + WIRE_CAP_PER_ROW)
+            + 8 * MUX_JUNCTION_CAP)
+        assert pi.leakage_current == pytest.approx(63e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bitline_from_geometry(0)
+        with pytest.raises(ValueError):
+            bitline_from_geometry(64, mux_factor=0)
+        with pytest.raises(ValueError):
+            PiBitlineModel(resistance=-1.0)
+        with pytest.raises(ValueError):
+            PiBitlineModel(capacitance=0.0)
+        with pytest.raises(ValueError):
+            PiBitlineModel(leakage_current=30e-6)
+        with pytest.raises(ValueError):
+            PiBitlineModel().swing_at(-1e-12)
+        with pytest.raises(ValueError):
+            PiBitlineModel().time_to_swing(-0.1)
+
+
+class TestDevelopTimeDuckTyping:
+    def test_develop_time_accepts_both_models(self):
+        budget = SwingBudget(offset_spec_v=0.08)
+        pi = bitline_from_geometry(256, mux_factor=4)
+        lumped = lumped_twin(pi)
+        assert develop_time(pi, budget) > develop_time(lumped, budget)
+        assert develop_time(pi, budget) == pytest.approx(
+            pi.time_to_swing(budget.required_swing_v))
+
+    def test_develop_time_monotone_in_spec(self):
+        pi = bitline_from_geometry(256, mux_factor=4)
+        times = [develop_time(pi, SwingBudget(spec))
+                 for spec in (0.02, 0.05, 0.1, 0.2)]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
